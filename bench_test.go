@@ -1,0 +1,282 @@
+// Package aims holds the repository-level benchmark harness: one
+// Benchmark per experiment in DESIGN.md's index (each regenerates a paper
+// claim end to end; see cmd/aims-bench for the printable tables) plus
+// micro-benchmarks of the hot substrate paths.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem ./...
+package aims
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"aims/internal/experiments"
+	"aims/internal/propolyne"
+	"aims/internal/sensors"
+	"aims/internal/svdstream"
+	"aims/internal/synth"
+	"aims/internal/vec"
+	"aims/internal/wavelet"
+)
+
+// --- One benchmark per table/figure claim (T1, E1–E12) ---
+
+func BenchmarkTable1SensorRegistry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunT1(io.Discard)
+	}
+}
+
+func BenchmarkE1SamplingBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE1(io.Discard)
+		b.ReportMetric(float64(r.PolicyBytes["adaptive"])/float64(r.RawBytes), "adaptive-frac")
+	}
+}
+
+func BenchmarkE2BlockUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE2(io.Discard)
+		last := len(r.Tiling) - 1
+		b.ReportMetric(r.Tiling[last]/r.Bound[last], "frac-of-bound")
+	}
+}
+
+func BenchmarkE3ProgressiveAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunE3(io.Discard)
+	}
+}
+
+func BenchmarkE4ExactCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE4(io.Discard)
+		b.ReportMetric(float64(r.QueryCoeffs[len(r.QueryCoeffs)-1]), "coeffs-n512")
+	}
+}
+
+func BenchmarkE5HybridPropolyne(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE5(io.Discard)
+		b.ReportMetric(float64(r.HybridCoeffs), "hybrid-coeffs")
+	}
+}
+
+func BenchmarkE6BestBasis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunE6(io.Discard)
+	}
+}
+
+func BenchmarkE7ASLRecognition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE7(io.Discard)
+		b.ReportMetric(r.StreamAccuracy, "stream-acc")
+	}
+}
+
+func BenchmarkE8ADHDDiagnosis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE8(io.Discard)
+		b.ReportMetric(r.Accuracy["linear SVM (paper's method)"], "svm-acc")
+	}
+}
+
+func BenchmarkE9SVDviaPropolyne(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE9(io.Discard)
+		b.ReportMetric(r.SignatureSimilarity, "similarity")
+	}
+}
+
+func BenchmarkE10IncrementalSVD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE10(io.Discard)
+		b.ReportMetric(r.Speedup[len(r.Speedup)-1], "speedup-w512")
+	}
+}
+
+func BenchmarkE11AcquisitionPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunE11(io.Discard)
+	}
+}
+
+func BenchmarkE12ProgressiveBlockIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunE12(io.Discard)
+	}
+}
+
+// --- Ablations ---
+
+func BenchmarkA1GroupByOrdering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunA1(io.Discard)
+	}
+}
+
+func BenchmarkA2RandomProjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunA2(io.Discard)
+	}
+}
+
+func BenchmarkA3BufferPool(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunA3(io.Discard)
+	}
+}
+
+func BenchmarkA4RefinedBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunA4(io.Discard)
+	}
+}
+
+func BenchmarkA5ConcurrentThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunA5(io.Discard)
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkDWTAnalyzeD6(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 1<<14)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	work := make([]float64, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, x)
+		wavelet.Analyze(work, wavelet.D6, -1)
+	}
+	b.SetBytes(int64(len(x) * 8))
+}
+
+func BenchmarkLazyQueryHaar(b *testing.B) {
+	const n = 1 << 16
+	for i := 0; i < b.N; i++ {
+		if _, err := wavelet.LazyQuery(n, 1234, 50000, vec.PolyConst(1), wavelet.Haar, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLazyQueryD6Degree2(b *testing.B) {
+	const n = 1 << 16
+	for i := 0; i < b.N; i++ {
+		if _, err := wavelet.LazyQuery(n, 1234, 50000, vec.Poly{0, 0, 1}, wavelet.D6, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeltaTransform(b *testing.B) {
+	const n = 1 << 16
+	for i := 0; i < b.N; i++ {
+		wavelet.DeltaTransform(n, i%n, 1, wavelet.D4, -1)
+	}
+}
+
+func BenchmarkEngineExactCount(b *testing.B) {
+	dims := []int{256, 256}
+	cube := synth.ZipfCube(dims, 50000, 1.2, 3)
+	e, err := propolyne.New(cube, dims, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := propolyne.Query{Lo: []int{17, 40}, Hi: []int{200, 190}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.Exact(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineAppend(b *testing.B) {
+	dims := []int{256, 256}
+	e, err := propolyne.New(make([]float64, 256*256), dims, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Append([]int{i % 256, (i * 7) % 256}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVDSignature28(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	rows := make([][]float64, 128)
+	for i := range rows {
+		r := make([]float64, 28)
+		for j := range r {
+			r[j] = rng.NormFloat64()
+		}
+		rows[i] = r
+	}
+	m := vec.MatrixFromRows(rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svdstream.SignatureOf(m)
+	}
+}
+
+func BenchmarkIncrementalSignature(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	inc := svdstream.NewIncremental(28, 128)
+	frame := make([]float64, 28)
+	for i := 0; i < 128; i++ {
+		for j := range frame {
+			frame[j] = rng.NormFloat64()
+		}
+		inc.Push(append([]float64(nil), frame...))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range frame {
+			frame[j] = rng.NormFloat64()
+		}
+		inc.Push(append([]float64(nil), frame...))
+		inc.Signature()
+	}
+}
+
+func BenchmarkRecognizerFeed(b *testing.B) {
+	vocab := synth.Vocabulary(8, 4)
+	rng := rand.New(rand.NewSource(5))
+	templates := map[string]svdstream.Signature{}
+	for _, s := range vocab {
+		templates[s.Name] = svdstream.SignatureFromMoments(
+			svdstream.MomentMatrix(s.Render(1, 0.1, rng)))
+	}
+	frames, _ := synth.SignStream(vocab, synth.StreamOptions{
+		Count: 50, Noise: 0.4, DurJitter: 0.3, GapTicks: 60, Seed: 6,
+	})
+	r := svdstream.NewRecognizer(templates, svdstream.RecognizerConfig{
+		Dims:          synth.SignDims,
+		RestThreshold: svdstream.CalibrateRest(frames[:20]),
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Feed(i, frames[i%len(frames)])
+	}
+}
+
+func BenchmarkDeviceFrame(b *testing.B) {
+	dev := sensors.NewDevice(sensors.GloveSpecs(), sensors.DefaultClock, 1, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.Frame(i)
+	}
+}

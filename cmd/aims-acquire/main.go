@@ -1,0 +1,58 @@
+// Command aims-acquire runs the acquisition study interactively: it
+// simulates a glove session, applies the four sampling policies of §3.1
+// plus the compression baselines, and prints the bandwidth/accuracy
+// comparison.
+//
+//	aims-acquire -seconds 60 -activity 1.5 -window 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aims/internal/compress"
+	"aims/internal/sampling"
+	"aims/internal/sensors"
+)
+
+func main() {
+	seconds := flag.Float64("seconds", 40, "session length in seconds")
+	activity := flag.Float64("activity", 1, "motion activity scale (1 = normal)")
+	window := flag.Int("window", 256, "adaptation window in ticks")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	ticks := int(*seconds * sensors.DefaultClock)
+	if ticks < *window {
+		fmt.Fprintln(os.Stderr, "session shorter than one adaptation window")
+		os.Exit(2)
+	}
+	dev := sensors.NewDevice(sensors.GloveSpecs(), sensors.DefaultClock, *activity, *seed)
+	rec := dev.Record(ticks)
+	clean := sensors.NewDevice(sensors.GloveSpecs(), sensors.DefaultClock, *activity, *seed).RecordClean(ticks)
+	raw := len(rec) * ticks * sensors.BytesPerSample
+
+	fmt.Printf("session: %d sensors × %d ticks (%.0f s) = %d raw bytes\n\n",
+		len(rec), ticks, *seconds, raw)
+	cfg := sampling.Config{DeviceRate: sensors.DefaultClock, Window: *window}
+	fmt.Printf("%-16s %12s %8s %14s\n", "technique", "bytes", "vs raw", "recon MSE")
+	for _, r := range sampling.All(rec, cfg) {
+		fmt.Printf("%-16s %12d %8.3f %14.5f\n",
+			r.Policy, r.Bytes, float64(r.Bytes)/float64(raw), r.MSE(clean, sensors.DefaultClock))
+	}
+
+	var huff, adpcm int
+	for _, ch := range rec {
+		q := compress.QuantizerFor(ch, 8)
+		levels := q.QuantizeAll(ch)
+		bytes := make([]byte, len(levels))
+		for i, l := range levels {
+			bytes[i] = byte(l)
+		}
+		huff += compress.HuffmanSize(bytes)
+		adpcm += len(compress.NewADPCM(ch).Encode(ch))
+	}
+	fmt.Printf("%-16s %12d %8.3f %14s\n", "huffman-8bit", huff, float64(huff)/float64(raw), "quantisation")
+	fmt.Printf("%-16s %12d %8.3f %14s\n", "adpcm-4bit", adpcm, float64(adpcm)/float64(raw), "quantisation")
+}

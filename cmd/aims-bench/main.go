@@ -1,0 +1,44 @@
+// Command aims-bench regenerates every experiment table of the AIMS
+// reproduction (T1, E1–E12 in DESIGN.md). Run it with no arguments for the
+// full suite, or pass experiment IDs to run a subset:
+//
+//	aims-bench            # everything
+//	aims-bench E3 E7      # just those two
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aims/internal/experiments"
+)
+
+func main() {
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[strings.ToUpper(a)] = true
+	}
+	start := time.Now()
+	ran := 0
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		fmt.Printf("\n### %s — %s\n", r.ID, r.Claim)
+		t0 := time.Now()
+		r.Run(os.Stdout)
+		fmt.Printf("  [%s completed in %s]\n", r.ID, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched %v; known IDs:", os.Args[1:])
+		for _, r := range experiments.All() {
+			fmt.Fprintf(os.Stderr, " %s", r.ID)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+	fmt.Printf("\n%d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
+}

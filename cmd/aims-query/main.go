@@ -1,0 +1,113 @@
+// Command aims-query builds an immersidata store from a simulated session
+// and answers range-aggregate queries against it — the off-line query tier
+// of AIMS (§3.3) as a CLI.
+//
+//	aims-query -seconds 60 -channel 5 -from 10 -to 30 -agg variance
+//	aims-query -channel 3 -agg count -approx 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"aims/internal/core"
+	"aims/internal/propolyne"
+	"aims/internal/sensors"
+	"aims/internal/stream"
+)
+
+func main() {
+	seconds := flag.Float64("seconds", 60, "session length to simulate")
+	channel := flag.Int("channel", 5, "sensor channel to query")
+	from := flag.Float64("from", 0, "range start (seconds)")
+	to := flag.Float64("to", -1, "range end (seconds, -1 = session end)")
+	agg := flag.String("agg", "average", "aggregate: count | average | variance")
+	approx := flag.Int("approx", 0, "if > 0, answer approximately with this coefficient budget")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	saveTo := flag.String("save", "", "after building, persist the store to this file")
+	loadFrom := flag.String("load", "", "query a previously saved store instead of simulating")
+	explain := flag.Bool("explain", false, "print the evaluation plan before answering")
+	flag.Parse()
+
+	if *to < 0 {
+		*to = *seconds
+	}
+	var st *core.Store
+	if *loadFrom != "" {
+		var err error
+		st, err = core.LoadStore(*loadFrom)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded store %s: %d channels × %d time buckets × %d value bins\n",
+			*loadFrom, st.Channels, st.TimeBuckets, st.ValueBins)
+	} else {
+		ticks := int(*seconds * sensors.DefaultClock)
+		sys := core.New(core.Config{})
+		dev := sensors.NewDevice(sensors.GloveSpecs(), sensors.DefaultClock, 1, *seed)
+		frames, stats := sys.Acquire(&stream.FuncSource{Rate: sensors.DefaultClock, N: ticks, Fn: dev.Frame})
+		fmt.Printf("acquired %d frames; building wavelet store...\n", stats.Stored)
+		var err error
+		st, err = sys.BuildStore(frames)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *saveTo != "" {
+			if err := st.Save(*saveTo); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("persisted store to %s\n", *saveTo)
+		}
+	}
+
+	if *explain {
+		lo := int(*from * st.Rate / float64(st.TicksPerBucket))
+		hi := int(*to * st.Rate / float64(st.TicksPerBucket))
+		if hi >= st.TimeBuckets {
+			hi = st.TimeBuckets - 1
+		}
+		ex, err := st.Engine.ExplainQuery(propolyne.Query{
+			Lo: []int{*channel, lo, 0},
+			Hi: []int{*channel, hi, st.ValueBins - 1},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("plan:", ex)
+	}
+
+	switch *agg {
+	case "count":
+		if *approx > 0 {
+			est, bound, err := st.ApproximateCount(*channel, *from, *to, *approx)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("COUNT(ch=%d, [%.1fs,%.1fs]) ≈ %.1f (±%.2f guaranteed, %d coefficients)\n",
+				*channel, *from, *to, est, bound, *approx)
+			return
+		}
+		v, err := st.CountSamples(*channel, *from, *to)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("COUNT(ch=%d, [%.1fs,%.1fs]) = %.0f\n", *channel, *from, *to, v)
+	case "average":
+		v, ok, err := st.AverageValue(*channel, *from, *to)
+		if err != nil || !ok {
+			log.Fatalf("average: ok=%v err=%v", ok, err)
+		}
+		fmt.Printf("AVERAGE(ch=%d, [%.1fs,%.1fs]) = %.3f\n", *channel, *from, *to, v)
+	case "variance":
+		v, ok, err := st.VarianceValue(*channel, *from, *to)
+		if err != nil || !ok {
+			log.Fatalf("variance: ok=%v err=%v", ok, err)
+		}
+		fmt.Printf("VARIANCE(ch=%d, [%.1fs,%.1fs]) = %.3f\n", *channel, *from, *to, v)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown aggregate %q\n", *agg)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,3 @@
+module aims
+
+go 1.22

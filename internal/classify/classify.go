@@ -1,0 +1,348 @@
+// Package classify provides the statistical learning tools of the ADHD
+// diagnosis study (§2.1): the linear SVM that reached 86 % accuracy on
+// tracker motion-speed features, and the "conventional learning
+// techniques" of the earlier work — a Gaussian naive Bayes classifier and
+// a decision stump — as baselines, plus k-fold cross-validation.
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Classifier is a binary classifier over float feature vectors with labels
+// +1 / -1.
+type Classifier interface {
+	Fit(features [][]float64, labels []int)
+	Predict(features []float64) int
+	Name() string
+}
+
+// standardizer learns per-feature mean/std and maps features to z-scores.
+type standardizer struct {
+	mean, std []float64
+}
+
+func (s *standardizer) fit(features [][]float64) {
+	if len(features) == 0 {
+		return
+	}
+	d := len(features[0])
+	s.mean = make([]float64, d)
+	s.std = make([]float64, d)
+	for _, f := range features {
+		for j, v := range f {
+			s.mean[j] += v
+		}
+	}
+	n := float64(len(features))
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, f := range features {
+		for j, v := range f {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] < 1e-12 {
+			s.std[j] = 1
+		}
+	}
+}
+
+func (s *standardizer) apply(f []float64) []float64 {
+	out := make([]float64, len(f))
+	for j, v := range f {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// SVM is a linear soft-margin SVM trained with the Pegasos stochastic
+// sub-gradient method. Features are standardised internally.
+type SVM struct {
+	Lambda float64 // regularisation (default 0.01)
+	Epochs int     // passes over the data (default 200)
+	Seed   int64
+
+	w    []float64
+	b    float64
+	std  standardizer
+	once bool
+}
+
+// Name implements Classifier.
+func (s *SVM) Name() string { return "linear-svm" }
+
+// Fit implements Classifier.
+func (s *SVM) Fit(features [][]float64, labels []int) {
+	if len(features) == 0 {
+		return
+	}
+	if s.Lambda <= 0 {
+		s.Lambda = 0.01
+	}
+	if s.Epochs <= 0 {
+		s.Epochs = 200
+	}
+	s.std.fit(features)
+	x := make([][]float64, len(features))
+	for i, f := range features {
+		x[i] = s.std.apply(f)
+	}
+	d := len(x[0])
+	s.w = make([]float64, d)
+	s.b = 0
+	rng := rand.New(rand.NewSource(s.Seed + 1))
+	t := 1
+	for epoch := 0; epoch < s.Epochs; epoch++ {
+		perm := rng.Perm(len(x))
+		for _, i := range perm {
+			eta := 1 / (s.Lambda * float64(t))
+			y := float64(labels[i])
+			margin := y * (dot(s.w, x[i]) + s.b)
+			for j := range s.w {
+				s.w[j] *= 1 - eta*s.Lambda
+			}
+			if margin < 1 {
+				for j := range s.w {
+					s.w[j] += eta * y * x[i][j]
+				}
+				s.b += eta * y * 0.1 // slow bias learning, unregularised
+			}
+			t++
+		}
+	}
+	s.once = true
+}
+
+// Predict implements Classifier.
+func (s *SVM) Predict(f []float64) int {
+	if !s.once {
+		return 1
+	}
+	if dot(s.w, s.std.apply(f))+s.b >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Weights exposes the learned hyperplane (standardised space) for
+// interpretation — which trackers drive the diagnosis.
+func (s *SVM) Weights() []float64 { return append([]float64(nil), s.w...) }
+
+func dot(a, b []float64) float64 {
+	var v float64
+	for i := range a {
+		v += a[i] * b[i]
+	}
+	return v
+}
+
+// NaiveBayes is a Gaussian naive Bayes binary classifier.
+type NaiveBayes struct {
+	meanPos, meanNeg []float64
+	varPos, varNeg   []float64
+	priorPos         float64
+	fitted           bool
+}
+
+// Name implements Classifier.
+func (nb *NaiveBayes) Name() string { return "gaussian-nb" }
+
+// Fit implements Classifier.
+func (nb *NaiveBayes) Fit(features [][]float64, labels []int) {
+	if len(features) == 0 {
+		return
+	}
+	d := len(features[0])
+	nb.meanPos = make([]float64, d)
+	nb.meanNeg = make([]float64, d)
+	nb.varPos = make([]float64, d)
+	nb.varNeg = make([]float64, d)
+	var nPos, nNeg float64
+	for i, f := range features {
+		if labels[i] > 0 {
+			nPos++
+			for j, v := range f {
+				nb.meanPos[j] += v
+			}
+		} else {
+			nNeg++
+			for j, v := range f {
+				nb.meanNeg[j] += v
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		if nPos > 0 {
+			nb.meanPos[j] /= nPos
+		}
+		if nNeg > 0 {
+			nb.meanNeg[j] /= nNeg
+		}
+	}
+	for i, f := range features {
+		if labels[i] > 0 {
+			for j, v := range f {
+				dv := v - nb.meanPos[j]
+				nb.varPos[j] += dv * dv
+			}
+		} else {
+			for j, v := range f {
+				dv := v - nb.meanNeg[j]
+				nb.varNeg[j] += dv * dv
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		if nPos > 1 {
+			nb.varPos[j] /= nPos
+		}
+		if nNeg > 1 {
+			nb.varNeg[j] /= nNeg
+		}
+		if nb.varPos[j] < 1e-9 {
+			nb.varPos[j] = 1e-9
+		}
+		if nb.varNeg[j] < 1e-9 {
+			nb.varNeg[j] = 1e-9
+		}
+	}
+	nb.priorPos = nPos / (nPos + nNeg)
+	nb.fitted = true
+}
+
+// Predict implements Classifier.
+func (nb *NaiveBayes) Predict(f []float64) int {
+	if !nb.fitted {
+		return 1
+	}
+	logPos := math.Log(nb.priorPos + 1e-12)
+	logNeg := math.Log(1 - nb.priorPos + 1e-12)
+	for j, v := range f {
+		logPos += -0.5*math.Log(2*math.Pi*nb.varPos[j]) - (v-nb.meanPos[j])*(v-nb.meanPos[j])/(2*nb.varPos[j])
+		logNeg += -0.5*math.Log(2*math.Pi*nb.varNeg[j]) - (v-nb.meanNeg[j])*(v-nb.meanNeg[j])/(2*nb.varNeg[j])
+	}
+	if logPos >= logNeg {
+		return 1
+	}
+	return -1
+}
+
+// Stump is a single-feature threshold classifier — the simplest member of
+// the decision-tree family the earlier studies used.
+type Stump struct {
+	feature   int
+	threshold float64
+	polarity  int
+	fitted    bool
+}
+
+// Name implements Classifier.
+func (st *Stump) Name() string { return "decision-stump" }
+
+// Fit implements Classifier: exhaustive search over features and
+// thresholds for minimum training error.
+func (st *Stump) Fit(features [][]float64, labels []int) {
+	if len(features) == 0 {
+		return
+	}
+	d := len(features[0])
+	bestErr := math.Inf(1)
+	for j := 0; j < d; j++ {
+		vals := make([]float64, len(features))
+		for i, f := range features {
+			vals[i] = f[j]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		for k := 0; k < len(sorted)-1; k++ {
+			thr := (sorted[k] + sorted[k+1]) / 2
+			for _, pol := range []int{1, -1} {
+				errs := 0
+				for i := range features {
+					pred := -pol
+					if vals[i] > thr {
+						pred = pol
+					}
+					if pred != labels[i] {
+						errs++
+					}
+				}
+				if e := float64(errs); e < bestErr {
+					bestErr = e
+					st.feature, st.threshold, st.polarity = j, thr, pol
+				}
+			}
+		}
+	}
+	st.fitted = true
+}
+
+// Predict implements Classifier.
+func (st *Stump) Predict(f []float64) int {
+	if !st.fitted {
+		return 1
+	}
+	if f[st.feature] > st.threshold {
+		return st.polarity
+	}
+	return -st.polarity
+}
+
+// CrossValidate returns the k-fold cross-validation accuracy of a
+// classifier factory over a labelled dataset.
+func CrossValidate(newC func() Classifier, features [][]float64, labels []int, k int, seed int64) float64 {
+	n := len(features)
+	if n == 0 || k < 2 {
+		panic(fmt.Sprintf("classify: cross-validation needs data and k ≥ 2 (n=%d k=%d)", n, k))
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	correct, total := 0, 0
+	for fold := 0; fold < k; fold++ {
+		var trainX, testX [][]float64
+		var trainY, testY []int
+		for i, idx := range perm {
+			if i%k == fold {
+				testX = append(testX, features[idx])
+				testY = append(testY, labels[idx])
+			} else {
+				trainX = append(trainX, features[idx])
+				trainY = append(trainY, labels[idx])
+			}
+		}
+		c := newC()
+		c.Fit(trainX, trainY)
+		for i, f := range testX {
+			if c.Predict(f) == testY[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	return float64(correct) / float64(total)
+}
+
+// Accuracy evaluates a fitted classifier on a labelled set.
+func Accuracy(c Classifier, features [][]float64, labels []int) float64 {
+	if len(features) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, f := range features {
+		if c.Predict(f) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(features))
+}

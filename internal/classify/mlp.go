@@ -1,0 +1,116 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a single-hidden-layer neural network (tanh hidden units, logistic
+// output) trained by stochastic gradient descent — the "Neural Nets" entry
+// of the paper's earlier pattern-recognition studies (§1.2), completing
+// the conventional-classifier trio next to Bayes and trees.
+type MLP struct {
+	Hidden    int     // hidden units (default 8)
+	Epochs    int     // SGD passes (default 300)
+	LearnRate float64 // default 0.05
+	Seed      int64
+
+	w1     [][]float64 // Hidden × (d+1), last column is the bias
+	w2     []float64   // Hidden+1, last entry is the bias
+	std    standardizer
+	fitted bool
+}
+
+// Name implements Classifier.
+func (m *MLP) Name() string { return "mlp" }
+
+// Fit implements Classifier.
+func (m *MLP) Fit(features [][]float64, labels []int) {
+	if len(features) == 0 {
+		return
+	}
+	if m.Hidden <= 0 {
+		m.Hidden = 8
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 300
+	}
+	if m.LearnRate <= 0 {
+		m.LearnRate = 0.05
+	}
+	m.std.fit(features)
+	x := make([][]float64, len(features))
+	for i, f := range features {
+		x[i] = m.std.apply(f)
+	}
+	d := len(x[0])
+	rng := rand.New(rand.NewSource(m.Seed + 11))
+	m.w1 = make([][]float64, m.Hidden)
+	for h := range m.w1 {
+		m.w1[h] = make([]float64, d+1)
+		for j := range m.w1[h] {
+			m.w1[h][j] = rng.NormFloat64() / math.Sqrt(float64(d))
+		}
+	}
+	m.w2 = make([]float64, m.Hidden+1)
+	for j := range m.w2 {
+		m.w2[j] = rng.NormFloat64() / math.Sqrt(float64(m.Hidden))
+	}
+
+	hidden := make([]float64, m.Hidden)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		lr := m.LearnRate / (1 + 0.01*float64(epoch))
+		for _, i := range rng.Perm(len(x)) {
+			// Forward.
+			for h := 0; h < m.Hidden; h++ {
+				s := m.w1[h][d] // bias
+				for j, v := range x[i] {
+					s += m.w1[h][j] * v
+				}
+				hidden[h] = math.Tanh(s)
+			}
+			out := m.w2[m.Hidden]
+			for h, v := range hidden {
+				out += m.w2[h] * v
+			}
+			p := 1 / (1 + math.Exp(-out))
+			target := 0.0
+			if labels[i] > 0 {
+				target = 1
+			}
+			// Backward (cross-entropy ⇒ simple output delta).
+			dOut := p - target
+			for h, v := range hidden {
+				dHidden := dOut * m.w2[h] * (1 - v*v)
+				m.w2[h] -= lr * dOut * v
+				for j, xv := range x[i] {
+					m.w1[h][j] -= lr * dHidden * xv
+				}
+				m.w1[h][d] -= lr * dHidden
+			}
+			m.w2[m.Hidden] -= lr * dOut
+		}
+	}
+	m.fitted = true
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(f []float64) int {
+	if !m.fitted {
+		return 1
+	}
+	x := m.std.apply(f)
+	d := len(x)
+	out := m.w2[m.Hidden]
+	for h := 0; h < m.Hidden; h++ {
+		s := m.w1[h][d]
+		for j, v := range x {
+			s += m.w1[h][j] * v
+		}
+		out += m.w2[h] * math.Tanh(s)
+	}
+	if out >= 0 {
+		return 1
+	}
+	return -1
+}

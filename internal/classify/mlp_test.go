@@ -1,0 +1,58 @@
+package classify
+
+import "testing"
+
+func TestMLPSeparatesBlobs(t *testing.T) {
+	x, y := gaussianBlobs(200, 2.5, 4)
+	m := &MLP{}
+	m.Fit(x, y)
+	if acc := Accuracy(m, x, y); acc < 0.93 {
+		t.Fatalf("MLP training accuracy %v", acc)
+	}
+}
+
+func TestMLPLearnsNonlinearBoundary(t *testing.T) {
+	// XOR-ish quadrant problem — linearly inseparable, within reach of a
+	// small hidden layer.
+	var x [][]float64
+	var y []int
+	for i := -6; i <= 6; i++ {
+		for j := -6; j <= 6; j++ {
+			if i == 0 || j == 0 {
+				continue
+			}
+			x = append(x, []float64{float64(i), float64(j)})
+			if i*j > 0 {
+				y = append(y, 1)
+			} else {
+				y = append(y, -1)
+			}
+		}
+	}
+	m := &MLP{Hidden: 12, Epochs: 800}
+	m.Fit(x, y)
+	if acc := Accuracy(m, x, y); acc < 0.9 {
+		t.Fatalf("XOR accuracy %v — a linear model caps at 0.5", acc)
+	}
+	// Confirm the problem actually defeats the linear SVM.
+	svm := &SVM{}
+	svm.Fit(x, y)
+	if linAcc := Accuracy(svm, x, y); linAcc > 0.75 {
+		t.Fatalf("XOR should defeat the linear SVM, got %v", linAcc)
+	}
+}
+
+func TestMLPUnfittedPredict(t *testing.T) {
+	m := &MLP{}
+	if got := m.Predict([]float64{1}); got != 1 {
+		t.Fatalf("unfitted predict %d", got)
+	}
+}
+
+func TestMLPCrossValidates(t *testing.T) {
+	x, y := gaussianBlobs(200, 2.0, 9)
+	acc := CrossValidate(func() Classifier { return &MLP{Epochs: 150} }, x, y, 4, 10)
+	if acc < 0.85 {
+		t.Fatalf("cv accuracy %v", acc)
+	}
+}

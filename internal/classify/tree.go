@@ -1,0 +1,184 @@
+package classify
+
+import (
+	"math"
+	"sort"
+)
+
+// Tree is a depth-limited binary decision tree with Gini-impurity splits —
+// the "Decision Trees" entry of the paper's earlier studies, generalising
+// the stump.
+type Tree struct {
+	MaxDepth    int // default 4
+	MinLeafSize int // default 3
+
+	root   *treeNode
+	fitted bool
+}
+
+type treeNode struct {
+	feature     int
+	threshold   float64
+	label       int // leaf prediction when left/right are nil
+	left, right *treeNode
+}
+
+// Name implements Classifier.
+func (tr *Tree) Name() string { return "decision-tree" }
+
+// Fit implements Classifier.
+func (tr *Tree) Fit(features [][]float64, labels []int) {
+	if len(features) == 0 {
+		return
+	}
+	if tr.MaxDepth <= 0 {
+		tr.MaxDepth = 4
+	}
+	if tr.MinLeafSize <= 0 {
+		tr.MinLeafSize = 3
+	}
+	idx := make([]int, len(features))
+	for i := range idx {
+		idx[i] = i
+	}
+	tr.root = tr.grow(features, labels, idx, 0)
+	tr.fitted = true
+}
+
+func majority(labels []int, idx []int) int {
+	pos := 0
+	for _, i := range idx {
+		if labels[i] > 0 {
+			pos++
+		}
+	}
+	if 2*pos >= len(idx) {
+		return 1
+	}
+	return -1
+}
+
+// gini returns the Gini impurity of a subset weighted by its size.
+func weightedGini(labels []int, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	pos := 0
+	for _, i := range idx {
+		if labels[i] > 0 {
+			pos++
+		}
+	}
+	p := float64(pos) / float64(len(idx))
+	return 2 * p * (1 - p) * float64(len(idx))
+}
+
+func (tr *Tree) grow(features [][]float64, labels []int, idx []int, depth int) *treeNode {
+	node := &treeNode{label: majority(labels, idx)}
+	if depth >= tr.MaxDepth || len(idx) < 2*tr.MinLeafSize {
+		return node
+	}
+	// Pure node?
+	pure := true
+	for _, i := range idx[1:] {
+		if labels[i] != labels[idx[0]] {
+			pure = false
+			break
+		}
+	}
+	if pure {
+		return node
+	}
+
+	d := len(features[idx[0]])
+	bestImp := math.Inf(1)
+	bestFeature, bestThr := -1, 0.0
+	order := make([]int, len(idx))
+	for j := 0; j < d; j++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool {
+			return features[order[a]][j] < features[order[b]][j]
+		})
+		// Incremental split scan.
+		posLeft, posTotal := 0, 0
+		for _, i := range order {
+			if labels[i] > 0 {
+				posTotal++
+			}
+		}
+		for k := 0; k < len(order)-1; k++ {
+			if labels[order[k]] > 0 {
+				posLeft++
+			}
+			if features[order[k]][j] == features[order[k+1]][j] {
+				continue
+			}
+			nl, nr := k+1, len(order)-k-1
+			if nl < tr.MinLeafSize || nr < tr.MinLeafSize {
+				continue
+			}
+			pl := float64(posLeft) / float64(nl)
+			pr := float64(posTotal-posLeft) / float64(nr)
+			imp := 2*pl*(1-pl)*float64(nl) + 2*pr*(1-pr)*float64(nr)
+			if imp < bestImp {
+				bestImp = imp
+				bestFeature = j
+				bestThr = (features[order[k]][j] + features[order[k+1]][j]) / 2
+			}
+		}
+	}
+	// Zero-gain splits are allowed (XOR-style problems have no first-split
+	// gain); only strictly-worse splits stop growth. Depth and leaf-size
+	// limits bound the recursion.
+	if bestFeature < 0 || bestImp > weightedGini(labels, idx)+1e-12 {
+		return node
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if features[i][bestFeature] <= bestThr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return node
+	}
+	node.feature = bestFeature
+	node.threshold = bestThr
+	node.left = tr.grow(features, labels, leftIdx, depth+1)
+	node.right = tr.grow(features, labels, rightIdx, depth+1)
+	return node
+}
+
+// Predict implements Classifier.
+func (tr *Tree) Predict(f []float64) int {
+	if !tr.fitted {
+		return 1
+	}
+	n := tr.root
+	for n.left != nil && n.right != nil {
+		if f[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// Depth returns the fitted tree's depth (0 = single leaf).
+func (tr *Tree) Depth() int {
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil || (n.left == nil && n.right == nil) {
+			return 0
+		}
+		l, r := walk(n.left), walk(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(tr.root)
+}

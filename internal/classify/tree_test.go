@@ -1,0 +1,81 @@
+package classify
+
+import "testing"
+
+func TestTreeSeparatesBlobs(t *testing.T) {
+	x, y := gaussianBlobs(200, 2.5, 20)
+	tr := &Tree{}
+	tr.Fit(x, y)
+	if acc := Accuracy(tr, x, y); acc < 0.93 {
+		t.Fatalf("tree accuracy %v", acc)
+	}
+}
+
+func TestTreeLearnsXOR(t *testing.T) {
+	// Quadrant labels need depth ≥ 2; the stump caps near 0.5.
+	var x [][]float64
+	var y []int
+	for i := -5; i <= 5; i++ {
+		for j := -5; j <= 5; j++ {
+			if i == 0 || j == 0 {
+				continue
+			}
+			x = append(x, []float64{float64(i), float64(j)})
+			if i*j > 0 {
+				y = append(y, 1)
+			} else {
+				y = append(y, -1)
+			}
+		}
+	}
+	tr := &Tree{MaxDepth: 3, MinLeafSize: 2}
+	tr.Fit(x, y)
+	if acc := Accuracy(tr, x, y); acc < 0.95 {
+		t.Fatalf("XOR tree accuracy %v", acc)
+	}
+	if tr.Depth() < 2 {
+		t.Fatalf("tree depth %d, XOR needs ≥ 2", tr.Depth())
+	}
+	st := &Stump{}
+	st.Fit(x, y)
+	if stAcc := Accuracy(st, x, y); stAcc > 0.75 {
+		t.Fatalf("stump should fail XOR, got %v", stAcc)
+	}
+}
+
+func TestTreePureNodeStops(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}}
+	y := []int{1, 1, 1, 1, 1, 1}
+	tr := &Tree{}
+	tr.Fit(x, y)
+	if tr.Depth() != 0 {
+		t.Fatalf("pure data grew depth %d", tr.Depth())
+	}
+	if tr.Predict([]float64{99}) != 1 {
+		t.Fatal("pure prediction")
+	}
+}
+
+func TestTreeMinLeafSizeRespected(t *testing.T) {
+	x, y := gaussianBlobs(40, 1.0, 21)
+	tr := &Tree{MaxDepth: 10, MinLeafSize: 15}
+	tr.Fit(x, y)
+	if tr.Depth() > 1 {
+		t.Fatalf("depth %d despite MinLeafSize 15 on 40 points", tr.Depth())
+	}
+}
+
+func TestTreeUnfitted(t *testing.T) {
+	tr := &Tree{}
+	if got := tr.Predict([]float64{0}); got != 1 {
+		t.Fatalf("unfitted predict %d", got)
+	}
+}
+
+func TestTreeCrossValidates(t *testing.T) {
+	x, y := gaussianBlobs(240, 2.0, 22)
+	acc := CrossValidate(func() Classifier { return &Tree{} }, x, y, 5, 23)
+	if acc < 0.88 {
+		t.Fatalf("cv accuracy %v", acc)
+	}
+}

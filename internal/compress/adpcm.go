@@ -1,0 +1,223 @@
+package compress
+
+// IMA-style ADPCM on quantized signals: each sample is predicted from the
+// previous one and the 4-bit-coded prediction error adapts the step size.
+// This is the "Adaptive DPCM" quantization technique the paper's follow-up
+// acquisition study evaluated against (and combined with) the sampling
+// policies.
+
+var imaIndexTable = [16]int{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+var imaStepTable = [89]int{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// adpcmState is the shared encoder/decoder predictor.
+type adpcmState struct {
+	pred  int // predicted sample, int16 domain
+	index int // step-table index
+}
+
+func (s *adpcmState) encodeSample(sample int) byte {
+	step := imaStepTable[s.index]
+	diff := sample - s.pred
+	var code byte
+	if diff < 0 {
+		code = 8
+		diff = -diff
+	}
+	// Successive-approximation of diff/step in 3 bits.
+	var delta int
+	if diff >= step {
+		code |= 4
+		diff -= step
+		delta += step
+	}
+	step >>= 1
+	if diff >= step {
+		code |= 2
+		diff -= step
+		delta += step
+	}
+	step >>= 1
+	if diff >= step {
+		code |= 1
+		delta += step
+	}
+	delta += imaStepTable[s.index] >> 3
+	if code&8 != 0 {
+		s.pred -= delta
+	} else {
+		s.pred += delta
+	}
+	s.pred = clampInt(s.pred, -32768, 32767)
+	s.index = clampInt(s.index+imaIndexTable[code], 0, len(imaStepTable)-1)
+	return code
+}
+
+func (s *adpcmState) decodeSample(code byte) int {
+	step := imaStepTable[s.index]
+	delta := step >> 3
+	if code&4 != 0 {
+		delta += step
+	}
+	if code&2 != 0 {
+		delta += step >> 1
+	}
+	if code&1 != 0 {
+		delta += step >> 2
+	}
+	if code&8 != 0 {
+		s.pred -= delta
+	} else {
+		s.pred += delta
+	}
+	s.pred = clampInt(s.pred, -32768, 32767)
+	s.index = clampInt(s.index+imaIndexTable[code], 0, len(imaStepTable)-1)
+	return s.pred
+}
+
+// ADPCM couples a float↔int16 scaling with the IMA codec.
+type ADPCM struct {
+	// Scale maps floats to the int16 domain: int16 = float · Scale.
+	Scale float64
+}
+
+// NewADPCM picks a scale so the observed signal range uses most of the
+// int16 headroom.
+func NewADPCM(x []float64) ADPCM {
+	var peak float64
+	for _, v := range x {
+		if a := abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	return ADPCM{Scale: 30000 / peak}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Encode compresses x to 4 bits per sample (two samples per byte, odd tail
+// padded). The stream head stores the first sample (two bytes, predictor
+// seed) and the initial step-table index (one byte) calibrated to the
+// signal's typical step so short signals skip the adaptation transient.
+func (a ADPCM) Encode(x []float64) []byte {
+	if len(x) == 0 {
+		return nil
+	}
+	st := adpcmState{
+		pred:  int(clampf(x[0]*a.Scale, -32768, 32767)),
+		index: initialIndex(x, a.Scale),
+	}
+	out := []byte{byte(uint16(st.pred) >> 8), byte(uint16(st.pred)), byte(st.index)}
+	var nibblePending bool
+	var hi byte
+	for _, v := range x[1:] {
+		code := st.encodeSample(int(clampf(v*a.Scale, -32768, 32767)))
+		if !nibblePending {
+			hi = code << 4
+			nibblePending = true
+		} else {
+			out = append(out, hi|code)
+			nibblePending = false
+		}
+	}
+	if nibblePending {
+		out = append(out, hi)
+	}
+	return out
+}
+
+func clampf(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// initialIndex picks the step-table index whose step best matches the
+// signal's mean absolute first difference (in the int16 domain), so the
+// codec starts adapted instead of climbing from step 7.
+func initialIndex(x []float64, scale float64) int {
+	if len(x) < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 1; i < len(x); i++ {
+		d := (x[i] - x[i-1]) * scale
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	target := int(sum / float64(len(x)-1))
+	idx := 0
+	for idx < len(imaStepTable)-1 && imaStepTable[idx] < target {
+		idx++
+	}
+	return idx
+}
+
+// Decode reconstructs n samples from an Encode stream.
+func (a ADPCM) Decode(enc []byte, n int) []float64 {
+	if n == 0 || len(enc) < 3 {
+		return nil
+	}
+	first := int(int16(uint16(enc[0])<<8 | uint16(enc[1])))
+	st := adpcmState{pred: first, index: clampInt(int(enc[2]), 0, len(imaStepTable)-1)}
+	out := make([]float64, 0, n)
+	out = append(out, float64(first)/a.Scale)
+	codes := enc[3:]
+	for i := 0; len(out) < n; i++ {
+		byteIdx := i / 2
+		if byteIdx >= len(codes) {
+			break
+		}
+		var code byte
+		if i%2 == 0 {
+			code = codes[byteIdx] >> 4
+		} else {
+			code = codes[byteIdx] & 0x0f
+		}
+		out = append(out, float64(st.decodeSample(code))/a.Scale)
+	}
+	return out
+}
+
+// EncodedSize returns the ADPCM byte cost of an n-sample signal
+// (3 header bytes + one nibble per remaining sample).
+func EncodedSize(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return 3 + n/2
+}

@@ -1,0 +1,36 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzHuffmanRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 1, 1, 1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xff}, 300))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		enc := HuffmanEncode(data)
+		dec, err := HuffmanDecode(enc)
+		if err != nil {
+			t.Fatalf("decode own encoding: %v", err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(dec), len(data))
+		}
+	})
+}
+
+func FuzzHuffmanDecodeNeverPanics(f *testing.F) {
+	f.Add([]byte{5, 1, 2, 3})
+	f.Add(HuffmanEncode([]byte("seed")))
+	f.Fuzz(func(t *testing.T, garbage []byte) {
+		// Arbitrary input must produce an error or a result — never a
+		// panic or an unbounded allocation.
+		dec, err := HuffmanDecode(garbage)
+		if err == nil && len(dec) > 1<<24 {
+			t.Fatalf("suspicious decode of %d bytes from %d-byte input", len(dec), len(garbage))
+		}
+	})
+}

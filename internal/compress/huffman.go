@@ -1,0 +1,199 @@
+package compress
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Huffman implements canonical Huffman coding of byte streams. The encoded
+// form is self-describing: a 256-entry code-length table precedes the bit
+// stream, so Decode needs no side channel — the shape of a block
+// compressor, which is what the paper's sampling study compared against.
+
+type huffNode struct {
+	freq        int
+	sym         int // -1 for internal
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int            { return len(h) }
+func (h huffHeap) Less(i, j int) bool  { return h[i].freq < h[j].freq }
+func (h huffHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x interface{}) { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// codeLengths computes per-symbol Huffman code lengths from frequencies.
+func codeLengths(freq [256]int) [256]int {
+	var lengths [256]int
+	h := &huffHeap{}
+	for s, f := range freq {
+		if f > 0 {
+			heap.Push(h, &huffNode{freq: f, sym: s})
+		}
+	}
+	switch h.Len() {
+	case 0:
+		return lengths
+	case 1:
+		lengths[(*h)[0].sym] = 1
+		return lengths
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(h).(*huffNode)
+		b := heap.Pop(h).(*huffNode)
+		heap.Push(h, &huffNode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+	}
+	root := heap.Pop(h).(*huffNode)
+	var walk func(n *huffNode, depth int)
+	walk = func(n *huffNode, depth int) {
+		if n.sym >= 0 {
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes given code lengths.
+func canonicalCodes(lengths [256]int) [256]uint32 {
+	type sl struct{ sym, l int }
+	var syms []sl
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sl{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	var codes [256]uint32
+	code := uint32(0)
+	prevLen := 0
+	for _, e := range syms {
+		code <<= uint(e.l - prevLen)
+		codes[e.sym] = code
+		code++
+		prevLen = e.l
+	}
+	return codes
+}
+
+// HuffmanEncode compresses data. The output layout is:
+// uvarint(len(data)) | 256 bytes of code lengths | packed bit stream.
+func HuffmanEncode(data []byte) []byte {
+	var freq [256]int
+	for _, b := range data {
+		freq[b]++
+	}
+	lengths := codeLengths(freq)
+	codes := canonicalCodes(lengths)
+
+	out := binary.AppendUvarint(nil, uint64(len(data)))
+	for _, l := range lengths {
+		out = append(out, byte(l))
+	}
+	var acc uint64
+	var nbits uint
+	for _, b := range data {
+		l := uint(lengths[b])
+		acc = acc<<l | uint64(codes[b])
+		nbits += l
+		for nbits >= 8 {
+			nbits -= 8
+			out = append(out, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc<<(8-nbits)))
+	}
+	return out
+}
+
+// HuffmanDecode inverts HuffmanEncode.
+func HuffmanDecode(enc []byte) ([]byte, error) {
+	n, consumed := binary.Uvarint(enc)
+	if consumed <= 0 {
+		return nil, errors.New("compress: truncated huffman header")
+	}
+	enc = enc[consumed:]
+	if len(enc) < 256 {
+		return nil, errors.New("compress: truncated huffman length table")
+	}
+	var lengths [256]int
+	for s := 0; s < 256; s++ {
+		lengths[s] = int(enc[s])
+		if lengths[s] > 57 {
+			return nil, fmt.Errorf("compress: invalid code length %d", lengths[s])
+		}
+	}
+	enc = enc[256:]
+	codes := canonicalCodes(lengths)
+
+	// Build a decode map keyed by (length, code).
+	type key struct {
+		l int
+		c uint32
+	}
+	decode := make(map[key]byte)
+	maxLen := 0
+	for s := 0; s < 256; s++ {
+		if lengths[s] > 0 {
+			decode[key{lengths[s], codes[s]}] = byte(s)
+			if lengths[s] > maxLen {
+				maxLen = lengths[s]
+			}
+		}
+	}
+
+	out := make([]byte, 0, n)
+	var acc uint32
+	var accLen int
+	pos := 0
+	for uint64(len(out)) < n {
+		// Extend the accumulator until a code matches.
+		matched := false
+		for l := 1; l <= maxLen; l++ {
+			for accLen < l {
+				if pos >= len(enc) {
+					return nil, errors.New("compress: truncated huffman bit stream")
+				}
+				acc = acc<<8 | uint32(enc[pos])
+				accLen += 8
+				pos++
+			}
+			c := acc >> uint(accLen-l)
+			if sym, ok := decode[key{l, c}]; ok {
+				out = append(out, sym)
+				acc &= (1 << uint(accLen-l)) - 1
+				accLen -= l
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, errors.New("compress: invalid huffman code")
+		}
+	}
+	return out, nil
+}
+
+// HuffmanSize returns the compressed size in bytes without keeping the
+// output — the measurement the bandwidth experiments need.
+func HuffmanSize(data []byte) int { return len(HuffmanEncode(data)) }

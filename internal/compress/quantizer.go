@@ -1,0 +1,91 @@
+// Package compress implements the conventional compression baselines the
+// paper compares its sampling policies against (§3.1): block-based entropy
+// coding ("e.g., Unix zip software (based on Hoffman coding)") via a
+// canonical Huffman coder, uniform quantization, and an IMA-style ADPCM
+// codec ("Adaptive DPCM") — plus the composition of sampling with ADPCM the
+// follow-up study evaluated.
+package compress
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantizer maps floats in [Min, Max] onto unsigned integers of Bits bits.
+type Quantizer struct {
+	Min, Max float64
+	Bits     int
+}
+
+// NewQuantizer builds a quantizer for the given range and bit width
+// (1..16).
+func NewQuantizer(min, max float64, bits int) Quantizer {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("compress: quantizer bits %d out of [1,16]", bits))
+	}
+	if max <= min {
+		max = min + 1
+	}
+	return Quantizer{Min: min, Max: max, Bits: bits}
+}
+
+// QuantizerFor derives a quantizer spanning the observed range of x.
+func QuantizerFor(x []float64, bits int) Quantizer {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if len(x) == 0 {
+		lo, hi = 0, 1
+	}
+	return NewQuantizer(lo, hi, bits)
+}
+
+// Levels returns the number of quantization levels.
+func (q Quantizer) Levels() int { return 1 << uint(q.Bits) }
+
+// Quantize maps v to its level index, clamping out-of-range values.
+func (q Quantizer) Quantize(v float64) int {
+	n := q.Levels()
+	f := (v - q.Min) / (q.Max - q.Min)
+	i := int(math.Round(f * float64(n-1)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Dequantize maps a level index back to the centre of its cell.
+func (q Quantizer) Dequantize(i int) float64 {
+	n := q.Levels()
+	return q.Min + float64(i)/float64(n-1)*(q.Max-q.Min)
+}
+
+// Step returns the quantization step size.
+func (q Quantizer) Step() float64 { return (q.Max - q.Min) / float64(q.Levels()-1) }
+
+// QuantizeAll quantizes a signal to level indices.
+func (q Quantizer) QuantizeAll(x []float64) []int {
+	out := make([]int, len(x))
+	for i, v := range x {
+		out[i] = q.Quantize(v)
+	}
+	return out
+}
+
+// DequantizeAll reconstructs a signal from level indices.
+func (q Quantizer) DequantizeAll(levels []int) []float64 {
+	out := make([]float64, len(levels))
+	for i, l := range levels {
+		out[i] = q.Dequantize(l)
+	}
+	return out
+}

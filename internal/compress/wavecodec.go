@@ -1,0 +1,138 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"aims/internal/wavelet"
+)
+
+// WaveletCodec stores a sensor trace as its thresholded wavelet transform —
+// the storage format AIMS itself proposes (§3.1.1: "storing immersidata as
+// wavelets does not require any extra overhead of reverse transformation at
+// the query time"). Encoding keeps the smallest coefficient set holding the
+// configured energy fraction and serialises (position, float32 value)
+// pairs; decoding inverse-transforms back to the (padded) trace.
+type WaveletCodec struct {
+	Filter wavelet.Filter
+	// Energy is the fraction of transform energy to retain (default 0.999).
+	Energy float64
+}
+
+// NewWaveletCodec returns a codec with the given filter (db3 by default if
+// the zero Filter is passed) and energy target.
+func NewWaveletCodec(f wavelet.Filter, energy float64) WaveletCodec {
+	if f.Len() == 0 {
+		f = wavelet.D6
+	}
+	if energy <= 0 || energy > 1 {
+		energy = 0.999
+	}
+	return WaveletCodec{Filter: f, Energy: energy}
+}
+
+// Encode compresses x. The stream layout is:
+// uvarint(origLen) | uvarint(paddedLen) | uvarint(levels) | uvarint(k) |
+// k × (uvarint(position) | float32 value).
+func (c WaveletCodec) Encode(x []float64) []byte {
+	origLen := len(x)
+	padded := 1
+	for padded < origLen {
+		padded *= 2
+	}
+	if padded == 0 {
+		padded = 1
+	}
+	sig := make([]float64, padded)
+	copy(sig, x)
+	w, levels := wavelet.Transform(sig, c.Filter, -1)
+
+	// Keep the smallest prefix (by magnitude) reaching the energy target.
+	type cv struct {
+		pos int
+		v   float64
+	}
+	total := 0.0
+	coeffs := make([]cv, len(w))
+	for i, v := range w {
+		coeffs[i] = cv{i, v}
+		total += v * v
+	}
+	sort.Slice(coeffs, func(i, j int) bool {
+		ai, aj := math.Abs(coeffs[i].v), math.Abs(coeffs[j].v)
+		if ai != aj {
+			return ai > aj
+		}
+		return coeffs[i].pos < coeffs[j].pos
+	})
+	target := c.Energy * total
+	var kept float64
+	k := 0
+	for k < len(coeffs) && kept < target {
+		kept += coeffs[k].v * coeffs[k].v
+		k++
+	}
+
+	out := binary.AppendUvarint(nil, uint64(origLen))
+	out = binary.AppendUvarint(out, uint64(padded))
+	out = binary.AppendUvarint(out, uint64(levels))
+	out = binary.AppendUvarint(out, uint64(k))
+	for _, e := range coeffs[:k] {
+		out = binary.AppendUvarint(out, uint64(e.pos))
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(float32(e.v)))
+	}
+	return out
+}
+
+// Decode reconstructs the trace (original length) from an Encode stream.
+func (c WaveletCodec) Decode(enc []byte) ([]float64, error) {
+	read := func() (uint64, error) {
+		v, n := binary.Uvarint(enc)
+		if n <= 0 {
+			return 0, fmt.Errorf("compress: truncated wavelet stream")
+		}
+		enc = enc[n:]
+		return v, nil
+	}
+	origLen, err := read()
+	if err != nil {
+		return nil, err
+	}
+	padded, err := read()
+	if err != nil {
+		return nil, err
+	}
+	levels, err := read()
+	if err != nil {
+		return nil, err
+	}
+	k, err := read()
+	if err != nil {
+		return nil, err
+	}
+	if padded == 0 || padded&(padded-1) != 0 || origLen > padded || padded > 1<<28 {
+		return nil, fmt.Errorf("compress: implausible wavelet stream header")
+	}
+	if k > padded {
+		return nil, fmt.Errorf("compress: coefficient count %d exceeds signal %d", k, padded)
+	}
+	w := make([]float64, padded)
+	for i := uint64(0); i < k; i++ {
+		pos, err := read()
+		if err != nil {
+			return nil, err
+		}
+		if pos >= padded {
+			return nil, fmt.Errorf("compress: coefficient position %d out of range", pos)
+		}
+		if len(enc) < 4 {
+			return nil, fmt.Errorf("compress: truncated coefficient value")
+		}
+		w[pos] = float64(math.Float32frombits(binary.LittleEndian.Uint32(enc)))
+		enc = enc[4:]
+	}
+	sig := wavelet.Inverse(w, c.Filter, int(levels))
+	return sig[:origLen], nil
+}

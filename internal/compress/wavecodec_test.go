@@ -1,0 +1,107 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aims/internal/wavelet"
+)
+
+func smoothTrace(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		t := float64(i) / 100
+		x[i] = 12*math.Sin(2*math.Pi*1.5*t) + 5*math.Sin(2*math.Pi*4*t+1)
+	}
+	return x
+}
+
+func TestWaveletCodecRoundTripAccuracy(t *testing.T) {
+	x := smoothTrace(3000)
+	c := NewWaveletCodec(wavelet.D6, 0.9999)
+	enc := c.Encode(x)
+	dec, err := c.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(x) {
+		t.Fatalf("decoded %d samples", len(dec))
+	}
+	var mse, power float64
+	for i := range x {
+		d := dec[i] - x[i]
+		mse += d * d
+		power += x[i] * x[i]
+	}
+	if mse/power > 1e-3 {
+		t.Fatalf("relative error %v", mse/power)
+	}
+	// Smooth traces must compress well below raw float64 size (the padding
+	// to 4096 and the 99.99 % energy target keep some boundary detail).
+	if len(enc) > len(x)*8/3 {
+		t.Fatalf("encoded %d bytes for %d raw", len(enc), len(x)*8)
+	}
+}
+
+func TestWaveletCodecEnergyKnob(t *testing.T) {
+	x := smoothTrace(2048)
+	loose := NewWaveletCodec(wavelet.D6, 0.9).Encode(x)
+	tight := NewWaveletCodec(wavelet.D6, 0.99999).Encode(x)
+	if len(loose) >= len(tight) {
+		t.Fatalf("energy knob inverted: %d vs %d", len(loose), len(tight))
+	}
+}
+
+func TestWaveletCodecDefaults(t *testing.T) {
+	c := NewWaveletCodec(wavelet.Filter{}, -1)
+	if c.Filter.Name != "db3" || c.Energy != 0.999 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}
+
+func TestWaveletCodecNonPowerOfTwoAndEdges(t *testing.T) {
+	for _, n := range []int{1, 2, 100, 1000} {
+		x := smoothTrace(n)
+		c := NewWaveletCodec(wavelet.Haar, 0.999)
+		dec, err := c.Decode(c.Encode(x))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(dec) != n {
+			t.Fatalf("n=%d: decoded %d", n, len(dec))
+		}
+	}
+}
+
+func TestWaveletCodecRejectsGarbage(t *testing.T) {
+	c := NewWaveletCodec(wavelet.D6, 0.999)
+	for _, garbage := range [][]byte{{}, {1}, {200, 200, 200}, c.Encode(smoothTrace(64))[:5]} {
+		if _, err := c.Decode(garbage); err == nil {
+			t.Errorf("garbage %v accepted", garbage)
+		}
+	}
+}
+
+func TestWaveletCodecNoisySignalDegradesGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := smoothTrace(2048)
+	for i := range x {
+		x[i] += 0.5 * rng.NormFloat64()
+	}
+	c := NewWaveletCodec(wavelet.D6, 0.99)
+	dec, err := c.Decode(c.Encode(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mse, power float64
+	for i := range x {
+		d := dec[i] - x[i]
+		mse += d * d
+		power += x[i] * x[i]
+	}
+	// 99 % energy ⇒ ≤ ~1 % squared error by construction.
+	if mse/power > 0.02 {
+		t.Fatalf("relative error %v", mse/power)
+	}
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aims/internal/sensors"
+	"aims/internal/stream"
+	"aims/internal/svdstream"
+	"aims/internal/synth"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	s := New(Config{})
+	cfg := s.Config()
+	if cfg.DeviceRate != 100 || cfg.TimeBuckets != 512 || cfg.ValueBins != 128 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}
+
+func TestAcquireCollectsAllFrames(t *testing.T) {
+	s := New(Config{})
+	dev := sensors.NewDevice(sensors.GloveSpecs(), sensors.DefaultClock, 1, 3)
+	src := &stream.FuncSource{Rate: sensors.DefaultClock, N: 700, Fn: dev.Frame}
+	frames, stats := s.Acquire(src)
+	if len(frames) != 700 || stats.Stored != 700 || stats.Dropped != 0 {
+		t.Fatalf("acquired %d frames, stats %+v", len(frames), stats)
+	}
+	if len(frames[0]) != 28 {
+		t.Fatalf("frame width %d", len(frames[0]))
+	}
+}
+
+// syntheticFrames builds a deterministic 4-channel recording with known
+// statistics: channel 0 constant, channel 1 a ramp, channels 2-3
+// correlated noise.
+func syntheticFrames(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(5))
+	frames := make([][]float64, n)
+	for i := range frames {
+		shared := rng.NormFloat64()
+		frames[i] = []float64{
+			5,
+			float64(i) / float64(n),
+			shared + 0.1*rng.NormFloat64(),
+			shared + 0.1*rng.NormFloat64(),
+		}
+	}
+	return frames
+}
+
+func TestBuildStoreAndQueries(t *testing.T) {
+	s := New(Config{TimeBuckets: 64, ValueBins: 64, DeviceRate: 100})
+	frames := syntheticFrames(2000)
+	st, err := s.BuildStore(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := 2000.0 / 100
+
+	// Counts: every channel has one sample per tick.
+	n, err := st.CountSamples(0, 0, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n-2000) > 1e-6 {
+		t.Fatalf("count = %v, want 2000", n)
+	}
+
+	// Constant channel averages to its value (within a quantisation step).
+	avg, ok, err := st.AverageValue(0, 0, dur)
+	if err != nil || !ok {
+		t.Fatalf("AverageValue: %v %v", ok, err)
+	}
+	if math.Abs(avg-5) > 0.2 {
+		t.Fatalf("avg = %v, want ≈5", avg)
+	}
+
+	// Ramp channel: first half averages ≈0.25, second ≈0.75.
+	avgLo, _, err := st.AverageValue(1, 0, dur/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgHi, _, err := st.AverageValue(1, dur/2, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avgLo-0.25) > 0.06 || math.Abs(avgHi-0.75) > 0.06 {
+		t.Fatalf("ramp halves: %v, %v", avgLo, avgHi)
+	}
+
+	// Variance of the constant channel ≈ 0; of the ramp ≈ 1/12.
+	v0, _, err := st.VarianceValue(0, 0, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0 > 0.01 {
+		t.Fatalf("constant variance = %v", v0)
+	}
+	v1, _, err := st.VarianceValue(1, 0, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v1-1.0/12) > 0.02 {
+		t.Fatalf("ramp variance = %v, want ≈%v", v1, 1.0/12)
+	}
+}
+
+func TestApproximateCountWithinBound(t *testing.T) {
+	s := New(Config{TimeBuckets: 64, ValueBins: 64})
+	st, err := s.BuildStore(syntheticFrames(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := st.CountSamples(2, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, bound, err := st.ApproximateCount(2, 1, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-exact) > bound+1e-6 {
+		t.Fatalf("estimate %v vs exact %v outside bound %v", est, exact, bound)
+	}
+}
+
+func TestStoreRejectsBadChannel(t *testing.T) {
+	s := New(Config{TimeBuckets: 32, ValueBins: 32})
+	st, err := s.BuildStore(syntheticFrames(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.CountSamples(99, 0, 1); err == nil {
+		t.Fatal("bad channel accepted")
+	}
+}
+
+func TestBuildStoreEmptyInput(t *testing.T) {
+	if _, err := New(Config{}).BuildStore(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestAppendFrameMatchesBatchBuild(t *testing.T) {
+	s := New(Config{TimeBuckets: 32, ValueBins: 32})
+	frames := syntheticFrames(300)
+
+	batch, err := s.BuildStore(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Incremental: build from the first 200 frames, append the rest.
+	inc, err := s.BuildStore(frames[:200])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantisers differ if the tail extends the observed range; keep the
+	// comparison fair by checking only that appended counts line up.
+	for i := 200; i < 300; i++ {
+		if err := inc.AppendFrame(i, frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nBatch, err := batch.CountSamples(1, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nInc, err := inc.CountSamples(1, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nBatch-300) > 1e-6 || math.Abs(nInc-300) > 1e-6 {
+		t.Fatalf("counts: batch %v inc %v, want 300", nBatch, nInc)
+	}
+	// Append validation.
+	if err := inc.AppendFrame(0, []float64{1}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	// Ticks beyond the horizon clamp rather than fail.
+	if err := inc.AppendFrame(1<<20, frames[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueTimeSeries(t *testing.T) {
+	s := New(Config{TimeBuckets: 64, ValueBins: 64})
+	st, err := s.BuildStore(syntheticFrames(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := 2000.0 / 100
+	avgs, counts, err := st.ValueTimeSeries(1, 0, dur, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avgs) != 8 || len(counts) != 8 {
+		t.Fatalf("shape %d/%d", len(avgs), len(counts))
+	}
+	// The ramp channel's per-window averages ascend roughly as (k+0.5)/8;
+	// the window widths vary slightly because 63 time buckets split into 8.
+	for k := 0; k < 8; k++ {
+		want := (float64(k) + 0.5) / 8
+		if math.Abs(avgs[k]-want) > 0.07 {
+			t.Fatalf("window %d avg %v, want ≈%v (%v)", k, avgs[k], want, avgs)
+		}
+		if counts[k] < 180 || counts[k] > 320 {
+			t.Fatalf("window %d count %v (%v)", k, counts[k], counts)
+		}
+		if k > 0 && avgs[k] <= avgs[k-1] {
+			t.Fatalf("averages not ascending: %v", avgs)
+		}
+	}
+	// The windows partition the box: counts sum to the box total.
+	total, err := st.CountSamples(1, 0, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, c := range counts {
+		sum += c
+	}
+	if math.Abs(sum-total) > 1e-6 {
+		t.Fatalf("window counts %v != box total %v", sum, total)
+	}
+	if _, _, err := st.ValueTimeSeries(99, 0, 1, 4); err == nil {
+		t.Fatal("bad channel accepted")
+	}
+}
+
+func TestValueHistogram(t *testing.T) {
+	s := New(Config{TimeBuckets: 64, ValueBins: 64})
+	frames := syntheticFrames(2000)
+	st, err := s.BuildStore(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := 2000.0 / 100
+	counts, mids, err := st.ValueHistogram(1, 0, dur, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 8 || len(mids) != 8 {
+		t.Fatalf("histogram shape %d/%d", len(counts), len(mids))
+	}
+	// The ramp channel is uniform: every bucket holds ≈ 2000/8 samples.
+	var total float64
+	for _, c := range counts {
+		total += c
+		if c < 150 || c > 350 {
+			t.Fatalf("uniform ramp bucket count %v, want ≈250 (%v)", c, counts)
+		}
+	}
+	if math.Abs(total-2000) > 1e-6 {
+		t.Fatalf("histogram mass %v", total)
+	}
+	// Midpoints ascend through the value range.
+	for i := 1; i < len(mids); i++ {
+		if mids[i] <= mids[i-1] {
+			t.Fatalf("midpoints not ascending: %v", mids)
+		}
+	}
+	// Constant channel: all mass in the single bucket containing 5.
+	counts0, mids0, err := st.ValueHistogram(0, 0, dur, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonzero int
+	for i, c := range counts0 {
+		if c > 0 {
+			nonzero++
+			_ = mids0[i]
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("constant channel spread across %d buckets (%v)", nonzero, counts0)
+	}
+	if _, _, err := st.ValueHistogram(99, 0, 1, 4); err == nil {
+		t.Fatal("bad channel accepted")
+	}
+}
+
+func TestBuildTemplatesAndRecognizerEndToEnd(t *testing.T) {
+	sys := New(Config{})
+	vocab := synth.Vocabulary(4, 21)
+	rng := rand.New(rand.NewSource(22))
+	refs := make(map[string][][][]float64, len(vocab))
+	for _, sign := range vocab {
+		refs[sign.Name] = [][][]float64{
+			sign.Render(0.8, 0.1, rng),
+			sign.Render(1.0, 0.1, rng),
+			sign.Render(1.2, 0.1, rng),
+		}
+	}
+	templates := BuildTemplates(refs)
+	if len(templates) != 4 {
+		t.Fatalf("templates = %d", len(templates))
+	}
+
+	frames, segs := synth.SignStream(vocab, synth.StreamOptions{
+		Count: 8, Noise: 0.4, DurJitter: 0.25, GapTicks: 50, Seed: 23,
+	})
+	r := sys.NewRecognizer(templates, frames[:20], synth.SignDims)
+	var dets []svdstream.Detection
+	for tick, fr := range frames {
+		if d := r.Feed(tick, fr); d != nil {
+			dets = append(dets, *d)
+		}
+	}
+	if d := r.Flush(len(frames)); d != nil {
+		dets = append(dets, *d)
+	}
+	if len(dets) < len(segs)*7/10 {
+		t.Fatalf("detected %d motions of %d", len(dets), len(segs))
+	}
+}
+
+func TestSpeedSeriesAndCovariance(t *testing.T) {
+	frames := [][]float64{{0, 0, 0, 1}, {3, 4, 0, 2}, {3, 4, 12, 3}}
+	sp := SpeedSeries(frames, 0, 1, 2, 10)
+	if len(sp) != 2 {
+		t.Fatalf("speed length %d", len(sp))
+	}
+	if math.Abs(sp[0]-50) > 1e-9 { // dist 5 · rate 10
+		t.Fatalf("speed[0] = %v", sp[0])
+	}
+	if math.Abs(sp[1]-120) > 1e-9 {
+		t.Fatalf("speed[1] = %v", sp[1])
+	}
+	if got := SpeedSeries(frames[:1], 0, 1, 2, 10); got != nil {
+		t.Fatal("short input")
+	}
+	// Covariance of a channel with itself is its variance.
+	c := CovarianceOfChannels(frames, 3, 3)
+	if math.Abs(c-2.0/3) > 1e-9 {
+		t.Fatalf("cov = %v", c)
+	}
+}

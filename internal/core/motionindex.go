@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"aims/internal/compress"
+	"aims/internal/propolyne"
+	"aims/internal/svdstream"
+	"aims/internal/vec"
+)
+
+// MotionIndex realises the full §3.4.1 port: the SVD similarity measure
+// evaluated over *stored* immersidata entirely through ProPolyne
+// range-sums. For each pair of indexed channels it keeps a 3-D frequency
+// cube (time-bucket, value_i, value_j); the second-moment matrix of ANY
+// historical time window is then a batch of degree-2 polynomial range-sums
+// in the wavelet domain, and its eigen-decomposition is the window's
+// motion signature. This turns "which sign occurred between t0 and t1?"
+// into an off-line query — no raw frames needed after ingest.
+type MotionIndex struct {
+	Channels    []int
+	TimeBuckets int
+	Bins        int
+	Rate        float64
+
+	ticksPerBucket int
+	quant          []compress.Quantizer
+	// engines[k] is the pair (i,j) engine with k enumerating i ≤ j.
+	engines []*propolyne.Engine
+	pairs   [][2]int
+}
+
+// MotionIndexConfig sizes the index.
+type MotionIndexConfig struct {
+	// Channels to index (the similarity space); keep it small — storage is
+	// quadratic in len(Channels). Required.
+	Channels []int
+	// TimeBuckets (power of two, default 256) and Bins (power of two,
+	// default 32) set the cube resolution.
+	TimeBuckets, Bins int
+	// Rate is the device clock (default 100 Hz).
+	Rate float64
+}
+
+// NewMotionIndex ingests a time-major frame recording into the index.
+func NewMotionIndex(frames [][]float64, cfg MotionIndexConfig) (*MotionIndex, error) {
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("core: no frames to index")
+	}
+	if len(cfg.Channels) == 0 {
+		return nil, fmt.Errorf("core: MotionIndexConfig.Channels required")
+	}
+	if cfg.TimeBuckets <= 0 {
+		cfg.TimeBuckets = 256
+	}
+	if cfg.Bins <= 0 {
+		cfg.Bins = 32
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 100
+	}
+	width := len(frames[0])
+	for _, c := range cfg.Channels {
+		if c < 0 || c >= width {
+			return nil, fmt.Errorf("core: channel %d outside frame width %d", c, width)
+		}
+	}
+
+	mi := &MotionIndex{
+		Channels:    append([]int(nil), cfg.Channels...),
+		TimeBuckets: cfg.TimeBuckets,
+		Bins:        cfg.Bins,
+		Rate:        cfg.Rate,
+	}
+	mi.ticksPerBucket = (len(frames) + cfg.TimeBuckets - 1) / cfg.TimeBuckets
+	if mi.ticksPerBucket < 1 {
+		mi.ticksPerBucket = 1
+	}
+
+	bits := log2(cfg.Bins)
+	mi.quant = make([]compress.Quantizer, len(mi.Channels))
+	cols := make([][]float64, len(mi.Channels))
+	for k, c := range mi.Channels {
+		col := make([]float64, len(frames))
+		for t := range frames {
+			col[t] = frames[t][c]
+		}
+		cols[k] = col
+		mi.quant[k] = compress.QuantizerFor(col, bits)
+	}
+
+	// One cube per unordered pair (including i == j for the diagonal).
+	dims := []int{cfg.TimeBuckets, cfg.Bins, cfg.Bins}
+	for i := 0; i < len(mi.Channels); i++ {
+		for j := i; j < len(mi.Channels); j++ {
+			cube := make([]float64, dims[0]*dims[1]*dims[2])
+			for t := range frames {
+				tb := t / mi.ticksPerBucket
+				if tb >= cfg.TimeBuckets {
+					tb = cfg.TimeBuckets - 1
+				}
+				bi := mi.quant[i].Quantize(cols[i][t])
+				bj := mi.quant[j].Quantize(cols[j][t])
+				cube[(tb*cfg.Bins+bi)*cfg.Bins+bj]++
+			}
+			eng, err := propolyne.New(cube, dims, 2)
+			if err != nil {
+				return nil, err
+			}
+			mi.engines = append(mi.engines, eng)
+			mi.pairs = append(mi.pairs, [2]int{i, j})
+		}
+	}
+	return mi, nil
+}
+
+// AppendFrame ingests one frame into the index incrementally: each pair
+// cube receives a single tuple, updated through the sparse wavelet delta —
+// the index stays query-able while the stream runs.
+func (mi *MotionIndex) AppendFrame(tick int, frame []float64) error {
+	tb := tick / mi.ticksPerBucket
+	if tb >= mi.TimeBuckets {
+		tb = mi.TimeBuckets - 1
+	}
+	bins := make([]int, len(mi.Channels))
+	for k, c := range mi.Channels {
+		if c >= len(frame) {
+			return fmt.Errorf("core: frame width %d lacks channel %d", len(frame), c)
+		}
+		bins[k] = mi.quant[k].Quantize(frame[c])
+	}
+	for k, pair := range mi.pairs {
+		if err := mi.engines[k].Append([]int{tb, bins[pair[0]], bins[pair[1]]}, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MomentMatrix returns the uncentered second-moment matrix (in quantised
+// bin units) of the indexed channels over [t0, t1] seconds, computed
+// exclusively from wavelet-domain range-sums, plus the window's sample
+// count.
+func (mi *MotionIndex) MomentMatrix(t0, t1 float64) ([][]float64, float64, error) {
+	tlo := int(t0 * mi.Rate / float64(mi.ticksPerBucket))
+	thi := int(t1 * mi.Rate / float64(mi.ticksPerBucket))
+	if tlo < 0 {
+		tlo = 0
+	}
+	if thi >= mi.TimeBuckets {
+		thi = mi.TimeBuckets - 1
+	}
+	if thi < tlo {
+		thi = tlo
+	}
+	d := len(mi.Channels)
+	out := make([][]float64, d)
+	for i := range out {
+		out[i] = make([]float64, d)
+	}
+	var count float64
+	for k, pair := range mi.pairs {
+		e := mi.engines[k]
+		q := propolyne.Query{
+			Lo:    []int{tlo, 0, 0},
+			Hi:    []int{thi, mi.Bins - 1, mi.Bins - 1},
+			Polys: []vec.Poly{nil, {0, 1}, {0, 1}},
+		}
+		if pair[0] == pair[1] {
+			// Diagonal: Σ bin², evaluated on the (time, bin_i, bin_i) cube
+			// where both value axes carry the same channel.
+			q.Polys = []vec.Poly{nil, {0, 0, 1}, nil}
+		}
+		v, _, err := e.Exact(q)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[pair[0]][pair[1]] = v
+		out[pair[1]][pair[0]] = v
+		if k == 0 {
+			n, err := e.Count(propolyne.Box{Lo: q.Lo, Hi: q.Hi})
+			if err != nil {
+				return nil, 0, err
+			}
+			count = n
+		}
+	}
+	return out, count, nil
+}
+
+// SignatureBetween returns the SVD motion signature of the window — the
+// §3.4.1 similarity input, derived without touching raw frames.
+func (mi *MotionIndex) SignatureBetween(t0, t1 float64) (svdstream.Signature, error) {
+	m, _, err := mi.MomentMatrix(t0, t1)
+	if err != nil {
+		return svdstream.Signature{}, err
+	}
+	return svdstream.SignatureFromMoments(m), nil
+}
+
+// QuantizeFrames maps raw frames onto the index's bin grid for the indexed
+// channels — the ground-truth comparator used by tests and for building
+// templates in the same quantised space.
+func (mi *MotionIndex) QuantizeFrames(frames [][]float64) [][]float64 {
+	out := make([][]float64, len(frames))
+	for t, fr := range frames {
+		q := make([]float64, len(mi.Channels))
+		for k, c := range mi.Channels {
+			q[k] = float64(mi.quant[k].Quantize(fr[c]))
+		}
+		out[t] = q
+	}
+	return out
+}
+
+// NearestSignature returns the best-matching named template for the
+// historical window, with its similarity.
+func (mi *MotionIndex) NearestSignature(t0, t1 float64, templates map[string]svdstream.Signature, topK int) (string, float64, error) {
+	sig, err := mi.SignatureBetween(t0, t1)
+	if err != nil {
+		return "", 0, err
+	}
+	best, bestV := "", -1.0
+	for name, t := range templates {
+		v := svdstream.SimilarityTopK(sig, t, topK)
+		if v > bestV || (v == bestV && name < best) {
+			best, bestV = name, v
+		}
+	}
+	return best, bestV, nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"aims/internal/compress"
+	"aims/internal/propolyne"
+)
+
+// Store persistence: the durable form of a session is its transformed cube
+// plus the quantiser metadata needed to decode value-space answers —
+// exactly what the paper's prototype kept as BLOBs in Teradata.
+
+var storeMagic = [8]byte{'A', 'I', 'M', 'S', 'S', 'T', 'O', '1'}
+
+// WriteTo serialises the store (metadata header + engine blob).
+func (st *Store) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	for _, v := range []interface{}{
+		storeMagic,
+		uint32(st.Channels),
+		uint32(st.TimeBuckets),
+		uint32(st.ValueBins),
+		uint32(st.TicksPerBucket),
+		math.Float64bits(st.Rate),
+	} {
+		if err := write(v); err != nil {
+			return n, err
+		}
+	}
+	for _, q := range st.quant {
+		for _, v := range []interface{}{
+			math.Float64bits(q.Min), math.Float64bits(q.Max), uint32(q.Bits),
+		} {
+			if err := write(v); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	en, err := st.Engine.WriteTo(w)
+	return n + en, err
+}
+
+// ReadStore deserialises a store written by WriteTo.
+func ReadStore(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("core: read magic: %w", err)
+	}
+	if magic != storeMagic {
+		return nil, fmt.Errorf("core: bad store magic %q", magic[:])
+	}
+	var channels, timeBuckets, valueBins, ticksPerBucket uint32
+	var rateBits uint64
+	for _, p := range []interface{}{&channels, &timeBuckets, &valueBins, &ticksPerBucket, &rateBits} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if channels == 0 || channels > 4096 {
+		return nil, fmt.Errorf("core: implausible channel count %d", channels)
+	}
+	st := &Store{
+		Channels:       int(channels),
+		TimeBuckets:    int(timeBuckets),
+		ValueBins:      int(valueBins),
+		TicksPerBucket: int(ticksPerBucket),
+		Rate:           math.Float64frombits(rateBits),
+		quant:          make([]compress.Quantizer, channels),
+	}
+	for c := range st.quant {
+		var minBits, maxBits uint64
+		var bits uint32
+		for _, p := range []interface{}{&minBits, &maxBits, &bits} {
+			if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+				return nil, err
+			}
+		}
+		if bits < 1 || bits > 16 {
+			return nil, fmt.Errorf("core: implausible quantiser bits %d", bits)
+		}
+		st.quant[c] = compress.Quantizer{
+			Min:  math.Float64frombits(minBits),
+			Max:  math.Float64frombits(maxBits),
+			Bits: int(bits),
+		}
+	}
+	eng, err := propolyne.ReadEngine(br)
+	if err != nil {
+		return nil, err
+	}
+	st.Engine = eng
+	return st, nil
+}
+
+// Save writes the store to a file.
+func (st *Store) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := st.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadStore reads a store saved with Save.
+func LoadStore(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadStore(f)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	s := New(Config{TimeBuckets: 64, ValueBins: 64})
+	st, err := s.BuildStore(syntheticFrames(1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "session.aims")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if back.Channels != st.Channels || back.TimeBuckets != st.TimeBuckets ||
+		back.ValueBins != st.ValueBins || back.TicksPerBucket != st.TicksPerBucket ||
+		back.Rate != st.Rate {
+		t.Fatalf("metadata drift: %+v vs %+v", back, st)
+	}
+
+	// Every query type answers identically.
+	dur := 15.0
+	n1, _ := st.CountSamples(2, 1, dur)
+	n2, err := back.CountSamples(2, 1, dur)
+	if err != nil || math.Abs(n1-n2) > 1e-9 {
+		t.Fatalf("count drift: %v vs %v (%v)", n1, n2, err)
+	}
+	a1, _, _ := st.AverageValue(1, 0, dur)
+	a2, ok, err := back.AverageValue(1, 0, dur)
+	if err != nil || !ok || math.Abs(a1-a2) > 1e-9 {
+		t.Fatalf("average drift: %v vs %v", a1, a2)
+	}
+	v1, _, _ := st.VarianceValue(3, 0, dur)
+	v2, _, err := back.VarianceValue(3, 0, dur)
+	if err != nil || math.Abs(v1-v2) > 1e-9 {
+		t.Fatalf("variance drift: %v vs %v", v1, v2)
+	}
+	h1, _, _ := st.ValueHistogram(1, 0, dur, 8)
+	h2, _, err := back.ValueHistogram(1, 0, dur, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h1 {
+		if math.Abs(h1[i]-h2[i]) > 1e-9 {
+			t.Fatalf("histogram drift at %d", i)
+		}
+	}
+	// The restored store keeps ingesting.
+	if err := back.AppendFrame(1501, []float64{5, 0.5, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadStoreRejectsCorruption(t *testing.T) {
+	s := New(Config{TimeBuckets: 32, ValueBins: 32})
+	st, err := s.BuildStore(syntheticFrames(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("WRONGMAG"), good[8:]...),
+		"truncated": good[:len(good)/2],
+	} {
+		if _, err := ReadStore(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestLoadStoreMissingFile(t *testing.T) {
+	if _, err := LoadStore(filepath.Join(t.TempDir(), "nope.aims")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,219 @@
+// Package datacube provides the relational substrate under ProPolyne: a
+// tuple store with a multidimensional schema, the dense frequency cube
+// ProPolyne transforms (every attribute — measures included — is treated as
+// a dimension, §3.3), naive scan evaluation as ground truth, relational
+// selection/aggregation operators for the hybrid engine, and a prefix-sum
+// cube as the classical exact-MOLAP baseline.
+package datacube
+
+import (
+	"fmt"
+
+	"aims/internal/vec"
+)
+
+// Schema names the dimensions of a relation and fixes their (power-of-two)
+// domain sizes.
+type Schema struct {
+	Names []string
+	Sizes []int
+}
+
+// Dims returns the domain sizes.
+func (s Schema) Dims() []int { return s.Sizes }
+
+// Arity returns the number of dimensions.
+func (s Schema) Arity() int { return len(s.Sizes) }
+
+// Size returns the number of cells of the dense cube.
+func (s Schema) Size() int {
+	n := 1
+	for _, d := range s.Sizes {
+		n *= d
+	}
+	return n
+}
+
+// Validate checks that a tuple lies inside the schema's domain.
+func (s Schema) Validate(t []int) error {
+	if len(t) != len(s.Sizes) {
+		return fmt.Errorf("datacube: tuple arity %d != %d", len(t), len(s.Sizes))
+	}
+	for d, v := range t {
+		if v < 0 || v >= s.Sizes[d] {
+			return fmt.Errorf("datacube: value %d outside [0,%d) in dimension %s",
+				v, s.Sizes[d], s.Names[d])
+		}
+	}
+	return nil
+}
+
+// Relation is an append-only tuple store — the immersidata log after
+// acquisition has quantised every attribute onto the schema grid.
+type Relation struct {
+	Schema Schema
+	Tuples [][]int
+}
+
+// NewRelation returns an empty relation over the schema.
+func NewRelation(schema Schema) *Relation {
+	return &Relation{Schema: schema}
+}
+
+// Append validates and stores a tuple.
+func (r *Relation) Append(t []int) error {
+	if err := r.Schema.Validate(t); err != nil {
+		return err
+	}
+	r.Tuples = append(r.Tuples, t)
+	return nil
+}
+
+// MustAppend panics on a bad tuple — for generators with known-valid data.
+func (r *Relation) MustAppend(t []int) {
+	if err := r.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// Cube materialises the dense frequency cube: cell x holds the number of
+// tuples at x.
+func (r *Relation) Cube() []float64 {
+	out := make([]float64, r.Schema.Size())
+	strides := stridesOf(r.Schema.Sizes)
+	for _, t := range r.Tuples {
+		off := 0
+		for d, v := range t {
+			off += v * strides[d]
+		}
+		out[off]++
+	}
+	return out
+}
+
+// RangeSum evaluates Σ over tuples in the box [lo, hi] of ∏_d poly[d](x_d)
+// by scanning the relation — the ground truth every engine is checked
+// against. A nil polys entry means the constant 1.
+func (r *Relation) RangeSum(lo, hi []int, polys []vec.Poly) float64 {
+	var sum float64
+	for _, t := range r.Tuples {
+		inside := true
+		for d, v := range t {
+			if v < lo[d] || v > hi[d] {
+				inside = false
+				break
+			}
+		}
+		if !inside {
+			continue
+		}
+		term := 1.0
+		for d, v := range t {
+			if d < len(polys) && polys[d] != nil {
+				term *= polys[d].Eval(float64(v))
+			}
+		}
+		sum += term
+	}
+	return sum
+}
+
+// Select returns the tuples inside the box [lo, hi] — the relational
+// selection operator the hybrid engine uses on standard dimensions.
+func (r *Relation) Select(lo, hi []int) [][]int {
+	var out [][]int
+	for _, t := range r.Tuples {
+		inside := true
+		for d, v := range t {
+			if v < lo[d] || v > hi[d] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// GroupByScan is the relational GROUP BY baseline: the box's range on dim
+// is split into `parts` buckets and each bucket's polynomial range-sum is
+// computed by scanning the relation once. It returns the per-bucket values
+// and the number of tuple visits (the scan's cost metric).
+func (r *Relation) GroupByScan(lo, hi []int, polys []vec.Poly, dim, parts int) ([]float64, int, error) {
+	if dim < 0 || dim >= r.Schema.Arity() {
+		return nil, 0, fmt.Errorf("datacube: group dimension %d out of range", dim)
+	}
+	width := hi[dim] - lo[dim] + 1
+	if parts <= 0 || parts > width {
+		return nil, 0, fmt.Errorf("datacube: %d parts for width %d", parts, width)
+	}
+	// Bucket boundaries follow the same near-equal partition as the
+	// wavelet-domain GROUP BY (bucket p starts at lo + p·width/parts), so
+	// results are directly comparable.
+	bucketOf := make([]int, width)
+	for p := 0; p < parts; p++ {
+		from := p * width / parts
+		to := (p+1)*width/parts - 1
+		for v := from; v <= to; v++ {
+			bucketOf[v] = p
+		}
+	}
+	out := make([]float64, parts)
+	visits := 0
+	for _, t := range r.Tuples {
+		visits++
+		inside := true
+		for d, v := range t {
+			if v < lo[d] || v > hi[d] {
+				inside = false
+				break
+			}
+		}
+		if !inside {
+			continue
+		}
+		bucket := bucketOf[t[dim]-lo[dim]]
+		term := 1.0
+		for d, v := range t {
+			if d < len(polys) && polys[d] != nil {
+				term *= polys[d].Eval(float64(v))
+			}
+		}
+		out[bucket] += term
+	}
+	return out, visits, nil
+}
+
+// CubeRangeSum evaluates the same polynomial range-sum directly on a dense
+// cube — ground truth for cube-level engines.
+func CubeRangeSum(cube []float64, dims []int, lo, hi []int, polys []vec.Poly) float64 {
+	strides := stridesOf(dims)
+	var rec func(d, off int, term float64) float64
+	rec = func(d, off int, term float64) float64 {
+		if d == len(dims) {
+			return cube[off] * term
+		}
+		var s float64
+		for v := lo[d]; v <= hi[d]; v++ {
+			t := term
+			if d < len(polys) && polys[d] != nil {
+				t *= polys[d].Eval(float64(v))
+			}
+			s += rec(d+1, off+v*strides[d], t)
+		}
+		return s
+	}
+	return rec(0, 0, 1)
+}
+
+func stridesOf(dims []int) []int {
+	st := make([]int, len(dims))
+	acc := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= dims[i]
+	}
+	return st
+}

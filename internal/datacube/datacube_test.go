@@ -1,0 +1,191 @@
+package datacube
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aims/internal/vec"
+)
+
+func testSchema() Schema {
+	return Schema{Names: []string{"a", "b"}, Sizes: []int{8, 16}}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := testSchema()
+	if s.Arity() != 2 || s.Size() != 128 {
+		t.Fatalf("arity %d size %d", s.Arity(), s.Size())
+	}
+	if err := s.Validate([]int{7, 15}); err != nil {
+		t.Fatalf("valid tuple rejected: %v", err)
+	}
+	if err := s.Validate([]int{8, 0}); err == nil {
+		t.Fatal("out-of-domain accepted")
+	}
+	if err := s.Validate([]int{1}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestRelationAppendAndCube(t *testing.T) {
+	r := NewRelation(testSchema())
+	r.MustAppend([]int{1, 2})
+	r.MustAppend([]int{1, 2})
+	r.MustAppend([]int{0, 15})
+	if err := r.Append([]int{-1, 0}); err == nil {
+		t.Fatal("bad tuple accepted")
+	}
+	cube := r.Cube()
+	if cube[1*16+2] != 2 {
+		t.Fatalf("cell (1,2) = %v", cube[1*16+2])
+	}
+	if cube[15] != 1 {
+		t.Fatalf("cell (0,15) = %v", cube[15])
+	}
+	var total float64
+	for _, v := range cube {
+		total += v
+	}
+	if total != 3 {
+		t.Fatalf("mass = %v", total)
+	}
+}
+
+func TestRangeSumCountAndPolynomial(t *testing.T) {
+	r := NewRelation(testSchema())
+	r.MustAppend([]int{1, 3})
+	r.MustAppend([]int{2, 5})
+	r.MustAppend([]int{7, 9})
+	lo, hi := []int{0, 0}, []int{3, 7}
+	if got := r.RangeSum(lo, hi, nil); got != 2 {
+		t.Fatalf("COUNT = %v", got)
+	}
+	// SUM over dimension b within the box: 3 + 5 = 8.
+	sum := r.RangeSum(lo, hi, []vec.Poly{nil, {0, 1}})
+	if sum != 8 {
+		t.Fatalf("SUM(b) = %v", sum)
+	}
+	// Degree-2: Σ b² = 9 + 25.
+	sq := r.RangeSum(lo, hi, []vec.Poly{nil, {0, 0, 1}})
+	if sq != 34 {
+		t.Fatalf("SUM(b²) = %v", sq)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := NewRelation(testSchema())
+	r.MustAppend([]int{1, 3})
+	r.MustAppend([]int{5, 3})
+	got := r.Select([]int{0, 0}, []int{2, 15})
+	if len(got) != 1 || got[0][0] != 1 {
+		t.Fatalf("Select = %v", got)
+	}
+}
+
+func TestCubeRangeSumMatchesRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := Schema{Names: []string{"x", "y"}, Sizes: []int{16, 8}}
+		r := NewRelation(s)
+		for i := 0; i < 200; i++ {
+			r.MustAppend([]int{rng.Intn(16), rng.Intn(8)})
+		}
+		lo := []int{rng.Intn(16), rng.Intn(8)}
+		hi := []int{lo[0] + rng.Intn(16-lo[0]), lo[1] + rng.Intn(8-lo[1])}
+		polys := []vec.Poly{{0, 1}, nil}
+		a := r.RangeSum(lo, hi, polys)
+		b := CubeRangeSum(r.Cube(), s.Sizes, lo, hi, polys)
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupByScan(t *testing.T) {
+	r := NewRelation(Schema{Names: []string{"a", "b"}, Sizes: []int{16, 8}})
+	r.MustAppend([]int{0, 1})
+	r.MustAppend([]int{3, 2})
+	r.MustAppend([]int{8, 3})
+	r.MustAppend([]int{15, 4})
+	lo, hi := []int{0, 0}, []int{15, 7}
+	vals, visits, err := r.GroupByScan(lo, hi, nil, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visits != 4 {
+		t.Fatalf("visits = %d", visits)
+	}
+	// Buckets on dim 0 of width 4: [0,3] has 2 tuples, [8,11] one, [12,15] one.
+	want := []float64{2, 0, 1, 1}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("GroupByScan = %v, want %v", vals, want)
+		}
+	}
+	// Polynomial measure: SUM(b) per bucket.
+	sums, _, err := r.GroupByScan(lo, hi, []vec.Poly{nil, {0, 1}}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[0] != 3 || sums[2] != 3 || sums[3] != 4 {
+		t.Fatalf("sums = %v", sums)
+	}
+	if _, _, err := r.GroupByScan(lo, hi, nil, 5, 2); err == nil {
+		t.Fatal("bad dim accepted")
+	}
+	if _, _, err := r.GroupByScan(lo, hi, nil, 0, 100); err == nil {
+		t.Fatal("too many parts accepted")
+	}
+}
+
+func TestPrefixSum2D(t *testing.T) {
+	dims := []int{4, 4}
+	cube := make([]float64, 16)
+	for i := range cube {
+		cube[i] = float64(i)
+	}
+	ps := NewPrefixSum(cube, dims)
+	// Sum over the whole cube = 0+1+...+15 = 120.
+	if got := ps.RangeCount([]int{0, 0}, []int{3, 3}); got != 120 {
+		t.Fatalf("full sum = %v", got)
+	}
+	// Single cell (2,3) = value 11.
+	if got := ps.RangeCount([]int{2, 3}, []int{2, 3}); got != 11 {
+		t.Fatalf("cell = %v", got)
+	}
+	if ps.Lookups() != 4 {
+		t.Fatalf("lookups = %d", ps.Lookups())
+	}
+}
+
+func TestPrefixSumMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{8, 4, 4}
+		cube := make([]float64, 128)
+		for i := range cube {
+			cube[i] = math.Floor(rng.Float64() * 5)
+		}
+		ps := NewPrefixSum(cube, dims)
+		lo := []int{rng.Intn(8), rng.Intn(4), rng.Intn(4)}
+		hi := []int{lo[0] + rng.Intn(8-lo[0]), lo[1] + rng.Intn(4-lo[1]), lo[2] + rng.Intn(4-lo[2])}
+		want := CubeRangeSum(cube, dims, lo, hi, nil)
+		got := ps.RangeCount(lo, hi)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixSumPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPrefixSum(make([]float64, 10), []int{4, 4})
+}

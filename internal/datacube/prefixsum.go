@@ -1,0 +1,93 @@
+package datacube
+
+import "fmt"
+
+// PrefixSum is the classical exact-MOLAP baseline: a d-dimensional prefix-
+// sum array answering COUNT/SUM range queries with 2^d lookups. It is the
+// "best known exact technique" ProPolyne's costs are compared against in
+// experiment E4.
+type PrefixSum struct {
+	Dims    []int
+	strides []int
+	data    []float64
+}
+
+// NewPrefixSum builds the prefix-sum array of a dense cube.
+func NewPrefixSum(cube []float64, dims []int) *PrefixSum {
+	size := 1
+	for _, d := range dims {
+		size *= d
+	}
+	if size != len(cube) {
+		panic(fmt.Sprintf("datacube: cube size %d != dims %v", len(cube), dims))
+	}
+	p := &PrefixSum{
+		Dims:    append([]int(nil), dims...),
+		strides: stridesOf(dims),
+		data:    append([]float64(nil), cube...),
+	}
+	// Running sums along each axis in turn.
+	for d := range dims {
+		stride := p.strides[d]
+		n := dims[d]
+		// Iterate over all lines along axis d.
+		outer := size / n
+		for o := 0; o < outer; o++ {
+			start := lineStart(o, d, dims, p.strides)
+			for k := 1; k < n; k++ {
+				p.data[start+k*stride] += p.data[start+(k-1)*stride]
+			}
+		}
+	}
+	return p
+}
+
+func lineStart(o, axis int, dims, strides []int) int {
+	start := 0
+	rem := o
+	for i := len(dims) - 1; i >= 0; i-- {
+		if i == axis {
+			continue
+		}
+		start += (rem % dims[i]) * strides[i]
+		rem /= dims[i]
+	}
+	return start
+}
+
+// at returns the prefix value at the (possibly -1) corner coordinates.
+func (p *PrefixSum) at(idx []int) float64 {
+	off := 0
+	for d, v := range idx {
+		if v < 0 {
+			return 0
+		}
+		off += v * p.strides[d]
+	}
+	return p.data[off]
+}
+
+// RangeCount returns Σ cube[x] over the box [lo, hi] using inclusion-
+// exclusion over the 2^d corners.
+func (p *PrefixSum) RangeCount(lo, hi []int) float64 {
+	d := len(p.Dims)
+	corner := make([]int, d)
+	var sum float64
+	for mask := 0; mask < 1<<uint(d); mask++ {
+		sign := 1.0
+		for i := 0; i < d; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				corner[i] = lo[i] - 1
+				sign = -sign
+			} else {
+				corner[i] = hi[i]
+			}
+		}
+		sum += sign * p.at(corner)
+	}
+	return sum
+}
+
+// Lookups returns the number of array accesses one query costs (2^d) —
+// the cost metric for E4.
+func (p *PrefixSum) Lookups() int { return 1 << uint(len(p.Dims)) }

@@ -1,0 +1,195 @@
+// Package disk implements the storage subsystem of AIMS (§3.2): a
+// simulated block device with exact I/O accounting, allocation strategies
+// that map wavelet coefficients to disk blocks — including the error-tree
+// tiling allocator designed to approach the paper's 1+lg B utilisation
+// bound — and a block store with query-importance-ordered progressive
+// fetching.
+package disk
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Allocation maps coefficient positions to block IDs. Implementations must
+// be total over [0, N).
+type Allocation interface {
+	// BlockOf returns the block holding coefficient position p.
+	BlockOf(p int) int
+	// Blocks returns the number of blocks used.
+	Blocks() int
+	// Name identifies the strategy in experiment output.
+	Name() string
+}
+
+// Sequential is the naive baseline: coefficients are laid out in index
+// order, B per block. Fine for scans, poor for error-tree paths.
+type Sequential struct {
+	N, B int
+}
+
+// NewSequential allocates positions [0, n) in index order, b per block.
+func NewSequential(n, b int) Sequential {
+	if b <= 0 || n <= 0 {
+		panic(fmt.Sprintf("disk: sequential allocation n=%d b=%d", n, b))
+	}
+	return Sequential{N: n, B: b}
+}
+
+// BlockOf implements Allocation.
+func (s Sequential) BlockOf(p int) int { return p / s.B }
+
+// Blocks implements Allocation.
+func (s Sequential) Blocks() int { return (s.N + s.B - 1) / s.B }
+
+// Name implements Allocation.
+func (s Sequential) Name() string { return "sequential" }
+
+// LevelOrder groups coefficients band by band (all of d_1, then d_2, …) —
+// the layout a straightforward "store the transform output" implementation
+// produces. Identical to Sequential for the standard layout, included for
+// clarity of the experiment tables.
+type LevelOrder struct{ Sequential }
+
+// NewLevelOrder builds the band-major baseline.
+func NewLevelOrder(n, b int) LevelOrder { return LevelOrder{NewSequential(n, b)} }
+
+// Name implements Allocation.
+func (LevelOrder) Name() string { return "level-order" }
+
+// Tiling is the error-tree tiling allocator: the Haar error tree over the
+// standard layout is cut into aligned subtrees of height h = ⌊log2(B+1)⌋,
+// each stored in one block. A root-to-leaf dependency path of length
+// log2 N then touches ≈ log2(N)/h blocks and needs h ≈ lg B items from
+// each — the access pattern behind the paper's 1+lg B expectation bound.
+type Tiling struct {
+	N, B   int
+	height int
+	// blockID is assigned densely in discovery order of subtree roots.
+	roots map[int]int
+	count int
+}
+
+// NewTiling builds the tiling allocation for a fully decomposed length-n
+// Haar transform with blocks of b items. n must be a power of two.
+func NewTiling(n, b int) *Tiling {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("disk: tiling length %d not a power of two", n))
+	}
+	if b < 1 {
+		panic(fmt.Sprintf("disk: tiling block size %d", b))
+	}
+	// Subtree of height h has 2^h−1 nodes; the root block additionally
+	// carries the overall average (position 0), so 2^h ≤ b keeps every
+	// block within capacity.
+	h := bits.Len(uint(b)) - 1
+	if h < 1 {
+		h = 1
+	}
+	t := &Tiling{N: n, B: b, height: h, roots: map[int]int{}}
+	// Enumerate block roots breadth-first so block IDs are stable and the
+	// root block is block 0.
+	t.rootID(1)
+	for p := 1; p < n; p++ {
+		t.rootID(t.subtreeRoot(p))
+	}
+	return t
+}
+
+// treeDepth returns the detail-tree depth of position p ≥ 1 (position 1 is
+// depth 0).
+func treeDepth(p int) int { return bits.Len(uint(p)) - 1 }
+
+// subtreeRoot returns the tiling-root ancestor of detail position p.
+func (t *Tiling) subtreeRoot(p int) int {
+	d := treeDepth(p)
+	up := d % t.height
+	return p >> uint(up)
+}
+
+func (t *Tiling) rootID(root int) int {
+	if id, ok := t.roots[root]; ok {
+		return id
+	}
+	id := t.count
+	t.roots[root] = id
+	t.count++
+	return id
+}
+
+// BlockOf implements Allocation. The overall average (position 0) lives
+// with the top of the tree in block 0.
+func (t *Tiling) BlockOf(p int) int {
+	if p < 0 || p >= t.N {
+		panic(fmt.Sprintf("disk: position %d out of [0,%d)", p, t.N))
+	}
+	if p == 0 {
+		return t.roots[1]
+	}
+	return t.roots[t.subtreeRoot(p)]
+}
+
+// Blocks implements Allocation.
+func (t *Tiling) Blocks() int { return t.count }
+
+// Name implements Allocation.
+func (t *Tiling) Name() string { return "error-tree-tiling" }
+
+// Height exposes the subtree height (items used per block on a path).
+func (t *Tiling) Height() int { return t.height }
+
+// UtilizationBound returns the paper's theoretical expectation bound on
+// needed items per fetched block: 1 + lg B.
+func UtilizationBound(b int) float64 { return 1 + math.Log2(float64(b)) }
+
+// ProductAllocation composes per-dimension 1-D allocations into a
+// multivariate allocation by Cartesian product: the block of a
+// multidimensional coefficient is the tuple of its per-dimension virtual
+// blocks ("we simply decompose each dimension into optimal virtual blocks,
+// and take the Cartesian products of these virtual blocks to be our actual
+// blocks", §3.2.1).
+type ProductAllocation struct {
+	Dims    []int
+	Per     []Allocation
+	strides []int
+}
+
+// NewProduct builds the product of per-dimension allocations for a cube
+// with the given extents.
+func NewProduct(dims []int, per []Allocation) *ProductAllocation {
+	if len(dims) != len(per) {
+		panic(fmt.Sprintf("disk: %d dims vs %d allocations", len(dims), len(per)))
+	}
+	st := make([]int, len(dims))
+	acc := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= dims[i]
+	}
+	return &ProductAllocation{Dims: dims, Per: per, strides: st}
+}
+
+// BlockOf implements Allocation over flattened (row-major) positions.
+func (pa *ProductAllocation) BlockOf(flat int) int {
+	id := 0
+	for d := 0; d < len(pa.Dims); d++ {
+		coord := flat / pa.strides[d] % pa.Dims[d]
+		id = id*pa.Per[d].Blocks() + pa.Per[d].BlockOf(coord)
+	}
+	return id
+}
+
+// Blocks implements Allocation.
+func (pa *ProductAllocation) Blocks() int {
+	n := 1
+	for _, a := range pa.Per {
+		n *= a.Blocks()
+	}
+	return n
+}
+
+// Name implements Allocation.
+func (pa *ProductAllocation) Name() string {
+	return "product(" + pa.Per[0].Name() + ")"
+}

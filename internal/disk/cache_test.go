@@ -1,0 +1,113 @@
+package disk
+
+import (
+	"math/rand"
+	"testing"
+
+	"aims/internal/wavelet"
+)
+
+func cachedFixture(t *testing.T, capacity int) (*CachedStore, *Store) {
+	t.Helper()
+	w := make([]float64, 256)
+	for i := range w {
+		w[i] = float64(i)
+	}
+	st := NewStore(w, NewTiling(256, 8), 8)
+	st.ResetStats()
+	return NewCachedStore(st, capacity), st
+}
+
+func TestCachedStoreHitsOnRepeat(t *testing.T) {
+	c, st := cachedFixture(t, 4)
+	a := c.ReadBlock(0)
+	b := c.ReadBlock(0)
+	if &a[0] != &b[0] {
+		t.Fatal("repeat read did not serve from cache")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits %d misses %d", c.Hits, c.Misses)
+	}
+	if st.Stats().BlockReads != 1 {
+		t.Fatalf("device reads %d, want 1", st.Stats().BlockReads)
+	}
+	if c.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", c.HitRate())
+	}
+}
+
+func TestCachedStoreEvictsLRU(t *testing.T) {
+	c, st := cachedFixture(t, 2)
+	c.ReadBlock(0)
+	c.ReadBlock(1)
+	c.ReadBlock(0) // 0 is now most recent
+	c.ReadBlock(2) // evicts 1
+	if c.Len() != 2 {
+		t.Fatalf("resident %d", c.Len())
+	}
+	before := st.Stats().BlockReads
+	c.ReadBlock(0) // hit
+	if st.Stats().BlockReads != before {
+		t.Fatal("block 0 should still be resident")
+	}
+	c.ReadBlock(1) // miss: was evicted
+	if st.Stats().BlockReads != before+1 {
+		t.Fatal("block 1 should have been evicted")
+	}
+}
+
+func TestCachedStorePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCachedStore(&Store{}, 0)
+}
+
+func TestCachedFetchMatchesUncached(t *testing.T) {
+	c, _ := cachedFixture(t, 8)
+	vals, blocks := c.Fetch([]int{0, 1, 2, 100, 200})
+	if len(vals) != 5 || blocks < 2 {
+		t.Fatalf("vals %d blocks %d", len(vals), blocks)
+	}
+	if vals[100] != 100 {
+		t.Fatalf("vals[100] = %v", vals[100])
+	}
+	// Second identical fetch: all hits.
+	missesBefore := c.Misses
+	c.Fetch([]int{0, 1, 2, 100, 200})
+	if c.Misses != missesBefore {
+		t.Fatal("repeat fetch caused device reads")
+	}
+}
+
+func TestCacheExploitsTilingLocality(t *testing.T) {
+	// Point-query workloads over tiling share the hot top-of-tree blocks;
+	// the pool's hit rate should be substantial even with few frames.
+	const n = 1 << 14
+	const b = 64
+	w := make([]float64, n)
+	tree := wavelet.NewErrorTree(n)
+	til := NewStore(w, NewTiling(n, b), b)
+	seq := NewStore(w, NewSequential(n, b), b)
+	rng := rand.New(rand.NewSource(4))
+
+	run := func(st *Store) float64 {
+		c := NewCachedStore(st, 8)
+		for i := 0; i < 300; i++ {
+			c.Fetch(tree.PointPath(rng.Intn(n)))
+		}
+		return c.HitRate()
+	}
+	rng = rand.New(rand.NewSource(4))
+	tilHit := run(til)
+	rng = rand.New(rand.NewSource(4))
+	seqHit := run(seq)
+	if tilHit < 0.3 {
+		t.Fatalf("tiling hit rate %v too low", tilHit)
+	}
+	if tilHit <= seqHit {
+		t.Fatalf("tiling hit rate %v not above sequential %v", tilHit, seqHit)
+	}
+}

@@ -1,0 +1,259 @@
+package disk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aims/internal/wavelet"
+)
+
+func TestSequentialAllocation(t *testing.T) {
+	a := NewSequential(100, 8)
+	if a.BlockOf(0) != 0 || a.BlockOf(7) != 0 || a.BlockOf(8) != 1 {
+		t.Fatal("BlockOf broken")
+	}
+	if a.Blocks() != 13 {
+		t.Fatalf("Blocks = %d", a.Blocks())
+	}
+}
+
+func TestTilingCoversAllPositions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (4 + rng.Intn(8))
+		b := 4 << rng.Intn(6)
+		ti := NewTiling(n, b)
+		counts := make(map[int]int)
+		for p := 0; p < n; p++ {
+			blk := ti.BlockOf(p)
+			if blk < 0 || blk >= ti.Blocks() {
+				return false
+			}
+			counts[blk]++
+		}
+		// No block exceeds capacity.
+		for _, c := range counts {
+			if c > b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTilingKeepsSubtreesTogether(t *testing.T) {
+	ti := NewTiling(1024, 16) // height 4
+	if ti.Height() != 4 {
+		t.Fatalf("height = %d", ti.Height())
+	}
+	// Position 0 and the top of the tree share a block.
+	if ti.BlockOf(0) != ti.BlockOf(1) {
+		t.Fatal("root average should live with the tree top")
+	}
+	// A node at depth < height shares with position 1.
+	if ti.BlockOf(5) != ti.BlockOf(1) { // depth 2 < 4
+		t.Fatal("shallow nodes should share the root block")
+	}
+	// A node and its within-tile descendants share a block.
+	root := 16 // depth 4 → a tile root
+	if ti.BlockOf(root) == ti.BlockOf(1) {
+		t.Fatal("depth-4 node should start a new tile")
+	}
+	if ti.BlockOf(root*2) != ti.BlockOf(root) || ti.BlockOf(root*8+3) != ti.BlockOf(root) {
+		t.Fatal("descendants within the tile must share the block")
+	}
+	if ti.BlockOf(root*16) == ti.BlockOf(root) {
+		t.Fatal("depth-8 descendant must start a new tile")
+	}
+}
+
+func TestTilingPointPathBlockCount(t *testing.T) {
+	// A point query path (log2 N + 1 coefficients) should cross about
+	// log2(N)/lg(B) blocks under tiling and log2(N) blocks sequentially.
+	const n = 1 << 16
+	const b = 64 // height 6
+	tree := wavelet.NewErrorTree(n)
+	til := NewTiling(n, b)
+	seq := NewSequential(n, b)
+	rng := rand.New(rand.NewSource(1))
+	var tilBlocks, seqBlocks int
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		path := tree.PointPath(rng.Intn(n))
+		tb := map[int]bool{}
+		sb := map[int]bool{}
+		for _, p := range path {
+			tb[til.BlockOf(p)] = true
+			sb[seq.BlockOf(p)] = true
+		}
+		tilBlocks += len(tb)
+		seqBlocks += len(sb)
+	}
+	avgTil := float64(tilBlocks) / trials
+	avgSeq := float64(seqBlocks) / trials
+	if avgTil > 4 { // ceil(16/6) + 1 slack
+		t.Fatalf("tiling path cost %v blocks, want ≤ 4", avgTil)
+	}
+	if avgSeq < 2*avgTil {
+		t.Fatalf("sequential (%v) should cost ≫ tiling (%v)", avgSeq, avgTil)
+	}
+	// Utilisation: items per block ≈ height, within the 1+lg B bound's
+	// regime (the bound is an upper bound on the expectation).
+	items := float64(len(tree.PointPath(0)))
+	if perBlock := items / avgTil; perBlock > UtilizationBound(b) {
+		t.Fatalf("utilisation %v exceeds bound %v", perBlock, UtilizationBound(b))
+	}
+}
+
+func TestProductAllocation(t *testing.T) {
+	dims := []int{16, 16}
+	pa := NewProduct(dims, []Allocation{NewTiling(16, 4), NewTiling(16, 4)})
+	if pa.Blocks() != NewTiling(16, 4).Blocks()*NewTiling(16, 4).Blocks() {
+		t.Fatal("product block count")
+	}
+	seen := map[int]int{}
+	for flat := 0; flat < 256; flat++ {
+		id := pa.BlockOf(flat)
+		if id < 0 || id >= pa.Blocks() {
+			t.Fatalf("block %d out of range", id)
+		}
+		seen[id]++
+	}
+	// Each product block holds per-dim capacities multiplied.
+	for id, c := range seen {
+		if c > 16 {
+			t.Fatalf("product block %d holds %d items", id, c)
+		}
+	}
+}
+
+func TestUtilizationBound(t *testing.T) {
+	if got := UtilizationBound(64); math.Abs(got-7) > 1e-12 {
+		t.Fatalf("bound(64) = %v", got)
+	}
+}
+
+func TestStoreFetchAndStats(t *testing.T) {
+	w := make([]float64, 64)
+	for i := range w {
+		w[i] = float64(i)
+	}
+	st := NewStore(w, NewTiling(64, 8), 8)
+	vals, blocks := st.Fetch([]int{0, 1, 2, 5})
+	if len(vals) != 4 {
+		t.Fatalf("fetched %d values", len(vals))
+	}
+	if vals[5] != 5 {
+		t.Fatalf("vals[5] = %v", vals[5])
+	}
+	if blocks != 1 { // all within the root tile (height 3: depths 0..2)
+		t.Fatalf("blocks = %d, want 1", blocks)
+	}
+	s := st.Stats()
+	if s.BlockReads != 1 || s.ItemsRead == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	st.ResetStats()
+	if st.Stats().BlockReads != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestStoreOverfillPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	// Sequential with block size 4 but capacity declared 2.
+	NewStore(make([]float64, 16), NewSequential(16, 4), 2)
+}
+
+func TestMeasureUtilizationTilingVsSequential(t *testing.T) {
+	const n = 1 << 14
+	const b = 64
+	tree := wavelet.NewErrorTree(n)
+	w := make([]float64, n)
+	tilStore := NewStore(w, NewTiling(n, b), b)
+	seqStore := NewStore(w, NewSequential(n, b), b)
+
+	// Tiling optimises the root-to-leaf dependency paths of point and
+	// short-range queries (the access pattern §3.2.1 analyses); wide ranges
+	// degenerate to scans where any contiguous layout does fine.
+	rng := rand.New(rand.NewSource(2))
+	var tilSum, seqSum float64
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		lo := rng.Intn(n - 10)
+		hi := lo + rng.Intn(8)
+		need := tree.RangeNeed(lo, hi)
+		tilU := tilStore.MeasureUtilization(need)
+		seqU := seqStore.MeasureUtilization(need)
+		tilSum += tilU.ItemsPerBlock
+		seqSum += seqU.ItemsPerBlock
+		if tilU.ItemsPerBlock > tilU.Bound {
+			t.Fatalf("tiling utilisation %v exceeds the 1+lgB bound %v", tilU.ItemsPerBlock, tilU.Bound)
+		}
+	}
+	if tilSum <= 2*seqSum {
+		t.Fatalf("tiling utilisation %v should dominate sequential %v on point paths",
+			tilSum/trials, seqSum/trials)
+	}
+}
+
+func TestImportanceOrderAndProgressiveDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 256
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	st := NewStore(w, NewTiling(n, 8), 8)
+	// Query referencing a handful of positions with varying weights.
+	query := map[int]float64{0: 5, 1: 0.01, 17: 2, 200: -3, 90: 0.001}
+	order := st.ImportanceOrder(query)
+	if len(order) == 0 {
+		t.Fatal("no blocks ordered")
+	}
+	steps := st.ProgressiveDot(query, order)
+	var exact float64
+	for p, qv := range query {
+		exact += qv * w[p]
+	}
+	final := steps[len(steps)-1].Estimate
+	if math.Abs(final-exact) > 1e-9 {
+		t.Fatalf("progressive final %v vs exact %v", final, exact)
+	}
+	// Importance ordering front-loads contribution magnitude: after the
+	// first fetch, the remaining absolute contribution must be no larger
+	// than under any other order (checked against the reverse order).
+	remaining := func(fetched map[int]bool) float64 {
+		var r float64
+		for p, qv := range query {
+			if !fetched[st.Alloc.BlockOf(p)] {
+				r += math.Abs(qv * w[p])
+			}
+		}
+		return r
+	}
+	remImp := remaining(map[int]bool{order[0]: true})
+	remRev := remaining(map[int]bool{order[len(order)-1]: true})
+	if remImp > remRev+1e-12 {
+		t.Fatalf("importance-first remaining %v worse than reverse %v", remImp, remRev)
+	}
+}
+
+func TestLevelOrderName(t *testing.T) {
+	lo := NewLevelOrder(64, 8)
+	if lo.Name() != "level-order" {
+		t.Fatal("name")
+	}
+	if lo.BlockOf(9) != 1 {
+		t.Fatal("BlockOf")
+	}
+}

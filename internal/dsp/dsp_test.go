@@ -1,0 +1,254 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerOfTwoHelpers(t *testing.T) {
+	if !IsPowerOfTwo(1) || !IsPowerOfTwo(64) || IsPowerOfTwo(0) || IsPowerOfTwo(24) || IsPowerOfTwo(-4) {
+		t.Fatal("IsPowerOfTwo broken")
+	}
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 17: 32, 64: 64}
+	for in, want := range cases {
+		if got := NextPowerOfTwo(in); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := DFT(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		FFT(got)
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: FFT %v vs DFT %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestFFTInverseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(9))
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Σ|x|² == (1/n)·Σ|X|² for the unnormalised transform.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (2 + rng.Intn(8))
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+			timeEnergy += real(x[i]) * real(x[i])
+		}
+		FFT(x)
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= float64(n)
+		return math.Abs(timeEnergy-freqEnergy) <= 1e-8*(1+timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sine(n int, rate, freq, amp float64) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = amp * math.Sin(2*math.Pi*freq*float64(i)/rate)
+	}
+	return x
+}
+
+func TestMaxFrequencyFindsTone(t *testing.T) {
+	const rate = 100.0
+	x := sine(1024, rate, 5, 1)
+	got := MaxFrequency(x, rate, 0.99)
+	if math.Abs(got-5) > 1 {
+		t.Fatalf("MaxFrequency = %v, want ≈5 Hz", got)
+	}
+}
+
+func TestMaxFrequencyTwoTones(t *testing.T) {
+	const rate = 200.0
+	x := sine(2048, rate, 3, 1)
+	hi := sine(2048, rate, 20, 0.5)
+	for i := range x {
+		x[i] += hi[i]
+	}
+	got := MaxFrequency(x, rate, 0.99)
+	if got < 18 || got > 25 {
+		t.Fatalf("MaxFrequency = %v, want ≈20 Hz (the higher tone)", got)
+	}
+	// With a loose confidence most energy is in the 3 Hz tone.
+	low := MaxFrequency(x, rate, 0.5)
+	if low > 6 {
+		t.Fatalf("MaxFrequency(conf=0.5) = %v, want ≤6 Hz", low)
+	}
+}
+
+func TestMaxFrequencyEdgeCases(t *testing.T) {
+	if got := MaxFrequency(nil, 100, 0.99); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	flat := make([]float64, 256)
+	for i := range flat {
+		flat[i] = 3.7 // pure DC
+	}
+	// Hann windowing smears a constant into the lowest bins; the estimate
+	// must stay (near) zero so the Nyquist rate collapses for idle sensors.
+	if got := MaxFrequency(flat, 100, 0.99); got > 1 {
+		t.Fatalf("DC-only = %v, want ≤1 Hz", got)
+	}
+	// Invalid confidence falls back to default rather than crashing.
+	x := sine(512, 100, 4, 1)
+	if got := MaxFrequency(x, 100, -3); got <= 0 {
+		t.Fatalf("invalid confidence = %v", got)
+	}
+}
+
+func TestNyquistRate(t *testing.T) {
+	if NyquistRate(25) != 50 {
+		t.Fatal("NyquistRate broken")
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	x := sine(400, 100, 5, 1) // 20-sample period
+	ac := Autocorrelation(x, 100)
+	if math.Abs(ac[0]-1) > 1e-9 {
+		t.Fatalf("ac[0] = %v, want 1", ac[0])
+	}
+	// Autocorrelation at one full period should be strongly positive.
+	if ac[20] < 0.8 {
+		t.Fatalf("ac[20] = %v, want ≥0.8", ac[20])
+	}
+	// At a half period, strongly negative.
+	if ac[10] > -0.8 {
+		t.Fatalf("ac[10] = %v, want ≤-0.8", ac[10])
+	}
+}
+
+func TestAutocorrelationDegenerate(t *testing.T) {
+	if got := Autocorrelation(nil, 5); got != nil {
+		t.Fatalf("nil signal = %v", got)
+	}
+	flat := []float64{2, 2, 2, 2}
+	ac := Autocorrelation(flat, 2)
+	for _, v := range ac {
+		if v != 0 {
+			t.Fatalf("constant signal autocorrelation = %v, want zeros", ac)
+		}
+	}
+}
+
+func TestDominantPeriod(t *testing.T) {
+	x := sine(600, 100, 5, 1) // period 20 samples
+	got := DominantPeriod(x)
+	if got < 18 || got > 22 {
+		t.Fatalf("DominantPeriod = %d, want ≈20", got)
+	}
+	if DominantPeriod([]float64{1, 2}) != 0 {
+		t.Fatal("short signal should report 0")
+	}
+}
+
+func TestResampleReconstructsSlowSignal(t *testing.T) {
+	const deviceRate = 100.0
+	orig := sine(500, deviceRate, 2, 1) // well below Nyquist of any tested rate
+	// Downsample to 20 Hz by taking every 5th sample.
+	down := make([]float64, 0, 100)
+	for i := 0; i < len(orig); i += 5 {
+		down = append(down, orig[i])
+	}
+	rec := Resample(down, 20, deviceRate, len(orig))
+	var mse float64
+	for i := range orig {
+		d := rec[i] - orig[i]
+		mse += d * d
+	}
+	mse /= float64(len(orig))
+	if mse > 0.01 {
+		t.Fatalf("reconstruction MSE = %v, want < 0.01", mse)
+	}
+}
+
+func TestResampleEdgeCases(t *testing.T) {
+	out := Resample(nil, 10, 10, 4)
+	if len(out) != 4 {
+		t.Fatalf("len = %d", len(out))
+	}
+	out = Resample([]float64{1}, 10, 10, 3)
+	for _, v := range out {
+		if v != 1 {
+			t.Fatalf("single-sample resample = %v", out)
+		}
+	}
+}
+
+func TestPeriodogramFrequencies(t *testing.T) {
+	freqs, power := Periodogram(sine(256, 64, 8, 1), 64)
+	if len(freqs) != len(power) {
+		t.Fatal("length mismatch")
+	}
+	if freqs[0] != 0 {
+		t.Fatalf("first freq = %v", freqs[0])
+	}
+	if math.Abs(freqs[len(freqs)-1]-32) > 1e-9 {
+		t.Fatalf("last freq = %v, want Nyquist 32", freqs[len(freqs)-1])
+	}
+	// Peak bin should be at ≈8 Hz.
+	best, bestF := 0.0, 0.0
+	for i, p := range power {
+		if p > best {
+			best, bestF = p, freqs[i]
+		}
+	}
+	if math.Abs(bestF-8) > 0.6 {
+		t.Fatalf("peak at %v Hz, want ≈8", bestF)
+	}
+}

@@ -1,0 +1,101 @@
+// Package dsp implements the signal-processing substrate AIMS acquisition
+// relies on: FFT/DFT, autocorrelation, periodograms, and the Nyquist-based
+// maximum-frequency estimation that drives the sampling-rate policies of
+// §3.1 of the paper.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPowerOfTwo returns the smallest power of two ≥ n (and ≥ 1).
+func NextPowerOfTwo(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << (bits.Len(uint(n - 1)))
+}
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two; it panics otherwise.
+// The transform is unnormalised: IFFT(FFT(x)) == x.
+func FFT(x []complex128) {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return
+	}
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Rect(1, step*float64(k))
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// IFFT computes the inverse FFT in place, including the 1/n normalisation.
+// len(x) must be a power of two.
+func IFFT(x []complex128) {
+	n := len(x)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	FFT(x)
+	inv := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+}
+
+// FFTReal transforms a real signal, zero-padding to the next power of two,
+// and returns the complex spectrum (length = padded size).
+func FFTReal(x []float64) []complex128 {
+	n := NextPowerOfTwo(len(x))
+	c := make([]complex128, n)
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	FFT(c)
+	return c
+}
+
+// DFT computes the naive O(n²) discrete Fourier transform for arbitrary
+// lengths. It exists for cross-checking the FFT in tests and for short
+// non-power-of-two windows.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Rect(1, angle)
+		}
+		out[k] = s
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Periodogram returns the one-sided power spectral density estimate of a
+// real signal sampled at sampleRate Hz. The returned frequencies run from 0
+// to sampleRate/2 inclusive; power[i] is proportional to the signal energy
+// at freqs[i]. The signal is Hann-windowed to limit leakage and zero-padded
+// to a power of two.
+func Periodogram(x []float64, sampleRate float64) (freqs, power []float64) {
+	if len(x) == 0 {
+		return nil, nil
+	}
+	windowed := make([]float64, len(x))
+	n := len(x)
+	for i, v := range x {
+		w := 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+		if n == 1 {
+			w = 1
+		}
+		windowed[i] = v * w
+	}
+	spec := FFTReal(windowed)
+	m := len(spec)
+	half := m/2 + 1
+	freqs = make([]float64, half)
+	power = make([]float64, half)
+	for k := 0; k < half; k++ {
+		freqs[k] = float64(k) * sampleRate / float64(m)
+		power[k] = cmplx.Abs(spec[k]) * cmplx.Abs(spec[k])
+	}
+	return freqs, power
+}
+
+// Autocorrelation returns the biased sample autocorrelation of x for lags
+// 0..maxLag, normalised so lag 0 equals 1 (unless the signal has zero
+// variance, in which case all entries are 0). The paper lists
+// autocorrelation among the techniques used to identify f_max.
+func Autocorrelation(x []float64, maxLag int) []float64 {
+	n := len(x)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	if n > 0 {
+		mean /= float64(n)
+	}
+	out := make([]float64, maxLag+1)
+	var c0 float64
+	for _, v := range x {
+		d := v - mean
+		c0 += d * d
+	}
+	if c0 == 0 {
+		return out
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		var s float64
+		for t := 0; t+lag < n; t++ {
+			s += (x[t] - mean) * (x[t+lag] - mean)
+		}
+		out[lag] = s / c0
+	}
+	return out
+}
+
+// MaxFrequency estimates the maximum significant frequency f_max in a real
+// signal sampled at sampleRate Hz. confidence ∈ (0,1] is the fraction of
+// total spectral energy that must lie at or below the returned frequency —
+// the paper's "within a specified confidence threshold". A confidence of
+// 0.99 returns the frequency below which 99 % of the energy lives.
+//
+// The DC bin is excluded from the energy budget: a constant offset carries
+// no information about how fast the sensor moves.
+func MaxFrequency(x []float64, sampleRate, confidence float64) float64 {
+	freqs, power := Periodogram(x, sampleRate)
+	if len(freqs) == 0 {
+		return 0
+	}
+	if confidence <= 0 || confidence > 1 {
+		confidence = 0.99
+	}
+	var total float64
+	for k := 1; k < len(power); k++ {
+		total += power[k]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := confidence * total
+	var acc float64
+	for k := 1; k < len(power); k++ {
+		acc += power[k]
+		if acc >= target {
+			return freqs[k]
+		}
+	}
+	return freqs[len(freqs)-1]
+}
+
+// NyquistRate returns the minimum sampling rate that allows exact
+// reconstruction of a signal whose maximum frequency is fMax:
+// r_nyquist = 2·f_max (Nyquist 1924, as cited by the paper).
+func NyquistRate(fMax float64) float64 { return 2 * fMax }
+
+// DominantPeriod estimates the dominant period of x (in samples) from the
+// first significant autocorrelation peak after lag 0, or 0 when no peak is
+// found. Used as the minimum-square-error cross-check on the spectral
+// estimate.
+func DominantPeriod(x []float64) int {
+	ac := Autocorrelation(x, len(x)/2)
+	if len(ac) < 3 {
+		return 0
+	}
+	// Skip the initial decay, then find the first local maximum above a
+	// noise floor.
+	i := 1
+	for i < len(ac)-1 && ac[i] > ac[i+1] {
+		i++
+	}
+	best, bestLag := 0.2, 0
+	for ; i < len(ac)-1; i++ {
+		if ac[i] > ac[i-1] && ac[i] >= ac[i+1] && ac[i] > best {
+			best = ac[i]
+			bestLag = i
+		}
+	}
+	return bestLag
+}
+
+// Resample reconstructs a signal of length outLen from samples x taken at
+// inRate by linear interpolation, simulating playback at outRate. It is the
+// measurement half of the sampling experiments: sample at a policy's rate,
+// reconstruct at the device rate, compare MSE.
+func Resample(x []float64, inRate, outRate float64, outLen int) []float64 {
+	out := make([]float64, outLen)
+	if len(x) == 0 || inRate <= 0 || outRate <= 0 {
+		return out
+	}
+	for i := 0; i < outLen; i++ {
+		t := float64(i) / outRate // seconds
+		pos := t * inRate
+		lo := int(math.Floor(pos))
+		if lo >= len(x)-1 {
+			out[i] = x[len(x)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = x[lo]*(1-frac) + x[lo+1]*frac
+	}
+	return out
+}

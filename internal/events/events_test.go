@@ -1,0 +1,146 @@
+package events
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildLog(t *testing.T) *Log {
+	t.Helper()
+	l := NewLog()
+	add := func(s, e float64, kind string) {
+		if err := l.Add(Event{Start: s, End: e, Kind: kind}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(2, 5, "distraction")
+	add(8, 12, "distraction")
+	add(3, 3, "miss") // instant inside the first distraction
+	add(7, 7, "miss") // instant in the gap
+	add(1, 10, "task")
+	return l
+}
+
+func TestAddRejectsInvertedInterval(t *testing.T) {
+	if err := NewLog().Add(Event{Start: 5, End: 4}); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+}
+
+func TestOverlapping(t *testing.T) {
+	l := buildLog(t)
+	got := l.Overlapping(4, 9)
+	kinds := map[string]int{}
+	for _, e := range got {
+		kinds[e.Kind]++
+	}
+	// distraction [2,5) and [8,12) overlap; miss@7 inside; task [1,10).
+	if kinds["distraction"] != 2 || kinds["miss"] != 1 || kinds["task"] != 1 {
+		t.Fatalf("Overlapping(4,9) kinds = %v", kinds)
+	}
+	if len(l.Overlapping(20, 30)) != 0 {
+		t.Fatal("phantom overlaps")
+	}
+	// Half-open: an event ending exactly at t0 does not overlap.
+	if evs := l.Overlapping(5, 6); len(evs) != 1 || evs[0].Kind != "task" {
+		t.Fatalf("Overlapping(5,6) = %v", evs)
+	}
+}
+
+func TestAt(t *testing.T) {
+	l := buildLog(t)
+	at3 := l.At(3)
+	kinds := map[string]bool{}
+	for _, e := range at3 {
+		kinds[e.Kind] = true
+	}
+	if !kinds["distraction"] || !kinds["miss"] || !kinds["task"] {
+		t.Fatalf("At(3) = %v", at3)
+	}
+	if evs := l.At(5); len(evs) != 1 { // [2,5) excludes 5; only task remains
+		t.Fatalf("At(5) = %v", evs)
+	}
+}
+
+func TestKindAndLen(t *testing.T) {
+	l := buildLog(t)
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	d := l.Kind("distraction")
+	if len(d) != 2 || d[0].Start != 2 {
+		t.Fatalf("Kind = %v", d)
+	}
+}
+
+func TestJoinMissWithDistraction(t *testing.T) {
+	l := buildLog(t)
+	var pairs [][2]float64
+	l.Join("miss", "distraction", func(a, b Event) {
+		pairs = append(pairs, [2]float64{a.Start, b.Start})
+	})
+	// Only the miss at t=3 falls inside a distraction.
+	if len(pairs) != 1 || pairs[0][0] != 3 || pairs[0][1] != 2 {
+		t.Fatalf("Join = %v", pairs)
+	}
+}
+
+func TestCoverageWithin(t *testing.T) {
+	l := buildLog(t)
+	// Distractions cover [2,5) ∪ [8,12); within [0,10): 3 + 2 = 5.
+	if got := l.CoverageWithin("distraction", 0, 10); got != 5 {
+		t.Fatalf("coverage = %v", got)
+	}
+	if got := l.CoverageWithin("distraction", 5, 8); got != 0 {
+		t.Fatalf("gap coverage = %v", got)
+	}
+	// Overlapping events must not double count.
+	l2 := NewLog()
+	l2.Add(Event{Start: 0, End: 6, Kind: "x"})
+	l2.Add(Event{Start: 4, End: 10, Kind: "x"})
+	if got := l2.CoverageWithin("x", 0, 10); got != 10 {
+		t.Fatalf("merged coverage = %v", got)
+	}
+}
+
+func TestAddAfterQueryRebuildsIndex(t *testing.T) {
+	l := buildLog(t)
+	_ = l.Overlapping(0, 100)
+	l.Add(Event{Start: 50, End: 60, Kind: "late"})
+	if got := l.Overlapping(55, 56); len(got) != 1 || got[0].Kind != "late" {
+		t.Fatalf("late event invisible: %v", got)
+	}
+}
+
+func TestOverlappingMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewLog()
+		type iv struct{ s, e float64 }
+		var all []iv
+		for i := 0; i < 60; i++ {
+			s := rng.Float64() * 100
+			e := s + rng.Float64()*20
+			all = append(all, iv{s, e})
+			l.Add(Event{Start: s, End: e, Kind: "x"})
+		}
+		for trial := 0; trial < 10; trial++ {
+			t0 := rng.Float64() * 100
+			t1 := t0 + rng.Float64()*30
+			want := 0
+			for _, v := range all {
+				if v.e > t0 && v.s < t1 {
+					want++
+				}
+			}
+			if len(l.Overlapping(t0, t1)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

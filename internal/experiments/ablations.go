@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"aims/internal/disk"
+	"aims/internal/propolyne"
+	"aims/internal/svdstream"
+	"aims/internal/synth"
+	"aims/internal/vec"
+	"aims/internal/wavelet"
+)
+
+// Ablations A1–A4 quantify the design choices DESIGN.md calls out and the
+// paper's §3.3.1/§3.4.1 extension proposals.
+
+// A1Result reports multi-query I/O sharing and ordering quality.
+type A1Result struct {
+	Distinct, Total    int
+	WorstCaseAdvantage float64 // max-bucket-error ratio (L2 order / worst-case order) at the probe point
+}
+
+// RunA1 evaluates the GROUP BY/matrix extension (§3.3.1): how much I/O a
+// drill-down shares across buckets, and how the fetch-ordering objective
+// (total L2 vs worst-case) shifts the error profile.
+func RunA1(w io.Writer) A1Result {
+	// Zipf data makes the buckets heterogeneous (the near-origin bucket
+	// carries most of the mass), which is where the ordering objectives
+	// genuinely diverge.
+	dims := []int{128, 128}
+	cube := synth.ZipfCube(dims, 80000, 1.4, 201)
+	e, err := propolyne.New(cube, dims, 1)
+	if err != nil {
+		panic(err)
+	}
+	parent := propolyne.Box{Lo: []int{0, 16}, Hi: []int{127, 111}}
+	g, err := propolyne.NewGroupBy(parent, []vec.Poly{nil, {0, 1}}, 0, 16)
+	if err != nil {
+		panic(err)
+	}
+	distinct, total, err := e.SharedSupport(g)
+	if err != nil {
+		panic(err)
+	}
+	exact, err := e.GroupByExact(g)
+	if err != nil {
+		panic(err)
+	}
+
+	// The ordering objective is the guaranteed per-bucket bound; report the
+	// max bound (what the order optimises) and the realized max error (for
+	// context).
+	maxAt := func(steps []propolyne.GroupStep, frac float64) (bound, realized float64) {
+		k := int(frac * float64(len(steps)))
+		if k < 1 {
+			k = 1
+		}
+		st := steps[k-1]
+		for bi, est := range st.Estimates {
+			if e := math.Abs(est - exact.Values[bi]); e > realized {
+				realized = e
+			}
+			if st.Bounds[bi] > bound {
+				bound = st.Bounds[bi]
+			}
+		}
+		return bound, realized
+	}
+	l2Steps, err := e.GroupByProgressive(g, propolyne.L2Total, 64)
+	if err != nil {
+		panic(err)
+	}
+	wcSteps, err := e.GroupByProgressive(g, propolyne.WorstCase, 64)
+	if err != nil {
+		panic(err)
+	}
+	naiveSteps, err := e.GroupByProgressive(g, propolyne.NaiveOrder, 64)
+	if err != nil {
+		panic(err)
+	}
+
+	tb := &Table{
+		Title:   "A1 — GROUP BY (16 buckets) shared evaluation and fetch ordering",
+		Columns: []string{"quantity", "value"},
+	}
+	tb.AddRow("sum of per-bucket coefficients", total)
+	tb.AddRow("distinct coefficients fetched", distinct)
+	tb.AddRow("I/O sharing factor", float64(total)/float64(distinct))
+	var res A1Result
+	res.Distinct, res.Total = distinct, total
+	for _, frac := range []float64{0.25, 0.5} {
+		l2Bound, l2Err := maxAt(l2Steps, frac)
+		wcBound, wcErr := maxAt(wcSteps, frac)
+		nvBound, nvErr := maxAt(naiveSteps, frac)
+		pct := trimFloat(frac * 100)
+		tb.AddRow("max bucket bound @ "+pct+"% fetches (naive order)", nvBound)
+		tb.AddRow("max bucket bound @ "+pct+"% fetches (L2 order)", l2Bound)
+		tb.AddRow("max bucket bound @ "+pct+"% fetches (worst-case order)", wcBound)
+		tb.AddRow("  (realized max |err|: naive / L2 / worst-case)",
+			trimFloat(nvErr)+" / "+trimFloat(l2Err)+" / "+trimFloat(wcErr))
+		if frac == 0.5 && l2Bound > 0 {
+			res.WorstCaseAdvantage = nvBound / l2Bound
+		}
+	}
+	tb.Note("queries act as linear maps: one batch shares each coefficient across buckets;")
+	tb.Note("importance ordering (either objective) beats the naive scan by a wide margin;")
+	tb.Note("with heavy sharing the L2 and worst-case objectives nearly coincide — the")
+	tb.Note("specialised ordering matters only for weakly-shared, heterogeneous batches")
+	tb.Render(w)
+	return res
+}
+
+// A2Result reports the random-projection trade.
+type A2Result struct {
+	Dims     []int
+	Accuracy []float64
+	PerPair  []time.Duration
+}
+
+// RunA2 evaluates random-projection dimension reduction (§3.3.1 refinement
+// list) for the SVD similarity: recognition accuracy and per-comparison
+// cost as the 28-D sensor space shrinks.
+func RunA2(w io.Writer) A2Result {
+	vocab := synth.ConfusableVocabulary(10, 0.12, 211)
+	rng := rand.New(rand.NewSource(212))
+	refs := make(map[string][][]float64, len(vocab))
+	for _, s := range vocab {
+		refs[s.Name] = s.Render(1, 0, rng)
+	}
+	var segs []struct {
+		frames [][]float64
+		name   string
+	}
+	for _, s := range vocab {
+		for k := 0; k < 5; k++ {
+			segs = append(segs, struct {
+				frames [][]float64
+				name   string
+			}{s.Render(0.75+0.1*float64(k), 2.5, rng), s.Name})
+		}
+	}
+	var res A2Result
+	tb := &Table{
+		Title:   "A2 — Random-projection SVD similarity: accuracy vs projected dimension",
+		Columns: []string{"dimension", "accuracy", "time per comparison"},
+	}
+	evalDist := func(dist func(a, b [][]float64) float64) (float64, time.Duration) {
+		correct := 0
+		t0 := time.Now()
+		for _, seg := range segs {
+			if svdstream.NearestTemplate(seg.frames, refs, dist) == seg.name {
+				correct++
+			}
+		}
+		el := time.Since(t0) / time.Duration(len(segs)*len(refs))
+		return float64(correct) / float64(len(segs)), el
+	}
+	for _, k := range []int{4, 8, 12, 20} {
+		p := svdstream.NewProjector(synth.SignDims, k, 213)
+		acc, el := evalDist(svdstream.ProjectedSVDDistance(p, 4))
+		res.Dims = append(res.Dims, k)
+		res.Accuracy = append(res.Accuracy, acc)
+		res.PerPair = append(res.PerPair, el)
+		tb.AddRow(k, acc, el.Round(time.Microsecond).String())
+	}
+	accFull, elFull := evalDist(svdstream.SVDDistance(6))
+	res.Dims = append(res.Dims, synth.SignDims)
+	res.Accuracy = append(res.Accuracy, accFull)
+	res.PerPair = append(res.PerPair, elFull)
+	tb.AddRow(28, accFull, elFull.Round(time.Microsecond).String())
+	tb.Note("Johnson–Lindenstrauss: a handful of Gaussian directions preserve the rotation")
+	tb.Note("structure well enough for recognition at a fraction of the eigensolver cost")
+	tb.Render(w)
+	return res
+}
+
+// A3Result reports buffer-pool hit rates.
+type A3Result struct {
+	Capacities []int
+	TilingHit  []float64
+	SeqHit     []float64
+}
+
+// RunA3 measures how the tiling allocation's locality turns into buffer-
+// pool hit rate: point-query workloads against tiled vs sequential layouts
+// under LRU pools of increasing capacity.
+func RunA3(w io.Writer) A3Result {
+	const n = 1 << 14
+	const b = 64
+	tree := wavelet.NewErrorTree(n)
+	zeros := make([]float64, n)
+	var res A3Result
+	tb := &Table{
+		Title:   "A3 — LRU buffer pool hit rate (point queries, N=16384, B=64)",
+		Columns: []string{"pool frames", "tiling hit rate", "sequential hit rate"},
+	}
+	for _, capacity := range []int{2, 4, 8, 16, 32} {
+		run := func(alloc disk.Allocation) float64 {
+			st := disk.NewStore(zeros, alloc, b)
+			c := disk.NewCachedStore(st, capacity)
+			rng := rand.New(rand.NewSource(214))
+			for i := 0; i < 500; i++ {
+				c.Fetch(tree.PointPath(rng.Intn(n)))
+			}
+			return c.HitRate()
+		}
+		th := run(disk.NewTiling(n, b))
+		sh := run(disk.NewSequential(n, b))
+		res.Capacities = append(res.Capacities, capacity)
+		res.TilingHit = append(res.TilingHit, th)
+		res.SeqHit = append(res.SeqHit, sh)
+		tb.AddRow(capacity, th, sh)
+	}
+	tb.Note("tiling dominates with small pools (every path reuses the hot top-of-tree tile);")
+	tb.Note("with larger pools the breadth-first sequential layout catches up because the")
+	tb.Note("standard coefficient order is itself depth-sorted — the allocation choice matters")
+	tb.Note("exactly when buffer memory is scarce relative to the working set")
+	tb.Render(w)
+	return res
+}
+
+// A5Result reports concurrent query throughput.
+type A5Result struct {
+	Readers     []int
+	QueriesPerS []float64
+}
+
+// RunA5 measures read-scalability of the engine's single-writer/many-
+// reader protocol: COUNT/SUM query throughput as reader goroutines grow,
+// with a background appender running throughout.
+func RunA5(w io.Writer) A5Result {
+	dims := []int{256, 256}
+	e, err := propolyne.New(synth.ZipfCube(dims, 60000, 1.2, 231), dims, 1)
+	if err != nil {
+		panic(err)
+	}
+	var res A5Result
+	tb := &Table{
+		Title:   "A5 — Concurrent query throughput (background appender active)",
+		Columns: []string{"reader goroutines", "queries/s", "scaling vs 1"},
+	}
+	var base float64
+	for _, readers := range []int{1, 2, 4, 8} {
+		stopWriter := make(chan struct{})
+		var writerDone sync.WaitGroup
+		writerDone.Add(1)
+		go func() {
+			defer writerDone.Done()
+			rng := rand.New(rand.NewSource(232))
+			for {
+				select {
+				case <-stopWriter:
+					return
+				default:
+				}
+				if err := e.Append([]int{rng.Intn(256), rng.Intn(256)}, 1); err != nil {
+					panic(err)
+				}
+			}
+		}()
+
+		const perReader = 300
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < perReader; i++ {
+					lo := []int{rng.Intn(200), rng.Intn(200)}
+					q := propolyne.Query{
+						Lo:    lo,
+						Hi:    []int{lo[0] + 4 + rng.Intn(50), lo[1] + 4 + rng.Intn(50)},
+						Polys: []vec.Poly{nil, {0, 1}},
+					}
+					if _, _, err := e.Exact(q); err != nil {
+						panic(err)
+					}
+				}
+			}(int64(300 + r))
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+		close(stopWriter)
+		writerDone.Wait()
+
+		qps := float64(readers*perReader) / elapsed.Seconds()
+		if readers == 1 {
+			base = qps
+		}
+		res.Readers = append(res.Readers, readers)
+		res.QueriesPerS = append(res.QueriesPerS, qps)
+		tb.AddRow(readers, qps, qps/base)
+	}
+	tb.Note("readers share the RWMutex read lock; the appender's short write sections")
+	tb.Note("(sparse delta updates) barely dent read throughput")
+	tb.Render(w)
+	return res
+}
+
+// A4Result reports error-bound tightness.
+type A4Result struct {
+	Budgets      []int
+	LooseBound   []float64
+	RefinedBound []float64
+	TrueError    []float64
+}
+
+// RunA4 compares the global Cauchy–Schwarz progressive bound against the
+// per-subband refinement (§3.3.1: exploiting "information about the energy
+// distribution of the data").
+func RunA4(w io.Writer) A4Result {
+	dims := []int{128, 128}
+	e, err := propolyne.New(synth.SmoothCube(dims, 221), dims, 0)
+	if err != nil {
+		panic(err)
+	}
+	q := propolyne.Query{Lo: []int{13, 21}, Hi: []int{90, 110}}
+	exact, _, _ := e.Exact(q)
+	var res A4Result
+	tb := &Table{
+		Title:   "A4 — Progressive error bounds: global vs per-subband refinement",
+		Columns: []string{"budget", "true |err|", "global bound", "refined bound", "tightening"},
+	}
+	for _, k := range []int{10, 30, 60, 120, 240} {
+		est, loose, err := e.EstimateWithBudget(q, k)
+		if err != nil {
+			panic(err)
+		}
+		_, refined, err := e.EstimateWithBudgetRefined(q, k)
+		if err != nil {
+			panic(err)
+		}
+		te := math.Abs(est - exact)
+		res.Budgets = append(res.Budgets, k)
+		res.LooseBound = append(res.LooseBound, loose)
+		res.RefinedBound = append(res.RefinedBound, refined)
+		res.TrueError = append(res.TrueError, te)
+		ratio := 0.0
+		if refined > 0 {
+			ratio = loose / refined
+		}
+		tb.AddRow(k, te, loose, refined, ratio)
+	}
+	tb.Note("both bounds are guaranteed; the refinement pays one scalar per subband cell")
+	tb.Render(w)
+	return res
+}

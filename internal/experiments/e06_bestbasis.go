@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"io"
+	"math"
+
+	"aims/internal/sensors"
+	"aims/internal/synth"
+	"aims/internal/wavelet"
+	"aims/internal/wpt"
+)
+
+// E6Result reports per-signal basis choices and energy compaction.
+type E6Result struct {
+	// Chosen maps signal name to the selected basis ("" = standard).
+	Chosen map[string]string
+	// Compaction maps signal name to energy captured by the top 5 % of
+	// coefficients under (standard, pyramid haar, best packet basis).
+	Compaction map[string][3]float64
+}
+
+// RunE6 reproduces the §3.1.1 multi-basis claim: the DWPT best-basis
+// search adapts the transform per dimension — smooth tracker channels
+// compact under wavelets, spiky/categorical marginals keep the standard
+// basis, and the adapted basis never compacts worse than a fixed one.
+func RunE6(w io.Writer) E6Result {
+	const n = 1024
+	dev := sensors.NewDevice(sensors.GloveSpecs(), sensors.DefaultClock, 1, 61)
+	rec := dev.RecordClean(n)
+
+	signals := map[string][]float64{
+		"glove joint (idx 5)":   rec[5],
+		"tracker X (idx 22)":    rec[22],
+		"sensor-id marginal":    categoricalMarginal(n),
+		"atmospheric row":       synth.SmoothCube([]int{n}, 62),
+		"white noise (uniform)": synth.UniformCube([]int{n}, 1, 63),
+	}
+	order := []string{"glove joint (idx 5)", "tracker X (idx 22)", "sensor-id marginal", "atmospheric row", "white noise (uniform)"}
+
+	res := E6Result{Chosen: map[string]string{}, Compaction: map[string][3]float64{}}
+	tb := &Table{
+		Title:   "E6 — Per-dimension basis selection (Shannon cost) and energy compaction",
+		Columns: []string{"signal", "chosen basis", "top-5% energy: standard", "pyramid haar", "best packet"},
+	}
+	topK := n / 20
+	for _, name := range order {
+		x := signals[name]
+		choice := wpt.SelectBasis(0, x, wavelet.Filters, wpt.ShannonCost)
+		std := wavelet.EnergyFraction(x, topK)
+		wHaar, _ := wavelet.Transform(x, wavelet.Haar, -1)
+		pyr := wavelet.EnergyFraction(wHaar, topK)
+		best := std
+		if choice.FilterName != "" {
+			f, _ := wavelet.ByName(choice.FilterName)
+			t := wpt.Decompose(x, f, -1)
+			bb := t.BestBasis(wpt.ShannonCost)
+			best = wavelet.EnergyFraction(t.Coefficients(bb), topK)
+		}
+		res.Chosen[name] = choice.FilterName
+		res.Compaction[name] = [3]float64{std, pyr, best}
+		label := choice.FilterName
+		if label == "" {
+			label = "standard"
+		}
+		tb.AddRow(name, label, std, pyr, best)
+	}
+	tb.Note("best packet basis ≥ fixed bases by construction of the Coifman–Wickerhauser DP")
+	tb.Render(w)
+	return res
+}
+
+// categoricalMarginal builds a spiky sensor-id-style marginal: mass on a
+// few ids, zero elsewhere.
+func categoricalMarginal(n int) []float64 {
+	x := make([]float64, n)
+	for i := 0; i < 8; i++ {
+		x[i*7%n] = 100 * math.Sqrt(float64(i+1))
+	}
+	return x
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"aims/internal/svdstream"
+	"aims/internal/synth"
+	"aims/internal/vec"
+)
+
+// E7Result reports online-recognition quality.
+type E7Result struct {
+	// IsolatedAccuracy[measure] over ground-truth-segmented signs.
+	IsolatedAccuracy map[string]float64
+	// Streaming isolation/recognition over the continuous stream.
+	StreamPrecision, StreamRecall, StreamAccuracy float64
+	MeanDecisionLatencyTicks                      float64
+}
+
+func buildTemplates(vocab []synth.Sign, seed int64) map[string]svdstream.Signature {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[string]svdstream.Signature, len(vocab))
+	for _, s := range vocab {
+		var agg [][]float64
+		for k := 0; k < 3; k++ {
+			m := svdstream.MomentMatrix(s.Render(0.8+0.2*float64(k), 0.1, rng))
+			if agg == nil {
+				agg = m
+			} else {
+				for i := range m {
+					for j := range m[i] {
+						agg[i][j] += m[i][j]
+					}
+				}
+			}
+		}
+		out[s.Name] = svdstream.SignatureFromMoments(agg)
+	}
+	return out
+}
+
+// RunE7 reproduces the §3.4 online-analysis study: weighted-sum SVD
+// similarity recognises isolated variable-length signs (compared against
+// the Euclidean/DFT/DWT measures of the related work) and, combined with
+// the information-accumulation heuristic, simultaneously isolates and
+// recognises signs in a continuous stream.
+func RunE7(w io.Writer) E7Result {
+	const vocabSize = 12
+	vocab := synth.Vocabulary(vocabSize, 71)
+	rng := rand.New(rand.NewSource(72))
+
+	// --- Isolated recognition: measure comparison on a *confusable*
+	// vocabulary (shared home posture, subtle per-sign motion) ---
+	hard := synth.ConfusableVocabulary(vocabSize, 0.08, 75)
+	refs := make(map[string][][]float64, vocabSize)
+	for _, s := range hard {
+		refs[s.Name] = s.Render(1, 0, rng)
+	}
+	measures := []struct {
+		name string
+		dist func(a, b [][]float64) float64
+	}{
+		{"weighted-sum SVD", svdstream.SVDDistance(6)},
+		{"euclidean (truncate)", svdstream.EuclideanDistance},
+		{"DFT features (k=8)", func(a, b [][]float64) float64 { return svdstream.DFTDistance(a, b, 8) }},
+		{"DWT features (k=8)", func(a, b [][]float64) float64 { return svdstream.DWTDistance(a, b, 8) }},
+		{"DTW (band=20)", func(a, b [][]float64) float64 { return svdstream.DTWDistance(a, b, 20) }},
+	}
+	res := E7Result{IsolatedAccuracy: map[string]float64{}}
+	tb := &Table{
+		Title:   "E7a — Isolated recognition, confusable 12-sign vocabulary (duration ±30%), noise sweep",
+		Columns: []string{"similarity measure", "σ=1", "σ=4", "σ=8", "σ=16"},
+	}
+	const trialsPerSign = 6
+	noises := []float64{1, 4, 8, 16}
+	accs := make(map[string][]float64)
+	for _, noise := range noises {
+		segments := make([]struct {
+			frames [][]float64
+			name   string
+		}, 0, vocabSize*trialsPerSign)
+		for _, s := range hard {
+			for k := 0; k < trialsPerSign; k++ {
+				dur := 0.7 + 0.6*rng.Float64()
+				segments = append(segments, struct {
+					frames [][]float64
+					name   string
+				}{s.Render(dur, noise, rng), s.Name})
+			}
+		}
+		for _, m := range measures {
+			correct := 0
+			for _, seg := range segments {
+				if svdstream.NearestTemplate(seg.frames, refs, m.dist) == seg.name {
+					correct++
+				}
+			}
+			accs[m.name] = append(accs[m.name], float64(correct)/float64(len(segments)))
+		}
+	}
+	for _, m := range measures {
+		row := []interface{}{m.name}
+		for _, a := range accs[m.name] {
+			row = append(row, a)
+		}
+		tb.AddRow(row...)
+		res.IsolatedAccuracy[m.name] = accs[m.name][0]
+	}
+	tb.Note("paper: SVD rotates axes optimally for the dataset; Euclidean suffers from the")
+	tb.Note("identical-length requirement and the dimensionality curse (§3.4.2).")
+	tb.Note("transform baselines benefit from exact segment boundaries here (they resample the")
+	tb.Note("segment to a fixed length) — a luxury that does not exist over a continuous stream")
+	tb.Render(w)
+
+	// --- Isolated recognition with imprecise boundaries (the streaming
+	// reality): segments carry random hold-posture slop at both ends.
+	tbS := &Table{
+		Title:   "E7a2 — Same task, noise σ=2, with boundary slop (extra held-posture ticks per end)",
+		Columns: []string{"similarity measure", "slop=0", "slop=20", "slop=40", "slop=80"},
+	}
+	slops := []int{0, 20, 40, 80}
+	accS := make(map[string][]float64)
+	for _, slop := range slops {
+		segments := make([]struct {
+			frames [][]float64
+			name   string
+		}, 0, vocabSize*trialsPerSign)
+		for _, s := range hard {
+			for k := 0; k < trialsPerSign; k++ {
+				dur := 0.7 + 0.6*rng.Float64()
+				body := s.Render(dur, 2, rng)
+				pre := rng.Intn(slop + 1)
+				post := rng.Intn(slop + 1)
+				padded := make([][]float64, 0, len(body)+pre+post)
+				for p := 0; p < pre; p++ {
+					padded = append(padded, jitterFrame(body[0], 2, rng))
+				}
+				padded = append(padded, body...)
+				for p := 0; p < post; p++ {
+					padded = append(padded, jitterFrame(body[len(body)-1], 2, rng))
+				}
+				segments = append(segments, struct {
+					frames [][]float64
+					name   string
+				}{padded, s.Name})
+			}
+		}
+		for _, m := range measures {
+			correct := 0
+			for _, seg := range segments {
+				if svdstream.NearestTemplate(seg.frames, refs, m.dist) == seg.name {
+					correct++
+				}
+			}
+			accS[m.name] = append(accS[m.name], float64(correct)/float64(len(segments)))
+		}
+	}
+	for _, m := range measures {
+		row := []interface{}{m.name}
+		for _, a := range accS[m.name] {
+			row = append(row, a)
+		}
+		tbS.AddRow(row...)
+	}
+	// --- Measure-effectiveness metric (§3.4.1's closing proposal):
+	// pairwise ROC-AUC of each measure over a labelled segment set.
+	tbE := &Table{
+		Title:   "E7c — Similarity-measure effectiveness (pairwise AUC, confusable vocabulary, σ=3)",
+		Columns: []string{"similarity measure", "AUC"},
+	}
+	var labeled []svdstream.LabeledSegment
+	for _, s := range hard {
+		for k := 0; k < 4; k++ {
+			labeled = append(labeled, svdstream.LabeledSegment{
+				Name:   s.Name,
+				Frames: s.Render(0.75+0.15*float64(k), 3, rng),
+			})
+		}
+	}
+	for _, m := range measures {
+		tbE.AddRow(m.name, svdstream.Effectiveness(labeled, m.dist))
+	}
+	tbE.Note("AUC = P(same-sign pair scored closer than cross-sign pair); 0.5 = chance —")
+	tbE.Note("the paper's proposed metric for comparing similarity measures, realised")
+	tbE.Render(w)
+
+	tbS.Note("measured deviation from the paper's expectation: on this synthetic family the")
+	tbS.Note("per-channel DWT features stay strongest even with boundary slop — see EXPERIMENTS.md.")
+	tbS.Note("The SVD measure's reproduced advantages are the streaming setting (E7b: no")
+	tbS.Note("segmentation prerequisite, incremental updates, early decisions) and the §3.4.1")
+	tbS.Note("wavelet-domain portability (E9), not isolated matching on smooth synthetic signs")
+	tbS.Render(w)
+
+	// --- Streaming isolation + recognition ---
+	templates := buildTemplates(vocab, 73)
+	frames, segs := synth.SignStream(vocab, synth.StreamOptions{
+		Count: 40, Noise: 0.4, DurJitter: 0.3, GapTicks: 50, Seed: 74,
+	})
+	r := svdstream.NewRecognizer(templates, svdstream.RecognizerConfig{
+		Dims:          synth.SignDims,
+		RestThreshold: svdstream.CalibrateRest(frames[:20]),
+	})
+	var dets []svdstream.Detection
+	for tick, fr := range frames {
+		if d := r.Feed(tick, fr); d != nil {
+			dets = append(dets, *d)
+		}
+	}
+	if d := r.Flush(len(frames)); d != nil {
+		dets = append(dets, *d)
+	}
+
+	matched, correct := 0, 0
+	var latency []float64
+	used := make([]bool, len(dets))
+	for _, seg := range segs {
+		for i, d := range dets {
+			if used[i] {
+				continue
+			}
+			overlap := minI(seg.End, d.End) - maxI(seg.Start, d.Start)
+			if overlap > (seg.End-seg.Start)/2 {
+				used[i] = true
+				matched++
+				if d.Name == seg.Name {
+					correct++
+				}
+				if d.Early {
+					latency = append(latency, float64(d.DecisionTick-d.Start))
+				}
+				break
+			}
+		}
+	}
+	res.StreamRecall = float64(matched) / float64(len(segs))
+	if len(dets) > 0 {
+		res.StreamPrecision = float64(matched) / float64(len(dets))
+	}
+	if matched > 0 {
+		res.StreamAccuracy = float64(correct) / float64(matched)
+	}
+	res.MeanDecisionLatencyTicks = vec.Mean(latency)
+
+	tb2 := &Table{
+		Title:   "E7b — Streaming isolation + recognition (40 signs in a continuous stream)",
+		Columns: []string{"metric", "value"},
+	}
+	tb2.AddRow("true segments", len(segs))
+	tb2.AddRow("detections", len(dets))
+	tb2.AddRow("isolation recall", res.StreamRecall)
+	tb2.AddRow("isolation precision", res.StreamPrecision)
+	tb2.AddRow("recognition accuracy (matched)", res.StreamAccuracy)
+	tb2.AddRow("mean early-decision latency (ticks)", res.MeanDecisionLatencyTicks)
+	tb2.Note("accumulated similarity commits to a sign before the motion completes (information heuristic)")
+	tb2.Render(w)
+	return res
+}
+
+// jitterFrame returns a noisy copy of a frame — held posture with sensor
+// noise, used to pad segment boundaries.
+func jitterFrame(f []float64, noise float64, rng *rand.Rand) []float64 {
+	out := make([]float64, len(f))
+	for i, v := range f {
+		out[i] = v + noise*rng.NormFloat64()
+	}
+	return out
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

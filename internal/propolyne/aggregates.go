@@ -1,0 +1,188 @@
+package propolyne
+
+import (
+	"fmt"
+
+	"aims/internal/vec"
+)
+
+// The standard OLAP aggregates as polynomial range-sums. Every attribute —
+// including measures — is a dimension of the cube, so SUM(m) is the
+// range-sum with polynomial x on dimension m, VARIANCE needs SUM(x²), and
+// COVARIANCE needs the bilinear SUM(x·y): "not only COUNT, SUM and
+// AVERAGE, but also VARIANCE, COVARIANCE and more" (§3.3).
+
+// Box is a rectangular selection: inclusive per-dimension ranges.
+type Box struct {
+	Lo, Hi []int
+}
+
+// FullRange returns the box spanning the entire cube.
+func (e *Engine) FullRange() Box {
+	lo := make([]int, len(e.Dims))
+	hi := make([]int, len(e.Dims))
+	for d, n := range e.Dims {
+		hi[d] = n - 1
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+func (e *Engine) polyQuery(b Box, polys []vec.Poly) Query {
+	return Query{Lo: b.Lo, Hi: b.Hi, Polys: polys}
+}
+
+func monomialOn(dims, target, degree int) []vec.Poly {
+	polys := make([]vec.Poly, dims)
+	polys[target] = vec.PolyX(degree)
+	return polys
+}
+
+// Count returns the number of tuples in the box.
+func (e *Engine) Count(b Box) (float64, error) {
+	v, _, err := e.Exact(e.polyQuery(b, nil))
+	return v, err
+}
+
+// Sum returns Σ x_dim over tuples in the box.
+func (e *Engine) Sum(b Box, dim int) (float64, error) {
+	if err := e.checkDim(dim); err != nil {
+		return 0, err
+	}
+	v, _, err := e.Exact(e.polyQuery(b, monomialOn(len(e.Dims), dim, 1)))
+	return v, err
+}
+
+// SumSquares returns Σ x_dim² over tuples in the box.
+func (e *Engine) SumSquares(b Box, dim int) (float64, error) {
+	if err := e.checkDim(dim); err != nil {
+		return 0, err
+	}
+	v, _, err := e.Exact(e.polyQuery(b, monomialOn(len(e.Dims), dim, 2)))
+	return v, err
+}
+
+// SumProduct returns Σ x_d1 · x_d2 over tuples in the box (d1 ≠ d2).
+func (e *Engine) SumProduct(b Box, d1, d2 int) (float64, error) {
+	if err := e.checkDim(d1); err != nil {
+		return 0, err
+	}
+	if err := e.checkDim(d2); err != nil {
+		return 0, err
+	}
+	if d1 == d2 {
+		return e.SumSquares(b, d1)
+	}
+	polys := make([]vec.Poly, len(e.Dims))
+	polys[d1] = vec.PolyX(1)
+	polys[d2] = vec.PolyX(1)
+	v, _, err := e.Exact(e.polyQuery(b, polys))
+	return v, err
+}
+
+// Average returns the mean of x_dim over tuples in the box; ok is false
+// when the box is empty.
+func (e *Engine) Average(b Box, dim int) (avg float64, ok bool, err error) {
+	n, err := e.Count(b)
+	if err != nil {
+		return 0, false, err
+	}
+	if n <= 0 {
+		return 0, false, nil
+	}
+	s, err := e.Sum(b, dim)
+	if err != nil {
+		return 0, false, err
+	}
+	return s / n, true, nil
+}
+
+// Variance returns the population variance of x_dim over tuples in the
+// box; ok is false when the box is empty.
+func (e *Engine) Variance(b Box, dim int) (v float64, ok bool, err error) {
+	n, err := e.Count(b)
+	if err != nil {
+		return 0, false, err
+	}
+	if n <= 0 {
+		return 0, false, nil
+	}
+	s, err := e.Sum(b, dim)
+	if err != nil {
+		return 0, false, err
+	}
+	s2, err := e.SumSquares(b, dim)
+	if err != nil {
+		return 0, false, err
+	}
+	mean := s / n
+	val := s2/n - mean*mean
+	if val < 0 {
+		val = 0 // numerical guard
+	}
+	return val, true, nil
+}
+
+// Covariance returns the population covariance of dimensions d1 and d2
+// over tuples in the box; ok is false when the box is empty.
+func (e *Engine) Covariance(b Box, d1, d2 int) (c float64, ok bool, err error) {
+	n, err := e.Count(b)
+	if err != nil {
+		return 0, false, err
+	}
+	if n <= 0 {
+		return 0, false, nil
+	}
+	sp, err := e.SumProduct(b, d1, d2)
+	if err != nil {
+		return 0, false, err
+	}
+	s1, err := e.Sum(b, d1)
+	if err != nil {
+		return 0, false, err
+	}
+	s2, err := e.Sum(b, d2)
+	if err != nil {
+		return 0, false, err
+	}
+	return sp/n - (s1/n)*(s2/n), true, nil
+}
+
+func (e *Engine) checkDim(d int) error {
+	if d < 0 || d >= len(e.Dims) {
+		return fmt.Errorf("propolyne: dimension %d out of range [0,%d)", d, len(e.Dims))
+	}
+	return nil
+}
+
+// CovarianceMatrix returns the full covariance matrix of the listed
+// dimensions over tuples in the box — the second-order statistics block
+// that §3.4.1 derives from SUM queries of degree-2 polynomials and feeds
+// into the SVD-based similarity measure.
+func (e *Engine) CovarianceMatrix(b Box, dims []int) ([][]float64, bool, error) {
+	n, err := e.Count(b)
+	if err != nil || n <= 0 {
+		return nil, false, err
+	}
+	sums := make([]float64, len(dims))
+	for i, d := range dims {
+		if sums[i], err = e.Sum(b, d); err != nil {
+			return nil, false, err
+		}
+	}
+	out := make([][]float64, len(dims))
+	for i := range out {
+		out[i] = make([]float64, len(dims))
+	}
+	for i, di := range dims {
+		for j := i; j < len(dims); j++ {
+			sp, err := e.SumProduct(b, di, dims[j])
+			if err != nil {
+				return nil, false, err
+			}
+			cov := sp/n - (sums[i]/n)*(sums[j]/n)
+			out[i][j] = cov
+			out[j][i] = cov
+		}
+	}
+	return out, true, nil
+}

@@ -1,0 +1,70 @@
+package propolyne
+
+import (
+	"fmt"
+
+	"aims/internal/disk"
+)
+
+// Block-level progressive evaluation (§3.2.1 meets §3.3): the transformed
+// cube lives on a simulated block device under a product-of-tilings
+// allocation; a query's sparse coefficient set maps to blocks, blocks are
+// fetched in query-importance order, and the running estimate improves
+// with every I/O.
+
+// NewBlockStore lays the engine's coefficients onto a block device. Each
+// dimension gets an error-tree tiling of perDimBlock items (tiling assumes
+// the fully decomposed Haar layout, so wavelet dimensions must use Haar;
+// standard dimensions use a sequential 1-D allocation). The device block
+// size is the product of per-dimension virtual block sizes.
+func (e *Engine) NewBlockStore(perDimBlock int) (*disk.Store, error) {
+	per := make([]disk.Allocation, len(e.Dims))
+	blockItems := 1
+	for d, n := range e.Dims {
+		if e.Bases[d].Standard {
+			per[d] = disk.NewSequential(n, perDimBlock)
+		} else {
+			if e.Bases[d].Filter.Name != "haar" {
+				return nil, fmt.Errorf("propolyne: block tiling requires haar on dim %d, have %s",
+					d, e.Bases[d].Filter.Name)
+			}
+			if e.Levels[d] != maxPow2Levels(n) {
+				return nil, fmt.Errorf("propolyne: block tiling requires full decomposition on dim %d", d)
+			}
+			per[d] = disk.NewTiling(n, perDimBlock)
+		}
+		blockItems *= perDimBlock
+	}
+	alloc := disk.NewProduct(e.Dims, per)
+	return disk.NewStore(e.Coeffs, alloc, blockItems), nil
+}
+
+func maxPow2Levels(n int) int {
+	l := 0
+	for n > 1 {
+		n /= 2
+		l++
+	}
+	return l
+}
+
+// ProgressiveByBlocks evaluates the query against the block store,
+// fetching blocks in importance order, and returns the per-block estimate
+// trajectory plus the exact answer.
+func (e *Engine) ProgressiveByBlocks(q Query, store *disk.Store) ([]disk.ProgressiveStep, float64, error) {
+	entries, _, err := e.QueryCoefficients(q)
+	if err != nil {
+		return nil, 0, err
+	}
+	queryMap := make(map[int]float64, len(entries))
+	var exact float64
+	e.mu.RLock()
+	for _, en := range entries {
+		queryMap[en.Index] += en.Value
+		exact += en.Value * e.Coeffs[en.Index]
+	}
+	e.mu.RUnlock()
+	order := store.ImportanceOrder(queryMap)
+	steps := store.ProgressiveDot(queryMap, order)
+	return steps, exact, nil
+}

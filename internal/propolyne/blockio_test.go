@@ -1,0 +1,76 @@
+package propolyne
+
+import (
+	"math"
+	"testing"
+
+	"aims/internal/synth"
+)
+
+func TestNewBlockStoreRequiresHaarFullDecomposition(t *testing.T) {
+	e, err := New(synth.SmoothCube([]int{32, 32}, 1), []int{32, 32}, 1) // db2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.NewBlockStore(4); err == nil {
+		t.Fatal("non-haar engine accepted for tiling")
+	}
+}
+
+func TestProgressiveByBlocksConvergesToExact(t *testing.T) {
+	sizes := []int{64, 64}
+	e, err := New(synth.SmoothCube(sizes, 2), sizes, 0) // Haar
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := e.NewBlockStore(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Lo: []int{3, 7}, Hi: []int{49, 61}}
+	steps, exact, err := e.ProgressiveByBlocks(q, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no steps")
+	}
+	final := steps[len(steps)-1].Estimate
+	if math.Abs(final-exact) > 1e-6*(1+math.Abs(exact)) {
+		t.Fatalf("block-progressive final %v vs exact %v", final, exact)
+	}
+	// Importance ordering front-loads: after a third of the blocks the
+	// estimate should already be within 10 % of exact on smooth data.
+	third := steps[len(steps)/3]
+	if math.Abs(third.Estimate-exact) > 0.1*math.Abs(exact) {
+		t.Fatalf("after %d/%d blocks estimate %v still far from %v",
+			third.BlocksFetched, len(steps), third.Estimate, exact)
+	}
+	// I/O accounting: reads were counted.
+	if store.Stats().BlockReads < len(steps) {
+		t.Fatalf("stats reads %d < steps %d", store.Stats().BlockReads, len(steps))
+	}
+}
+
+func TestBlockStoreStandardDims(t *testing.T) {
+	sizes := []int{8, 64}
+	bases := []Basis{{Standard: true}, {}}
+	f, _ := AllWavelet([]int{64}, 0)
+	bases[1] = f[0]
+	e, err := NewWithBases(synth.SmoothCube(sizes, 3), sizes, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := e.NewBlockStore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Lo: []int{2, 0}, Hi: []int{5, 63}}
+	steps, exact, err := e.ProgressiveByBlocks(q, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(steps[len(steps)-1].Estimate-exact) > 1e-6*(1+math.Abs(exact)) {
+		t.Fatal("hybrid block store did not converge")
+	}
+}

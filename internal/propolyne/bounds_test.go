@@ -1,0 +1,133 @@
+package propolyne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aims/internal/synth"
+)
+
+func TestBandOf(t *testing.T) {
+	// n=16, 4 levels: approx [0,1), d4 [1,2), d3 [2,4), d2 [4,8), d1 [8,16).
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 15: 4}
+	for p, want := range cases {
+		if got := bandOf(p, 16, 4); got != want {
+			t.Errorf("bandOf(%d) = %d, want %d", p, got, want)
+		}
+	}
+	// Partial decomposition: n=16, 2 levels → approx [0,4), d2 [4,8), d1 [8,16).
+	cases2 := map[int]int{0: 0, 3: 0, 4: 1, 7: 1, 8: 2, 15: 2}
+	for p, want := range cases2 {
+		if got := bandOf(p, 16, 2); got != want {
+			t.Errorf("bandOf(%d, levels=2) = %d, want %d", p, got, want)
+		}
+	}
+	if got := bandOf(5, 16, 0); got != 0 {
+		t.Errorf("levels=0 band = %d", got)
+	}
+}
+
+func TestRefinedBoundValidAndTighter(t *testing.T) {
+	for _, seedCube := range []struct {
+		name string
+		cube []float64
+	}{
+		{"smooth", synth.SmoothCube([]int{64, 64}, 31)},
+		{"zipf", synth.ZipfCube([]int{64, 64}, 20000, 1.2, 32)},
+	} {
+		e, err := New(seedCube.cube, []int{64, 64}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(33))
+		for trial := 0; trial < 15; trial++ {
+			lo := []int{rng.Intn(40), rng.Intn(40)}
+			q := Query{Lo: lo, Hi: []int{lo[0] + 4 + rng.Intn(20), lo[1] + 4 + rng.Intn(20)}}
+			exact, _, _ := e.Exact(q)
+			budget := 10 + rng.Intn(80)
+
+			est, loose, err := e.EstimateWithBudget(q, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			estR, refined, err := e.EstimateWithBudgetRefined(q, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est != estR {
+				t.Fatalf("%s: estimates differ: %v vs %v", seedCube.name, est, estR)
+			}
+			// Validity: the refined bound still covers the true error.
+			if math.Abs(est-exact) > refined+1e-6 {
+				t.Fatalf("%s: refined bound %v violated: |%v-%v|", seedCube.name, refined, est, exact)
+			}
+			// Tightness: never looser than the global bound.
+			if refined > loose+1e-9 {
+				t.Fatalf("%s: refined %v looser than global %v", seedCube.name, refined, loose)
+			}
+		}
+	}
+}
+
+func TestRefinedBoundStrictlyTighterOnStructuredData(t *testing.T) {
+	// Smooth data concentrates energy in coarse bands while a query's
+	// remainder lives mostly in fine bands — the refinement must win by a
+	// clear margin somewhere.
+	e, err := New(synth.SmoothCube([]int{128, 128}, 34), []int{128, 128}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Lo: []int{13, 21}, Hi: []int{90, 110}}
+	_, loose, _ := e.EstimateWithBudget(q, 30)
+	_, refined, _ := e.EstimateWithBudgetRefined(q, 30)
+	if refined > 0.8*loose {
+		t.Fatalf("refined %v not clearly tighter than loose %v", refined, loose)
+	}
+}
+
+func TestRefinedBoundInvalidatedByAppend(t *testing.T) {
+	e, err := New(make([]float64, 64*64), []int{64, 64}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Lo: []int{0, 0}, Hi: []int{63, 63}}
+	_, b0, _ := e.EstimateWithBudgetRefined(q, 1)
+	if b0 != 0 {
+		t.Fatalf("empty cube bound = %v", b0)
+	}
+	for i := 0; i < 50; i++ {
+		if err := e.Append([]int{i % 64, (i * 13) % 64}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exact, _, _ := e.Exact(q)
+	est, b1, _ := e.EstimateWithBudgetRefined(q, 2)
+	if math.Abs(est-exact) > b1+1e-9 {
+		t.Fatalf("stale band energies: |%v-%v| > %v", est, exact, b1)
+	}
+}
+
+func TestRefinedBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cube := synth.UniformCube([]int{32, 32}, 10, seed)
+		e, err := New(cube, []int{32, 32}, 0)
+		if err != nil {
+			return false
+		}
+		lo := []int{rng.Intn(20), rng.Intn(20)}
+		q := Query{Lo: lo, Hi: []int{lo[0] + rng.Intn(12), lo[1] + rng.Intn(12)}}
+		exact, _, _ := e.Exact(q)
+		budget := rng.Intn(60)
+		est, bound, err := e.EstimateWithBudgetRefined(q, budget)
+		if err != nil {
+			return false
+		}
+		return math.Abs(est-exact) <= bound+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

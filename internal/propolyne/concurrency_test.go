@@ -1,0 +1,113 @@
+package propolyne
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"aims/internal/synth"
+	"aims/internal/vec"
+)
+
+// TestConcurrentQueriesAndAppends exercises the single-writer /
+// many-readers protocol under the race detector: readers issue every query
+// type while a writer appends tuples.
+func TestConcurrentQueriesAndAppends(t *testing.T) {
+	sizes := []int{64, 64}
+	e, err := New(synth.ZipfCube(sizes, 20000, 1.2, 9), sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+
+	// Writer: a fixed stream of appends racing the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 1500; i++ {
+			if err := e.Append([]int{rng.Intn(64), rng.Intn(64)}, 1); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Readers: every public query path.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				lo := []int{rng.Intn(40), rng.Intn(40)}
+				q := Query{Lo: lo, Hi: []int{lo[0] + 2 + rng.Intn(18), lo[1] + 2 + rng.Intn(18)},
+					Polys: []vec.Poly{nil, {0, 1}}}
+				if v, _, err := e.Exact(q); err != nil || math.IsNaN(v) {
+					t.Errorf("Exact: %v %v", v, err)
+					return
+				}
+				if _, _, err := e.EstimateWithBudget(q, 20); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := e.EstimateWithBudgetRefined(q, 20); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := e.Progressive(q, 5); err != nil {
+					t.Error(err)
+					return
+				}
+				g, err := NewGroupBy(Box{Lo: q.Lo, Hi: q.Hi}, nil, 0, 2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := e.GroupByExact(g); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = e.Energy()
+			}
+		}(int64(r + 10))
+	}
+
+	wg.Wait()
+}
+
+// TestConcurrentAppendsSerialise verifies appends are not lost under
+// contention.
+func TestConcurrentAppendsSerialise(t *testing.T) {
+	sizes := []int{32, 32}
+	e, err := New(make([]float64, 32*32), sizes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	const perWriter = 200
+	var wg sync.WaitGroup
+	for wID := 0; wID < writers; wID++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				if err := e.Append([]int{rng.Intn(32), rng.Intn(32)}, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(wID))
+	}
+	wg.Wait()
+	total, err := e.Count(e.FullRange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-writers*perWriter) > 1e-6 {
+		t.Fatalf("count = %v, want %d", total, writers*perWriter)
+	}
+}

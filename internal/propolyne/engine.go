@@ -1,0 +1,347 @@
+// Package propolyne implements ProPolyne — the Progressive Polynomial
+// Range-Sum Evaluator at the heart of AIMS's off-line query subsystem
+// (§3.3 of the paper; Schmidt & Shahabi, EDBT'02/PODS'02).
+//
+// The data is the dense frequency cube of a relation whose every attribute
+// (measures included) is a dimension. The cube is wavelet-transformed per
+// dimension — possibly with a different basis per dimension, including the
+// standard (identity) basis for the hybrid engine of §3.3.1 — and a
+// polynomial range-sum
+//
+//	Σ_{x ∈ range} Δ(x) · ∏_d p_d(x_d)
+//
+// becomes a sparse dot product in the transformed domain: the per-dimension
+// lazy wavelet transform turns each factor p_d·1_range into O(filter·log n)
+// coefficients, and the tensor product of those sparse vectors hits only a
+// polylogarithmic number of data coefficients. Evaluating the largest query
+// coefficients first yields progressive, error-bounded approximate answers.
+package propolyne
+
+import (
+	"fmt"
+	"sync"
+
+	"aims/internal/vec"
+	"aims/internal/wavelet"
+)
+
+// Basis selects the transform of one dimension.
+type Basis struct {
+	// Standard marks the identity basis (the hybrid engine's "standard
+	// dimensions"); Filter is ignored when set.
+	Standard bool
+	Filter   wavelet.Filter
+}
+
+// Engine is a populated ProPolyne store: the transformed cube plus the
+// per-dimension basis book-keeping.
+type Engine struct {
+	Dims   wavelet.Dims
+	Bases  []Basis
+	Levels []int
+	// Coeffs is the cube transformed along every wavelet dimension
+	// (identity along standard dimensions), row-major.
+	Coeffs []float64
+
+	// mu guards Coeffs: queries take the read lock, Append the write
+	// lock, so any number of concurrent readers coexist with a single
+	// writer. cacheMu guards the derived energy caches and is always
+	// acquired BEFORE mu where both are needed. Direct Coeffs access
+	// (tests, the block-store builder) is only safe without concurrent
+	// appends.
+	mu          sync.RWMutex
+	cacheMu     sync.Mutex
+	energy      float64
+	energyValid bool
+	// bandEnergy caches per-subband-cell Σ coeff² for the refined bounds;
+	// nil means "recompute".
+	bandEnergy map[int]float64
+}
+
+// Query is a polynomial range-sum: per-dimension inclusive ranges and
+// per-dimension polynomial factors (nil ⇒ constant 1). The measure
+// polynomial's degree per dimension must stay below the vanishing moments
+// of that dimension's filter for sparse evaluation; higher degrees still
+// evaluate exactly via the dense fallback.
+type Query struct {
+	Lo, Hi []int
+	Polys  []vec.Poly
+}
+
+// Stats reports the work one evaluation did.
+type Stats struct {
+	// PerDim is the nonzero count of each dimension's query vector.
+	PerDim []int
+	// QueryCoeffs is the size of the tensor-product query support — the
+	// number of data coefficients the evaluation touches (its I/O cost).
+	QueryCoeffs int
+}
+
+// New populates an engine from a dense cube. maxDegree is the highest
+// per-dimension polynomial degree queries will use ("up to a degree
+// specified when the database is populated"); it selects the shortest
+// Daubechies filter with enough vanishing moments for every dimension.
+func New(cube []float64, dims []int, maxDegree int) (*Engine, error) {
+	f, err := wavelet.ForDegree(maxDegree)
+	if err != nil {
+		return nil, err
+	}
+	bases := make([]Basis, len(dims))
+	for d := range bases {
+		bases[d] = Basis{Filter: f}
+	}
+	return NewWithBases(cube, dims, bases)
+}
+
+// NewWithBases populates an engine with an explicit per-dimension basis
+// assignment — the multi-basis configuration of §3.1.1/§3.3.1.
+func NewWithBases(cube []float64, dims []int, bases []Basis) (*Engine, error) {
+	if len(bases) != len(dims) {
+		return nil, fmt.Errorf("propolyne: %d bases for %d dims", len(bases), len(dims))
+	}
+	wd := wavelet.Dims(dims)
+	if wd.Size() != len(cube) {
+		return nil, fmt.Errorf("propolyne: cube size %d != dims %v", len(cube), dims)
+	}
+	for _, n := range dims {
+		if n <= 0 || n&(n-1) != 0 {
+			return nil, fmt.Errorf("propolyne: dimension size %d is not a power of two", n)
+		}
+	}
+	e := &Engine{
+		Dims:   wd,
+		Bases:  append([]Basis(nil), bases...),
+		Levels: make([]int, len(dims)),
+		Coeffs: append([]float64(nil), cube...),
+	}
+	for axis, b := range e.Bases {
+		if b.Standard {
+			continue
+		}
+		e.Levels[axis] = wavelet.TransformAxis(e.Coeffs, e.Dims, axis, b.Filter, -1)
+	}
+	return e, nil
+}
+
+// Energy returns Σ coefficient² — the data-energy term of the progressive
+// error bound. Cached between updates; safe for concurrent use.
+func (e *Engine) Energy() float64 {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	if !e.energyValid {
+		e.mu.RLock()
+		var s float64
+		for _, v := range e.Coeffs {
+			s += v * v
+		}
+		e.mu.RUnlock()
+		e.energy = s
+		e.energyValid = true
+	}
+	return e.energy
+}
+
+// validate checks a query against the schema.
+func (e *Engine) validate(q Query) error {
+	d := len(e.Dims)
+	if len(q.Lo) != d || len(q.Hi) != d {
+		return fmt.Errorf("propolyne: query arity %d/%d != %d", len(q.Lo), len(q.Hi), d)
+	}
+	if len(q.Polys) > d {
+		return fmt.Errorf("propolyne: %d polynomials for %d dims", len(q.Polys), d)
+	}
+	for i := range q.Lo {
+		if q.Lo[i] < 0 || q.Hi[i] >= e.Dims[i] || q.Lo[i] > q.Hi[i] {
+			return fmt.Errorf("propolyne: range [%d,%d] invalid for dim %d (size %d)",
+				q.Lo[i], q.Hi[i], i, e.Dims[i])
+		}
+	}
+	return nil
+}
+
+// queryVectors computes the per-dimension transformed query vectors: the
+// lazy wavelet transform on wavelet dimensions, the literal restricted
+// polynomial on standard dimensions.
+func (e *Engine) queryVectors(q Query) ([]wavelet.Sparse, error) {
+	if err := e.validate(q); err != nil {
+		return nil, err
+	}
+	out := make([]wavelet.Sparse, len(e.Dims))
+	for d := range e.Dims {
+		var p vec.Poly
+		if d < len(q.Polys) && q.Polys[d] != nil {
+			p = q.Polys[d]
+		} else {
+			p = vec.PolyConst(1)
+		}
+		if e.Bases[d].Standard {
+			s := make(wavelet.Sparse, q.Hi[d]-q.Lo[d]+1)
+			for v := q.Lo[d]; v <= q.Hi[d]; v++ {
+				s.Add(v, p.Eval(float64(v)))
+			}
+			out[d] = s
+			continue
+		}
+		s, err := wavelet.LazyQuery(e.Dims[d], q.Lo[d], q.Hi[d], p, e.Bases[d].Filter, e.Levels[d])
+		if err != nil {
+			return nil, err
+		}
+		out[d] = s
+	}
+	return out, nil
+}
+
+// QueryCoefficients flattens the tensor product of per-dimension query
+// vectors into (flat cube offset, weight) pairs.
+func (e *Engine) QueryCoefficients(q Query) ([]wavelet.Entry, Stats, error) {
+	vecs, err := e.queryVectors(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st := Stats{PerDim: make([]int, len(vecs)), QueryCoeffs: 1}
+	for d, s := range vecs {
+		st.PerDim[d] = len(s)
+		st.QueryCoeffs *= len(s)
+	}
+	strides := e.Dims.Strides()
+	entries := make([]wavelet.Entry, 0, st.QueryCoeffs)
+	var rec func(d, off int, w float64)
+	rec = func(d, off int, w float64) {
+		if d == len(vecs) {
+			entries = append(entries, wavelet.Entry{Index: off, Value: w})
+			return
+		}
+		for i, v := range vecs[d] {
+			rec(d+1, off+i*strides[d], w*v)
+		}
+	}
+	rec(0, 0, 1)
+	return entries, st, nil
+}
+
+// Explain describes how a query would be evaluated without running it —
+// the engine's EXPLAIN: per-dimension basis, range, polynomial degree and
+// query-vector sparsity, plus the total touched-coefficient cost.
+type Explain struct {
+	PerDim      []DimPlan
+	QueryCoeffs int
+}
+
+// DimPlan is one dimension's slice of the plan.
+type DimPlan struct {
+	Dim      int
+	Basis    string // "standard" or the filter name
+	Lo, Hi   int
+	Degree   int
+	Nonzeros int
+}
+
+// String renders the plan compactly.
+func (ex Explain) String() string {
+	s := fmt.Sprintf("touch %d coefficients:", ex.QueryCoeffs)
+	for _, d := range ex.PerDim {
+		s += fmt.Sprintf(" [dim %d %s range %d..%d deg %d → %d nz]",
+			d.Dim, d.Basis, d.Lo, d.Hi, d.Degree, d.Nonzeros)
+	}
+	return s
+}
+
+// ExplainQuery returns the evaluation plan for q.
+func (e *Engine) ExplainQuery(q Query) (Explain, error) {
+	vecs, err := e.queryVectors(q)
+	if err != nil {
+		return Explain{}, err
+	}
+	ex := Explain{QueryCoeffs: 1}
+	for d, s := range vecs {
+		basis := "standard"
+		if !e.Bases[d].Standard {
+			basis = e.Bases[d].Filter.Name
+		}
+		deg := -1
+		if d < len(q.Polys) && q.Polys[d] != nil {
+			deg = q.Polys[d].Degree()
+		} else {
+			deg = 0
+		}
+		ex.PerDim = append(ex.PerDim, DimPlan{
+			Dim: d, Basis: basis, Lo: q.Lo[d], Hi: q.Hi[d],
+			Degree: deg, Nonzeros: len(s),
+		})
+		ex.QueryCoeffs *= len(s)
+	}
+	return ex, nil
+}
+
+// Exact evaluates the polynomial range-sum exactly in the transformed
+// domain.
+func (e *Engine) Exact(q Query) (float64, Stats, error) {
+	entries, st, err := e.QueryCoefficients(q)
+	if err != nil {
+		return 0, st, err
+	}
+	e.mu.RLock()
+	var sum float64
+	for _, en := range entries {
+		sum += en.Value * e.Coeffs[en.Index]
+	}
+	e.mu.RUnlock()
+	return sum, st, nil
+}
+
+// Append inserts one tuple with the given weight (typically 1) without
+// retransforming the cube: the wavelet transform of a point mass is sparse
+// per dimension, so the update touches only the tensor product of those
+// sparse vectors — the low-cost incremental append of §3.1.1.
+func (e *Engine) Append(tuple []int, weight float64) error {
+	if len(tuple) != len(e.Dims) {
+		return fmt.Errorf("propolyne: tuple arity %d != %d", len(tuple), len(e.Dims))
+	}
+	per := make([]wavelet.Sparse, len(e.Dims))
+	for d, v := range tuple {
+		if v < 0 || v >= e.Dims[d] {
+			return fmt.Errorf("propolyne: tuple value %d outside dim %d", v, d)
+		}
+		if e.Bases[d].Standard {
+			per[d] = wavelet.Sparse{v: 1}
+			continue
+		}
+		per[d] = wavelet.DeltaTransform(e.Dims[d], v, 1, e.Bases[d].Filter, e.Levels[d])
+	}
+	strides := e.Dims.Strides()
+	var rec func(d, off int, w float64)
+	rec = func(d, off int, w float64) {
+		if d == len(per) {
+			e.Coeffs[off] += w
+			return
+		}
+		for i, v := range per[d] {
+			rec(d+1, off+i*strides[d], w*v)
+		}
+	}
+	e.cacheMu.Lock()
+	e.mu.Lock()
+	rec(0, 0, weight)
+	e.mu.Unlock()
+	e.energyValid = false
+	e.bandEnergy = nil
+	e.cacheMu.Unlock()
+	return nil
+}
+
+// WithApproximation returns a copy of the engine whose coefficient store
+// keeps only the k largest-magnitude coefficients — the classical wavelet
+// *data approximation* baseline (Vitter–Wang style) that experiment E3
+// contrasts with ProPolyne's query approximation.
+func (e *Engine) WithApproximation(k int) *Engine {
+	e.mu.RLock()
+	sparse := wavelet.TopK(e.Coeffs, k)
+	e.mu.RUnlock()
+	out := &Engine{
+		Dims:   e.Dims,
+		Bases:  e.Bases,
+		Levels: e.Levels,
+		Coeffs: sparse.Dense(len(e.Coeffs)),
+	}
+	return out
+}

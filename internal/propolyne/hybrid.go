@@ -1,0 +1,96 @@
+package propolyne
+
+import (
+	"math"
+
+	"aims/internal/wavelet"
+)
+
+// Hybrid basis selection (§3.3.1): dimensions where relational selection is
+// cheaper than wavelet-domain evaluation — small domains or tightly
+// selective query templates — keep the standard basis; the rest use
+// wavelets. "Clearly the best choice of hybridization will perform at least
+// as well as a pure relational algorithm or pure ProPolyne."
+
+// QueryTemplate describes the expected workload for the chooser: the
+// expected fractional range width per dimension (1 = whole domain) and the
+// highest polynomial degree used per dimension.
+type QueryTemplate struct {
+	RangeFraction []float64
+	MaxDegree     int
+}
+
+// CostModel estimates per-dimension evaluation cost in touched
+// coefficients.
+type CostModel struct {
+	// WaveletConstant scales the O(filter·log n) wavelet query sparsity;
+	// calibrated from the lazy transform's boundary-window width.
+	WaveletConstant float64
+}
+
+// DefaultCostModel matches the measured sparsity of LazyQuery.
+var DefaultCostModel = CostModel{WaveletConstant: 2}
+
+// WaveletCost estimates the nonzero query coefficients for one wavelet
+// dimension.
+func (c CostModel) WaveletCost(n int, f wavelet.Filter) float64 {
+	return c.WaveletConstant * float64(f.Len()) * math.Log2(float64(n))
+}
+
+// StandardCost estimates the query-vector size for one standard dimension:
+// the expected range width.
+func (c CostModel) StandardCost(n int, rangeFraction float64) float64 {
+	w := rangeFraction * float64(n)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ChooseBases picks, per dimension, the cheaper of the standard basis and
+// the degree-appropriate wavelet basis under the cost model. The total
+// query cost is the product of per-dimension vector sizes, so the choice
+// is separable per dimension.
+func ChooseBases(dims []int, tmpl QueryTemplate, model CostModel) ([]Basis, error) {
+	f, err := wavelet.ForDegree(tmpl.MaxDegree)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Basis, len(dims))
+	for d, n := range dims {
+		frac := 1.0
+		if d < len(tmpl.RangeFraction) {
+			frac = tmpl.RangeFraction[d]
+		}
+		std := model.StandardCost(n, frac)
+		wav := model.WaveletCost(n, f)
+		if std <= wav {
+			out[d] = Basis{Standard: true}
+		} else {
+			out[d] = Basis{Filter: f}
+		}
+	}
+	return out, nil
+}
+
+// AllWavelet returns a uniform wavelet basis assignment for the degree.
+func AllWavelet(dims []int, maxDegree int) ([]Basis, error) {
+	f, err := wavelet.ForDegree(maxDegree)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Basis, len(dims))
+	for d := range out {
+		out[d] = Basis{Filter: f}
+	}
+	return out, nil
+}
+
+// AllStandard returns the pure-relational basis assignment.
+func AllStandard(dims []int) []Basis {
+	out := make([]Basis, len(dims))
+	for d := range out {
+		out[d] = Basis{Standard: true}
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package propolyne
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aims/internal/vec"
+)
+
+// Multi-query evaluation (§3.3.1, third extension): OLAP queries that need
+// several related range aggregates at once — SQL GROUP BY, drill-downs,
+// MDX expressions — act as linear *maps* where single range queries act as
+// linear functionals. Evaluating them well means approximating a matrix:
+// the rows are the individual queries' coefficient vectors, they overlap
+// heavily, and I/O should be shared maximally with the most important data
+// retrieved first. Two notions of "important" are supported, matching the
+// paper's discussion of error measures: total L2 error across the group,
+// and worst-case (max) error over the group members.
+
+// GroupBy describes a batch of polynomial range-sums that partition one
+// dimension of a common box: one aggregate per bucket of the group
+// dimension. This covers SQL GROUP BY and drill-down one level.
+type GroupBy struct {
+	Box   Box
+	Polys []vec.Poly
+	// Dim is the grouped dimension; its box range is partitioned into
+	// len(Buckets) consecutive, disjoint [lo, hi] cells.
+	Dim     int
+	Buckets []Box // derived; see NewGroupBy
+}
+
+// NewGroupBy partitions the box's range on dim into `parts` near-equal
+// buckets and returns the batch.
+func NewGroupBy(b Box, polys []vec.Poly, dim, parts int) (GroupBy, error) {
+	if dim < 0 || dim >= len(b.Lo) {
+		return GroupBy{}, fmt.Errorf("propolyne: group dimension %d out of range", dim)
+	}
+	width := b.Hi[dim] - b.Lo[dim] + 1
+	if parts <= 0 || parts > width {
+		return GroupBy{}, fmt.Errorf("propolyne: %d parts for width %d", parts, width)
+	}
+	g := GroupBy{Box: b, Polys: polys, Dim: dim}
+	start := b.Lo[dim]
+	for p := 0; p < parts; p++ {
+		lo := start + p*width/parts
+		hi := start + (p+1)*width/parts - 1
+		bucket := Box{Lo: append([]int(nil), b.Lo...), Hi: append([]int(nil), b.Hi...)}
+		bucket.Lo[g.Dim] = lo
+		bucket.Hi[g.Dim] = hi
+		g.Buckets = append(g.Buckets, bucket)
+	}
+	return g, nil
+}
+
+// GroupResult is the exact answer vector of a GroupBy.
+type GroupResult struct {
+	Values []float64
+	// SharedCoeffs is the number of *distinct* data coefficients touched
+	// across the whole batch; IndividualCoeffs is the sum of per-bucket
+	// counts — their ratio is the I/O sharing factor.
+	SharedCoeffs, IndividualCoeffs int
+}
+
+// GroupByExact evaluates every bucket exactly while fetching each distinct
+// data coefficient once — the "share I/O maximally" evaluation.
+func (e *Engine) GroupByExact(g GroupBy) (GroupResult, error) {
+	var res GroupResult
+	res.Values = make([]float64, len(g.Buckets))
+	type entryRef struct {
+		bucket int
+		weight float64
+	}
+	shared := map[int][]entryRef{}
+	for bi, b := range g.Buckets {
+		entries, st, err := e.QueryCoefficients(Query{Lo: b.Lo, Hi: b.Hi, Polys: g.Polys})
+		if err != nil {
+			return res, err
+		}
+		res.IndividualCoeffs += st.QueryCoeffs
+		for _, en := range entries {
+			shared[en.Index] = append(shared[en.Index], entryRef{bi, en.Value})
+		}
+	}
+	res.SharedCoeffs = len(shared)
+	e.mu.RLock()
+	for idx, refs := range shared {
+		v := e.Coeffs[idx]
+		for _, r := range refs {
+			res.Values[r.bucket] += r.weight * v
+		}
+	}
+	e.mu.RUnlock()
+	return res, nil
+}
+
+// ErrorMeasure selects the objective the progressive group evaluation
+// minimises when ordering I/O.
+type ErrorMeasure int
+
+const (
+	// L2Total orders fetches to shrink the summed squared error across
+	// the group fastest (the "standard L2 norm" objective).
+	L2Total ErrorMeasure = iota
+	// WorstCase orders fetches to shrink the largest single-bucket error
+	// bound fastest (the Sobolev/Besov-flavoured objective: large
+	// differences between related ranges must be captured early).
+	WorstCase
+	// NaiveOrder fetches coefficients in ascending index order — the
+	// unprioritised baseline a plain layout scan would produce.
+	NaiveOrder
+)
+
+// GroupStep is the state of a progressive group evaluation after fetching
+// one more distinct coefficient.
+type GroupStep struct {
+	Fetched   int
+	Estimates []float64
+	// Bounds[b] is the remaining Cauchy–Schwarz error bound of bucket b.
+	Bounds []float64
+}
+
+// GroupByProgressive evaluates the batch progressively: distinct data
+// coefficients are fetched one at a time in an order chosen by the error
+// measure, every bucket's estimate advances with each shared fetch, and
+// per-bucket guaranteed bounds shrink. maxSteps limits the emitted
+// checkpoints (≤0: every fetch).
+func (e *Engine) GroupByProgressive(g GroupBy, m ErrorMeasure, maxSteps int) ([]GroupStep, error) {
+	type ref = bucketRef
+	shared := map[int][]ref{}
+	// Per-bucket remaining query energy (for bounds).
+	remEnergy := make([]float64, len(g.Buckets))
+	for bi, b := range g.Buckets {
+		entries, _, err := e.QueryCoefficients(Query{Lo: b.Lo, Hi: b.Hi, Polys: g.Polys})
+		if err != nil {
+			return nil, err
+		}
+		for _, en := range entries {
+			shared[en.Index] = append(shared[en.Index], ref{bi, en.Value})
+			remEnergy[bi] += en.Value * en.Value
+		}
+	}
+	dataNorm := math.Sqrt(e.Energy())
+
+	var idxs []int
+	switch m {
+	case WorstCase:
+		idxs = worstCaseOrder(shared, remEnergy)
+	case NaiveOrder:
+		idxs = make([]int, 0, len(shared))
+		for i := range shared {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+	default:
+		// Static order by total squared weight across the group.
+		idxs = make([]int, 0, len(shared))
+		for i := range shared {
+			idxs = append(idxs, i)
+		}
+		imp := func(refs []ref) float64 {
+			var s float64
+			for _, r := range refs {
+				s += r.weight * r.weight
+			}
+			return s
+		}
+		sort.Slice(idxs, func(a, b int) bool {
+			ia, ib := imp(shared[idxs[a]]), imp(shared[idxs[b]])
+			if ia != ib {
+				return ia > ib
+			}
+			return idxs[a] < idxs[b]
+		})
+	}
+
+	every := 1
+	if maxSteps > 0 && len(idxs) > maxSteps {
+		every = (len(idxs) + maxSteps - 1) / maxSteps
+	}
+	est := make([]float64, len(g.Buckets))
+	var steps []GroupStep
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for k, idx := range idxs {
+		v := e.Coeffs[idx]
+		for _, r := range shared[idx] {
+			est[r.bucket] += r.weight * v
+			remEnergy[r.bucket] -= r.weight * r.weight
+			if remEnergy[r.bucket] < 0 {
+				remEnergy[r.bucket] = 0
+			}
+		}
+		if (k+1)%every == 0 || k == len(idxs)-1 {
+			st := GroupStep{Fetched: k + 1,
+				Estimates: append([]float64(nil), est...),
+				Bounds:    make([]float64, len(g.Buckets))}
+			for bi := range st.Bounds {
+				st.Bounds[bi] = math.Sqrt(remEnergy[bi]) * dataNorm
+			}
+			steps = append(steps, st)
+		}
+	}
+	if len(idxs) == 0 {
+		steps = append(steps, GroupStep{Estimates: est, Bounds: make([]float64, len(g.Buckets))})
+	}
+	return steps, nil
+}
+
+// bucketRef ties one shared coefficient occurrence to its bucket.
+type bucketRef struct {
+	bucket int
+	weight float64
+}
+
+// worstCaseOrder greedily minimises the maximum per-bucket remaining query
+// energy: at every step it serves the currently-worst bucket its largest
+// outstanding coefficient (fetching it for every bucket that shares it).
+// energies is consumed as a working copy.
+func worstCaseOrder(shared map[int][]bucketRef, energies []float64) []int {
+	rem := append([]float64(nil), energies...)
+
+	// Per-bucket coefficient lists sorted by descending squared weight.
+	type cand struct {
+		idx int
+		w2  float64
+	}
+	perBucket := make([][]cand, len(rem))
+	for idx, refs := range shared {
+		for _, r := range refs {
+			perBucket[r.bucket] = append(perBucket[r.bucket], cand{idx, r.weight * r.weight})
+		}
+	}
+	for b := range perBucket {
+		list := perBucket[b]
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].w2 != list[j].w2 {
+				return list[i].w2 > list[j].w2
+			}
+			return list[i].idx < list[j].idx
+		})
+	}
+	cursor := make([]int, len(rem))
+
+	fetched := make(map[int]bool, len(shared))
+	order := make([]int, 0, len(shared))
+	for len(order) < len(shared) {
+		// Worst bucket with outstanding coefficients.
+		worst, worstE := -1, -1.0
+		for b := range rem {
+			for cursor[b] < len(perBucket[b]) && fetched[perBucket[b][cursor[b]].idx] {
+				cursor[b]++
+			}
+			if cursor[b] < len(perBucket[b]) && rem[b] > worstE {
+				worst, worstE = b, rem[b]
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		idx := perBucket[worst][cursor[worst]].idx
+		fetched[idx] = true
+		order = append(order, idx)
+		for _, r := range shared[idx] {
+			rem[r.bucket] -= r.weight * r.weight
+			if rem[r.bucket] < 0 {
+				rem[r.bucket] = 0
+			}
+		}
+	}
+	return order
+}
+
+// SharedSupport reports how much I/O the batch shares: the distinct
+// coefficient count and the sum of per-bucket counts.
+func (e *Engine) SharedSupport(g GroupBy) (distinct, total int, err error) {
+	seen := map[int]bool{}
+	for _, b := range g.Buckets {
+		entries, st, err := e.QueryCoefficients(Query{Lo: b.Lo, Hi: b.Hi, Polys: g.Polys})
+		if err != nil {
+			return 0, 0, err
+		}
+		total += st.QueryCoeffs
+		for _, en := range entries {
+			seen[en.Index] = true
+		}
+	}
+	return len(seen), total, nil
+}

@@ -1,0 +1,207 @@
+package propolyne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aims/internal/synth"
+	"aims/internal/vec"
+)
+
+func TestNewGroupByPartitions(t *testing.T) {
+	b := Box{Lo: []int{0, 10}, Hi: []int{31, 40}}
+	g, err := NewGroupBy(b, nil, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Buckets) != 4 {
+		t.Fatalf("buckets = %d", len(g.Buckets))
+	}
+	// Buckets tile [0,31] on dim 0, keep dim 1 intact.
+	prev := -1
+	for _, bk := range g.Buckets {
+		if bk.Lo[0] != prev+1 {
+			t.Fatalf("gap/overlap at %d", bk.Lo[0])
+		}
+		prev = bk.Hi[0]
+		if bk.Lo[1] != 10 || bk.Hi[1] != 40 {
+			t.Fatalf("non-grouped dim changed: %+v", bk)
+		}
+	}
+	if prev != 31 {
+		t.Fatalf("last bucket ends at %d", prev)
+	}
+}
+
+func TestNewGroupByErrors(t *testing.T) {
+	b := Box{Lo: []int{0}, Hi: []int{7}}
+	if _, err := NewGroupBy(b, nil, 1, 2); err == nil {
+		t.Fatal("bad dim accepted")
+	}
+	if _, err := NewGroupBy(b, nil, 0, 100); err == nil {
+		t.Fatal("too many parts accepted")
+	}
+}
+
+func TestGroupByExactMatchesPerBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sizes := []int{32, 32}
+	rel := randomRelation(rng, sizes, 900)
+	e, err := New(rel.Cube(), sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Box{Lo: []int{0, 4}, Hi: []int{31, 28}}
+	polys := []vec.Poly{nil, {0, 1}}
+	g, err := NewGroupBy(b, polys, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.GroupByExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, bucket := range g.Buckets {
+		want := rel.RangeSum(bucket.Lo, bucket.Hi, polys)
+		if math.Abs(res.Values[bi]-want) > 1e-5*(1+math.Abs(want)) {
+			t.Fatalf("bucket %d: %v vs naive %v", bi, res.Values[bi], want)
+		}
+	}
+	// I/O sharing must be real: distinct < sum of individual counts.
+	if res.SharedCoeffs >= res.IndividualCoeffs {
+		t.Fatalf("no sharing: %d distinct vs %d individual", res.SharedCoeffs, res.IndividualCoeffs)
+	}
+}
+
+func TestSharedSupportMatchesExact(t *testing.T) {
+	e, _ := New(synth.SmoothCube([]int{64, 64}, 5), []int{64, 64}, 0)
+	g, err := NewGroupBy(Box{Lo: []int{0, 0}, Hi: []int{63, 63}}, nil, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct, total, err := e.SharedSupport(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.GroupByExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distinct != res.SharedCoeffs || total != res.IndividualCoeffs {
+		t.Fatalf("support mismatch: %d/%d vs %d/%d",
+			distinct, total, res.SharedCoeffs, res.IndividualCoeffs)
+	}
+}
+
+func TestGroupByProgressiveConvergesBothMeasures(t *testing.T) {
+	e, err := New(synth.SmoothCube([]int{64, 64}, 6), []int{64, 64}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGroupBy(Box{Lo: []int{2, 5}, Hi: []int{60, 58}}, nil, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := e.GroupByExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []ErrorMeasure{L2Total, WorstCase} {
+		steps, err := e.GroupByProgressive(g, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := steps[len(steps)-1]
+		for bi := range exact.Values {
+			if math.Abs(final.Estimates[bi]-exact.Values[bi]) > 1e-6*(1+math.Abs(exact.Values[bi])) {
+				t.Fatalf("measure %v bucket %d: %v vs %v", m, bi, final.Estimates[bi], exact.Values[bi])
+			}
+			if final.Bounds[bi] > 1e-6*(1+math.Abs(exact.Values[bi])) {
+				t.Fatalf("measure %v: final bound %v not ≈ 0", m, final.Bounds[bi])
+			}
+		}
+		// Bounds hold at every checkpoint.
+		for _, s := range steps {
+			for bi := range s.Estimates {
+				if math.Abs(s.Estimates[bi]-exact.Values[bi]) > s.Bounds[bi]+1e-6 {
+					t.Fatalf("measure %v: bound violated at fetch %d bucket %d", m, s.Fetched, bi)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupByProgressiveCheckpointing(t *testing.T) {
+	e, _ := New(synth.SmoothCube([]int{64, 64}, 7), []int{64, 64}, 0)
+	g, _ := NewGroupBy(Box{Lo: []int{0, 0}, Hi: []int{63, 63}}, nil, 0, 4)
+	steps, err := e.GroupByProgressive(g, L2Total, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) > 7 {
+		t.Fatalf("checkpointing failed: %d steps", len(steps))
+	}
+}
+
+func TestGroupByExactMatchesRelationalScan(t *testing.T) {
+	// The wavelet-domain GROUP BY and the relational scan baseline must
+	// agree bucket for bucket (identical partition boundaries).
+	rng := rand.New(rand.NewSource(3))
+	sizes := []int{32, 16}
+	rel := randomRelation(rng, sizes, 700)
+	e, err := New(rel.Cube(), sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Box{Lo: []int{2, 1}, Hi: []int{29, 14}}
+	polys := []vec.Poly{nil, {0, 1}}
+	for _, parts := range []int{3, 7, 8} {
+		g, err := NewGroupBy(b, polys, 0, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.GroupByExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan, _, err := rel.GroupByScan(b.Lo, b.Hi, polys, 0, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range scan {
+			if math.Abs(res.Values[i]-scan[i]) > 1e-5*(1+math.Abs(scan[i])) {
+				t.Fatalf("parts=%d bucket %d: engine %v vs scan %v", parts, i, res.Values[i], scan[i])
+			}
+		}
+	}
+}
+
+func TestGroupByDrillDownConsistency(t *testing.T) {
+	// The buckets of a GROUP BY must sum to the parent aggregate —
+	// the drill-down invariant.
+	rng := rand.New(rand.NewSource(2))
+	sizes := []int{64, 32}
+	rel := randomRelation(rng, sizes, 1200)
+	e, err := New(rel.Cube(), sizes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := Box{Lo: []int{0, 0}, Hi: []int{63, 31}}
+	total, err := e.Count(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := NewGroupBy(parent, nil, 0, 16)
+	res, err := e.GroupByExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range res.Values {
+		sum += v
+	}
+	if math.Abs(sum-total) > 1e-5*(1+total) {
+		t.Fatalf("drill-down sum %v != parent %v", sum, total)
+	}
+}

@@ -1,0 +1,96 @@
+package propolyne
+
+import (
+	"math"
+	"sort"
+)
+
+// Step is one state of a progressive evaluation: after using the given
+// number of (largest-first) query coefficients, Estimate is the running
+// answer and ErrorBound a guaranteed |exact − Estimate| bound from
+// Cauchy–Schwarz on the unevaluated query mass.
+type Step struct {
+	Coefficients int
+	Estimate     float64
+	ErrorBound   float64
+}
+
+// Progressive evaluates a query by retrieving data coefficients in order
+// of decreasing query-coefficient magnitude — "using the most important
+// query wavelet coefficients first" — and reports the trajectory of the
+// running estimate. maxSteps bounds the number of emitted checkpoints
+// (≤ 0 means every coefficient); the final step is always exact.
+func (e *Engine) Progressive(q Query, maxSteps int) ([]Step, Stats, error) {
+	entries, st, err := e.QueryCoefficients(q)
+	if err != nil {
+		return nil, st, err
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		ai, aj := math.Abs(entries[i].Value), math.Abs(entries[j].Value)
+		if ai != aj {
+			return ai > aj
+		}
+		return entries[i].Index < entries[j].Index
+	})
+
+	// Suffix query energy for the error bound.
+	suffix := make([]float64, len(entries)+1)
+	for i := len(entries) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + entries[i].Value*entries[i].Value
+	}
+	dataNorm := math.Sqrt(e.Energy())
+
+	every := 1
+	if maxSteps > 0 && len(entries) > maxSteps {
+		every = (len(entries) + maxSteps - 1) / maxSteps
+	}
+	var est float64
+	steps := make([]Step, 0, len(entries)/every+1)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for i, en := range entries {
+		est += en.Value * e.Coeffs[en.Index]
+		if (i+1)%every == 0 || i == len(entries)-1 {
+			steps = append(steps, Step{
+				Coefficients: i + 1,
+				Estimate:     est,
+				ErrorBound:   math.Sqrt(suffix[i+1]) * dataNorm,
+			})
+		}
+	}
+	if len(entries) == 0 {
+		steps = append(steps, Step{})
+	}
+	return steps, st, nil
+}
+
+// EstimateWithBudget returns the approximate answer after spending at most
+// budget query coefficients, plus the exact answer's guaranteed error
+// bound at that point.
+func (e *Engine) EstimateWithBudget(q Query, budget int) (estimate, bound float64, err error) {
+	entries, _, err := e.QueryCoefficients(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		ai, aj := math.Abs(entries[i].Value), math.Abs(entries[j].Value)
+		if ai != aj {
+			return ai > aj
+		}
+		return entries[i].Index < entries[j].Index
+	})
+	if budget > len(entries) {
+		budget = len(entries)
+	}
+	var est, rem float64
+	e.mu.RLock()
+	for i, en := range entries {
+		if i < budget {
+			est += en.Value * e.Coeffs[en.Index]
+		} else {
+			rem += en.Value * en.Value
+		}
+	}
+	e.mu.RUnlock()
+	return est, math.Sqrt(rem) * math.Sqrt(e.Energy()), nil
+}

@@ -1,0 +1,163 @@
+package propolyne
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"aims/internal/wavelet"
+)
+
+// Binary persistence for populated engines: the transformed cube is the
+// store's durable form (the paper keeps the wavelet blocks, not the raw
+// relation). The format is versioned and self-describing:
+//
+//	magic "AIMSPPE1" | nDims u32 | dims u32… |
+//	per dim: standard u8, filterName u8+bytes, levels u32 |
+//	coeffs u64 | float64 bits…
+
+var engineMagic = [8]byte{'A', 'I', 'M', 'S', 'P', 'P', 'E', '1'}
+
+// WriteTo serialises the engine. It implements io.WriterTo.
+func (e *Engine) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(engineMagic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(e.Dims))); err != nil {
+		return n, err
+	}
+	for _, d := range e.Dims {
+		if err := write(uint32(d)); err != nil {
+			return n, err
+		}
+	}
+	for d, b := range e.Bases {
+		std := uint8(0)
+		name := ""
+		if b.Standard {
+			std = 1
+		} else {
+			name = b.Filter.Name
+		}
+		if err := write(std); err != nil {
+			return n, err
+		}
+		if err := write(uint8(len(name))); err != nil {
+			return n, err
+		}
+		if len(name) > 0 {
+			if _, err := bw.WriteString(name); err != nil {
+				return n, err
+			}
+			n += int64(len(name))
+		}
+		if err := write(uint32(e.Levels[d])); err != nil {
+			return n, err
+		}
+	}
+	if err := write(uint64(len(e.Coeffs))); err != nil {
+		return n, err
+	}
+	e.mu.RLock()
+	for _, v := range e.Coeffs {
+		if err := write(math.Float64bits(v)); err != nil {
+			e.mu.RUnlock()
+			return n, err
+		}
+	}
+	e.mu.RUnlock()
+	return n, bw.Flush()
+}
+
+// ReadEngine deserialises an engine written by WriteTo.
+func ReadEngine(r io.Reader) (*Engine, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("propolyne: read magic: %w", err)
+	}
+	if magic != engineMagic {
+		return nil, fmt.Errorf("propolyne: bad magic %q", magic[:])
+	}
+	var nd uint32
+	if err := binary.Read(br, binary.LittleEndian, &nd); err != nil {
+		return nil, err
+	}
+	if nd == 0 || nd > 16 {
+		return nil, fmt.Errorf("propolyne: implausible dimension count %d", nd)
+	}
+	e := &Engine{
+		Dims:   make(wavelet.Dims, nd),
+		Bases:  make([]Basis, nd),
+		Levels: make([]int, nd),
+	}
+	size := 1
+	for d := range e.Dims {
+		var v uint32
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, err
+		}
+		if v == 0 || v > 1<<24 || v&(v-1) != 0 {
+			return nil, fmt.Errorf("propolyne: implausible dimension size %d", v)
+		}
+		e.Dims[d] = int(v)
+		size *= int(v)
+	}
+	for d := range e.Bases {
+		var std, nameLen uint8
+		if err := binary.Read(br, binary.LittleEndian, &std); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		var levels uint32
+		if err := binary.Read(br, binary.LittleEndian, &levels); err != nil {
+			return nil, err
+		}
+		e.Levels[d] = int(levels)
+		if std == 1 {
+			e.Bases[d] = Basis{Standard: true}
+			continue
+		}
+		f, err := wavelet.ByName(string(name))
+		if err != nil {
+			return nil, err
+		}
+		if int(levels) > wavelet.MaxLevels(e.Dims[d], f) {
+			return nil, fmt.Errorf("propolyne: levels %d impossible for dim %d", levels, e.Dims[d])
+		}
+		e.Bases[d] = Basis{Filter: f}
+	}
+	var nc uint64
+	if err := binary.Read(br, binary.LittleEndian, &nc); err != nil {
+		return nil, err
+	}
+	if int(nc) != size {
+		return nil, fmt.Errorf("propolyne: coefficient count %d != cube size %d", nc, size)
+	}
+	e.Coeffs = make([]float64, nc)
+	buf := make([]byte, 8)
+	for i := range e.Coeffs {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("propolyne: truncated coefficients: %w", err)
+		}
+		e.Coeffs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return e, nil
+}

@@ -1,0 +1,104 @@
+package propolyne
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"aims/internal/synth"
+)
+
+func TestEngineSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sizes := []int{32, 16, 8}
+	rel := randomRelation(rng, sizes, 600)
+	bases, err := ChooseBases(sizes, QueryTemplate{
+		RangeFraction: []float64{0.1, 0.9, 1},
+		MaxDegree:     2,
+	}, DefaultCostModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := NewWithBases(rel.Cube(), sizes, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEngine(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structure round-trips.
+	for d := range sizes {
+		if back.Dims[d] != orig.Dims[d] || back.Levels[d] != orig.Levels[d] {
+			t.Fatalf("dim %d metadata mismatch", d)
+		}
+		if back.Bases[d].Standard != orig.Bases[d].Standard {
+			t.Fatalf("dim %d basis kind mismatch", d)
+		}
+		if !orig.Bases[d].Standard && back.Bases[d].Filter.Name != orig.Bases[d].Filter.Name {
+			t.Fatalf("dim %d filter mismatch", d)
+		}
+	}
+	for i := range orig.Coeffs {
+		if back.Coeffs[i] != orig.Coeffs[i] {
+			t.Fatalf("coefficient %d differs", i)
+		}
+	}
+
+	// Queries agree exactly.
+	b := randomBox(rng, sizes)
+	q := Query{Lo: b.Lo, Hi: b.Hi}
+	v1, _, err := orig.Exact(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _, err := back.Exact(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v1-v2) > 1e-12 {
+		t.Fatalf("query drift: %v vs %v", v1, v2)
+	}
+	// The restored engine accepts appends (filters intact).
+	if err := back.Append([]int{1, 2, 3}, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEngineRejectsCorruption(t *testing.T) {
+	e, err := New(synth.SmoothCube([]int{16, 16}, 2), []int{16, 16}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":           {},
+		"bad magic":       append([]byte("NOTAIMS!"), good[8:]...),
+		"truncated":       good[:len(good)-9],
+		"truncated early": good[:14],
+	}
+	for name, data := range cases {
+		if _, err := ReadEngine(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+
+	// Bad dimension size (non power of two) rejected.
+	mut := append([]byte(nil), good...)
+	mut[12] = 7 // first dim least-significant byte → 7
+	if _, err := ReadEngine(bytes.NewReader(mut)); err == nil {
+		t.Error("non-power-of-two dimension accepted")
+	}
+}

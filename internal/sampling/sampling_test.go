@@ -1,0 +1,179 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"aims/internal/sensors"
+)
+
+// testRecording builds a 2-sensor recording: one slow channel, one fast.
+func testRecording(n int) [][]float64 {
+	rec := make([][]float64, 2)
+	rec[0] = make([]float64, n)
+	rec[1] = make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / 100
+		rec[0][i] = math.Sin(2 * math.Pi * 1 * t)  // 1 Hz
+		rec[1][i] = math.Sin(2 * math.Pi * 20 * t) // 20 Hz
+	}
+	return rec
+}
+
+func cfg() Config { return Config{DeviceRate: 100} }
+
+func TestNyquistRateClamps(t *testing.T) {
+	c := Config{DeviceRate: 100, MinRate: 4}
+	flat := make([]float64, 512)
+	if got := c.NyquistRate(flat); got != 4 {
+		t.Fatalf("flat rate = %v, want MinRate", got)
+	}
+	fast := make([]float64, 512)
+	for i := range fast {
+		fast[i] = math.Sin(2 * math.Pi * 49 * float64(i) / 100)
+	}
+	if got := c.NyquistRate(fast); got > 100 {
+		t.Fatalf("rate = %v exceeds device rate", got)
+	}
+}
+
+func TestFixedUsesOneRate(t *testing.T) {
+	res := Fixed(testRecording(1024), cfg())
+	if len(res.Traces) != 2 {
+		t.Fatalf("traces = %d", len(res.Traces))
+	}
+	r0 := res.Traces[0].Segments[0].Rate
+	r1 := res.Traces[1].Segments[0].Rate
+	if r0 != r1 {
+		t.Fatalf("fixed policy used different rates: %v vs %v", r0, r1)
+	}
+	// The common rate must satisfy the fast sensor: ≥ 40 Hz.
+	if r0 < 40 {
+		t.Fatalf("fixed rate %v too low for the 20 Hz channel", r0)
+	}
+}
+
+func TestAdaptiveBeatsFixedOnBandwidth(t *testing.T) {
+	// Slow channel gets sampled slowly only under Grouped/Adaptive.
+	rec := testRecording(4096)
+	fixed := Fixed(rec, cfg())
+	adaptive := Adaptive(rec, cfg())
+	grouped := Grouped(rec, cfg())
+	if adaptive.Bytes >= fixed.Bytes {
+		t.Fatalf("adaptive %d B should beat fixed %d B", adaptive.Bytes, fixed.Bytes)
+	}
+	if grouped.Bytes >= fixed.Bytes {
+		t.Fatalf("grouped %d B should beat fixed %d B", grouped.Bytes, fixed.Bytes)
+	}
+}
+
+func TestAdaptiveExploitsIdlePeriods(t *testing.T) {
+	// A channel that is active then idle: adaptive should spend most of its
+	// samples on the active half.
+	n := 4096
+	rec := [][]float64{make([]float64, n)}
+	for i := 0; i < n/2; i++ {
+		rec[0][i] = math.Sin(2 * math.Pi * 20 * float64(i) / 100)
+	}
+	// Second half: flat (idle user).
+	res := Adaptive(rec, cfg())
+	var activeSamples, idleSamples int
+	ticks := 0
+	for _, seg := range res.Traces[0].Segments {
+		if ticks < n/2 {
+			activeSamples += len(seg.Values)
+		} else {
+			idleSamples += len(seg.Values)
+		}
+		ticks += seg.DeviceTicks
+	}
+	if idleSamples*4 > activeSamples {
+		t.Fatalf("idle half used %d samples vs active %d — no adaptation", idleSamples, activeSamples)
+	}
+	// Modified-fixed shares the rate across sensors but also adapts in time.
+	mf := ModifiedFixed(rec, cfg())
+	if mf.Bytes <= res.Bytes {
+		// With one sensor they should be nearly identical; just sanity.
+		t.Logf("modified-fixed %d B, adaptive %d B", mf.Bytes, res.Bytes)
+	}
+}
+
+func TestReconstructionAccuracy(t *testing.T) {
+	// All policies must reconstruct band-limited signals with low error.
+	rec := testRecording(4096)
+	for _, res := range All(rec, cfg()) {
+		mse := res.MSE(rec, 100)
+		if mse > 0.05 {
+			t.Errorf("%s: reconstruction MSE %v too high", res.Policy, mse)
+		}
+	}
+}
+
+func TestMSEPanicsOnShapeMismatch(t *testing.T) {
+	res := Fixed(testRecording(256), cfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	res.MSE([][]float64{{1}}, 100)
+}
+
+func TestAllOnRealGloveRecording(t *testing.T) {
+	d := sensors.NewDevice(sensors.GloveSpecs(), sensors.DefaultClock, 1, 99)
+	rec := d.Record(2048)
+	clean := sensors.NewDevice(sensors.GloveSpecs(), sensors.DefaultClock, 1, 99).RecordClean(2048)
+	results := All(rec, Config{DeviceRate: sensors.DefaultClock})
+	raw := 28 * 2048 * 8
+	for _, res := range results {
+		if res.Bytes >= raw {
+			t.Errorf("%s: %d B not below raw %d B", res.Policy, res.Bytes, raw)
+		}
+		if mse := res.MSE(clean, sensors.DefaultClock); math.IsNaN(mse) {
+			t.Errorf("%s: NaN MSE", res.Policy)
+		}
+	}
+	// Paper's headline: adaptive requires far less bandwidth than fixed.
+	if results[3].Bytes >= results[0].Bytes {
+		t.Errorf("adaptive %d B should undercut fixed %d B", results[3].Bytes, results[0].Bytes)
+	}
+}
+
+func TestKmeans1D(t *testing.T) {
+	vals := []float64{1, 1.1, 0.9, 10, 10.2, 9.8, 30}
+	assign := kmeans1D(vals, 3)
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Fatalf("low cluster split: %v", assign)
+	}
+	if assign[3] != assign[4] || assign[4] != assign[5] {
+		t.Fatalf("mid cluster split: %v", assign)
+	}
+	if assign[6] == assign[0] || assign[6] == assign[3] {
+		t.Fatalf("outlier not isolated: %v", assign)
+	}
+	// Degenerate cases.
+	if got := kmeans1D([]float64{5}, 3); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single value: %v", got)
+	}
+	if got := kmeans1D(vals, 1); len(got) != len(vals) {
+		t.Fatalf("k=1: %v", got)
+	}
+}
+
+func TestTraceSamplesAndSegments(t *testing.T) {
+	res := Adaptive(testRecording(1000), Config{DeviceRate: 100, Window: 250})
+	tr := res.Traces[0]
+	if len(tr.Segments) != 4 {
+		t.Fatalf("segments = %d, want 4", len(tr.Segments))
+	}
+	total := 0
+	for _, seg := range tr.Segments {
+		total += seg.DeviceTicks
+	}
+	if total != 1000 {
+		t.Fatalf("device ticks covered = %d", total)
+	}
+	if tr.Samples() <= 0 {
+		t.Fatal("no samples kept")
+	}
+}

@@ -1,0 +1,123 @@
+package sensors
+
+import (
+	"math"
+	"math/rand"
+)
+
+// BandlimitedSource synthesises a continuous signal whose spectral energy
+// lies (almost) entirely below MaxHz: a sum of sinusoids with 1/f-flavoured
+// amplitudes plus white sensor noise. It stands in for one physical sensor
+// channel.
+type BandlimitedSource struct {
+	freqs  []float64
+	phases []float64
+	amps   []float64
+	offset float64
+	noise  float64
+	rng    *rand.Rand
+}
+
+// NewBandlimitedSource builds a source with nComponents sinusoids below
+// maxHz, an amplitude scale, additive noise stddev, and a deterministic
+// seed.
+func NewBandlimitedSource(maxHz, amplitude, noise float64, nComponents int, seed int64) *BandlimitedSource {
+	rng := rand.New(rand.NewSource(seed))
+	s := &BandlimitedSource{
+		freqs:  make([]float64, nComponents),
+		phases: make([]float64, nComponents),
+		amps:   make([]float64, nComponents),
+		offset: amplitude * rng.NormFloat64() * 0.3,
+		noise:  noise,
+		rng:    rng,
+	}
+	for i := 0; i < nComponents; i++ {
+		// Concentrate energy at low frequencies (human motion is smooth)
+		// while guaranteeing some content near maxHz so Nyquist estimation
+		// has a genuine edge to find.
+		frac := rng.Float64()
+		s.freqs[i] = maxHz * (0.1 + 0.9*frac*frac)
+		s.phases[i] = 2 * math.Pi * rng.Float64()
+		s.amps[i] = amplitude / (1 + 4*frac)
+	}
+	return s
+}
+
+// At returns the clean (noise-free) signal value at time t seconds.
+func (s *BandlimitedSource) At(t float64) float64 {
+	v := s.offset
+	for i := range s.freqs {
+		v += s.amps[i] * math.Sin(2*math.Pi*s.freqs[i]*t+s.phases[i])
+	}
+	return v
+}
+
+// Sample returns the noisy reading at time t.
+func (s *BandlimitedSource) Sample(t float64) float64 {
+	return s.At(t) + s.noise*s.rng.NormFloat64()
+}
+
+// Device simulates a multi-channel immersive sensing rig driven by a common
+// sample clock.
+type Device struct {
+	Specs   []Spec
+	Clock   float64 // samples per second
+	sources []*BandlimitedSource
+}
+
+// NewDevice builds a device from sensor specs with per-channel synthetic
+// signals. activity scales motion amplitude (1 = normal session).
+func NewDevice(specs []Spec, clock, activity float64, seed int64) *Device {
+	d := &Device{Specs: specs, Clock: clock, sources: make([]*BandlimitedSource, len(specs))}
+	for i, sp := range specs {
+		amp := 20.0 * activity // joint angles in degrees
+		if sp.Kind == KindPosition {
+			amp = 0.5 * activity // metres
+		}
+		d.sources[i] = NewBandlimitedSource(sp.MaxHz, amp, sp.Noise, 6, seed+int64(sp.ID)*101)
+	}
+	return d
+}
+
+// Frame samples all channels at sample index i (time i/Clock).
+func (d *Device) Frame(i int) []float64 {
+	t := float64(i) / d.Clock
+	out := make([]float64, len(d.sources))
+	for c, src := range d.sources {
+		out[c] = src.Sample(t)
+	}
+	return out
+}
+
+// Record captures n consecutive frames as a slice of per-channel signals:
+// out[channel][sampleIndex]. This channel-major layout feeds the sampling
+// and compression experiments directly.
+func (d *Device) Record(n int) [][]float64 {
+	out := make([][]float64, len(d.sources))
+	for c := range out {
+		out[c] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		t := float64(i) / d.Clock
+		for c, src := range d.sources {
+			out[c][i] = src.Sample(t)
+		}
+	}
+	return out
+}
+
+// RecordClean is Record without sensor noise — ground truth for
+// reconstruction-error measurements.
+func (d *Device) RecordClean(n int) [][]float64 {
+	out := make([][]float64, len(d.sources))
+	for c := range out {
+		out[c] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		t := float64(i) / d.Clock
+		for c, src := range d.sources {
+			out[c][i] = src.At(t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+// Package sensors models the immersive sensing hardware AIMS acquires data
+// from: the 22-sensor CyberGlove of Table 1 in the paper, the 6-D Polhemus
+// wrist tracker, and the 6-D body trackers (head, hands, legs) used by the
+// ADHD Virtual-Classroom study. Since the physical devices are unavailable,
+// the package synthesises band-limited, noisy per-sensor signals with the
+// same dimensionality, sampling clock and spectral character — everything
+// the downstream algorithms actually depend on.
+package sensors
+
+import "fmt"
+
+// Kind classifies what a sensor channel measures.
+type Kind string
+
+const (
+	KindJointAngle Kind = "joint-angle" // degrees of flexion/abduction
+	KindPosition   Kind = "position"    // spatial coordinate
+	KindRotation   Kind = "rotation"    // orientation angle (H/P/R)
+)
+
+// Spec describes one sensor channel.
+type Spec struct {
+	ID    int
+	Name  string
+	Group string // anatomical group, e.g. "thumb", "wrist", "tracker"
+	Kind  Kind
+	// MaxHz is the fastest frequency the underlying physical quantity
+	// meaningfully contains (human joint motion tops out well below the
+	// 100 Hz device clock — the premise of the paper's sampling study).
+	MaxHz float64
+	// Noise is the standard deviation of additive sensor noise, in the
+	// channel's natural units.
+	Noise float64
+}
+
+// cyberGloveTable reproduces Table 1 of the paper: the 22 joint-angle
+// sensors of the CyberGlove.
+var cyberGloveTable = []struct {
+	name, group string
+	maxHz       float64
+}{
+	{"thumb roll sensor", "thumb", 8},
+	{"thumb inner joint", "thumb", 10},
+	{"thumb outer joint", "thumb", 10},
+	{"thumb-index abduction", "thumb", 6},
+	{"index inner joint", "index", 12},
+	{"index middle joint", "index", 12},
+	{"index outer joint", "index", 12},
+	{"middle inner joint", "middle", 12},
+	{"middle middle joint", "middle", 12},
+	{"middle outer joint", "middle", 12},
+	{"index-middle abduction", "index", 6},
+	{"ring inner joint", "ring", 10},
+	{"ring middle joint", "ring", 10},
+	{"ring outer joint", "ring", 10},
+	{"ring-middle abduction", "ring", 5},
+	{"pinky inner joint", "pinky", 10},
+	{"pinky middle joint", "pinky", 10},
+	{"pinky outer joint", "pinky", 10},
+	{"pinky-ring abduction", "pinky", 5},
+	{"palm arch", "palm", 4},
+	{"wrist flexion", "wrist", 6},
+	{"wrist abduction", "wrist", 6},
+}
+
+// CyberGloveSpecs returns the 22 joint sensors of Table 1, IDs 1..22.
+func CyberGloveSpecs() []Spec {
+	out := make([]Spec, len(cyberGloveTable))
+	for i, row := range cyberGloveTable {
+		out[i] = Spec{
+			ID:    i + 1,
+			Name:  row.name,
+			Group: row.group,
+			Kind:  KindJointAngle,
+			MaxHz: row.maxHz,
+			Noise: 0.35,
+		}
+	}
+	return out
+}
+
+// PolhemusSpecs returns the 6 tracker channels mounted on the wrist: X/Y/Z
+// position and H/P/R rotation, IDs 23..28.
+func PolhemusSpecs() []Spec {
+	names := []struct {
+		name string
+		kind Kind
+		hz   float64
+	}{
+		{"tracker X", KindPosition, 5},
+		{"tracker Y", KindPosition, 5},
+		{"tracker Z", KindPosition, 5},
+		{"tracker H (yaw)", KindRotation, 4},
+		{"tracker P (pitch)", KindRotation, 4},
+		{"tracker R (roll)", KindRotation, 4},
+	}
+	out := make([]Spec, len(names))
+	for i, row := range names {
+		out[i] = Spec{
+			ID:    23 + i,
+			Name:  row.name,
+			Group: "tracker",
+			Kind:  row.kind,
+			MaxHz: row.hz,
+			// Polhemus trackers resolve to millimetres/fractions of a
+			// degree; the noise floor must stay well below the signal or
+			// Nyquist estimation saturates at the device rate.
+			Noise: 0.01,
+		}
+	}
+	return out
+}
+
+// GloveSpecs returns the full 28-channel hand-capture rig: CyberGlove plus
+// Polhemus — "collectively the data from the 28 sensors capture the
+// entirety of a hand motion" (§2.2).
+func GloveSpecs() []Spec {
+	return append(CyberGloveSpecs(), PolhemusSpecs()...)
+}
+
+// BodyTrackerLocations lists the tracker placements of the ADHD study
+// (§2.1): head, both hands, both legs.
+var BodyTrackerLocations = []string{"head", "left-hand", "right-hand", "left-leg", "right-leg"}
+
+// BodyTrackerSpecs returns the 6 channels (x, y, z, h, p, r) of one body
+// tracker, with IDs offset by 6·trackerIndex.
+func BodyTrackerSpecs(trackerIndex int, location string) []Spec {
+	chans := []struct {
+		name string
+		kind Kind
+	}{
+		{"x", KindPosition}, {"y", KindPosition}, {"z", KindPosition},
+		{"h", KindRotation}, {"p", KindRotation}, {"r", KindRotation},
+	}
+	out := make([]Spec, len(chans))
+	for i, c := range chans {
+		out[i] = Spec{
+			ID:    trackerIndex*6 + i + 1,
+			Name:  fmt.Sprintf("%s %s", location, c.name),
+			Group: location,
+			Kind:  c.kind,
+			MaxHz: 5,
+			Noise: 0.1,
+		}
+	}
+	return out
+}
+
+// DefaultClock is the CyberGlove sensor clock of §2.2: one sample every
+// 0.01 s, i.e. 100 Hz.
+const DefaultClock = 100.0
+
+// BytesPerSample is the storage cost of one raw sensor reading (float64).
+const BytesPerSample = 8

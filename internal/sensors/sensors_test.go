@@ -1,0 +1,160 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"aims/internal/dsp"
+)
+
+func TestCyberGloveSpecsMatchTable1(t *testing.T) {
+	specs := CyberGloveSpecs()
+	if len(specs) != 22 {
+		t.Fatalf("CyberGlove has %d sensors, Table 1 lists 22", len(specs))
+	}
+	wantNames := map[int]string{
+		1:  "thumb roll sensor",
+		4:  "thumb-index abduction",
+		12: "ring inner joint",
+		15: "ring-middle abduction",
+		20: "palm arch",
+		21: "wrist flexion",
+		22: "wrist abduction",
+	}
+	for id, name := range wantNames {
+		if specs[id-1].Name != name {
+			t.Errorf("sensor %d = %q, Table 1 says %q", id, specs[id-1].Name, name)
+		}
+		if specs[id-1].ID != id {
+			t.Errorf("sensor %d has ID %d", id, specs[id-1].ID)
+		}
+	}
+	for _, sp := range specs {
+		if sp.Kind != KindJointAngle {
+			t.Errorf("sensor %d kind = %v", sp.ID, sp.Kind)
+		}
+		if sp.MaxHz <= 0 || sp.MaxHz >= DefaultClock/2 {
+			t.Errorf("sensor %d MaxHz %v outside (0, Nyquist)", sp.ID, sp.MaxHz)
+		}
+	}
+}
+
+func TestGloveSpecsFull28(t *testing.T) {
+	specs := GloveSpecs()
+	if len(specs) != 28 {
+		t.Fatalf("glove rig has %d channels, want 28", len(specs))
+	}
+	ids := map[int]bool{}
+	for _, sp := range specs {
+		if ids[sp.ID] {
+			t.Fatalf("duplicate sensor ID %d", sp.ID)
+		}
+		ids[sp.ID] = true
+	}
+	// Last six are the Polhemus channels.
+	if specs[22].Kind != KindPosition || specs[27].Kind != KindRotation {
+		t.Error("Polhemus channel kinds wrong")
+	}
+}
+
+func TestBodyTrackerSpecs(t *testing.T) {
+	if len(BodyTrackerLocations) != 5 {
+		t.Fatalf("ADHD rig should have 5 trackers (head, hands, legs)")
+	}
+	specs := BodyTrackerSpecs(2, "right-hand")
+	if len(specs) != 6 {
+		t.Fatalf("tracker has %d channels", len(specs))
+	}
+	if specs[0].ID != 13 {
+		t.Fatalf("tracker 2 first ID = %d, want 13", specs[0].ID)
+	}
+	if specs[3].Kind != KindRotation {
+		t.Error("h channel should be rotation")
+	}
+}
+
+func TestBandlimitedSourceRespectsBandLimit(t *testing.T) {
+	src := NewBandlimitedSource(8, 10, 0, 6, 42)
+	const rate = 200.0
+	n := 4096
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = src.At(float64(i) / rate)
+	}
+	fmax := dsp.MaxFrequency(x, rate, 0.999)
+	if fmax > 10 {
+		t.Fatalf("f_max = %v Hz for an 8 Hz band-limited source", fmax)
+	}
+	if fmax < 1 {
+		t.Fatalf("f_max = %v Hz, source should have real spectral content", fmax)
+	}
+}
+
+func TestBandlimitedSourceDeterministicCleanSignal(t *testing.T) {
+	a := NewBandlimitedSource(5, 1, 0.5, 4, 7)
+	b := NewBandlimitedSource(5, 1, 0.5, 4, 7)
+	for i := 0; i < 50; i++ {
+		t1 := float64(i) * 0.01
+		if a.At(t1) != b.At(t1) {
+			t.Fatal("same seed must give same clean signal")
+		}
+	}
+}
+
+func TestDeviceRecordShape(t *testing.T) {
+	d := NewDevice(GloveSpecs(), DefaultClock, 1, 1)
+	rec := d.Record(200)
+	if len(rec) != 28 {
+		t.Fatalf("Record channels = %d", len(rec))
+	}
+	for c := range rec {
+		if len(rec[c]) != 200 {
+			t.Fatalf("channel %d has %d samples", c, len(rec[c]))
+		}
+	}
+	fr := d.Frame(3)
+	if len(fr) != 28 {
+		t.Fatalf("Frame size = %d", len(fr))
+	}
+}
+
+func TestDeviceCleanVsNoisy(t *testing.T) {
+	d := NewDevice(CyberGloveSpecs(), DefaultClock, 1, 3)
+	clean := d.RecordClean(512)
+	// The clean recording must have no white noise: its high-frequency
+	// energy should be negligible compared with a noisy recording.
+	d2 := NewDevice(CyberGloveSpecs(), DefaultClock, 1, 3)
+	noisy := d2.Record(512)
+	if cleanF := dsp.MaxFrequency(clean[0], DefaultClock, 0.999); cleanF > 20 {
+		t.Fatalf("clean f_max = %v, want below 20 Hz", cleanF)
+	}
+	highBand := func(x []float64) float64 {
+		freqs, power := dsp.Periodogram(x, DefaultClock)
+		var e float64
+		for i, f := range freqs {
+			if f > 25 {
+				e += power[i]
+			}
+		}
+		return e
+	}
+	if hc, hn := highBand(clean[0]), highBand(noisy[0]); hn <= hc*2 {
+		t.Fatalf("noise should add high-band energy: clean %v vs noisy %v", hc, hn)
+	}
+}
+
+func TestDeviceActivityScalesAmplitude(t *testing.T) {
+	calm := NewDevice(CyberGloveSpecs(), DefaultClock, 0.1, 5)
+	active := NewDevice(CyberGloveSpecs(), DefaultClock, 2.0, 5)
+	cv, av := 0.0, 0.0
+	cRec, aRec := calm.RecordClean(256), active.RecordClean(256)
+	for c := range cRec {
+		for i := range cRec[c] {
+			cv += math.Abs(cRec[c][i])
+			av += math.Abs(aRec[c][i])
+		}
+	}
+	if av <= cv*2 {
+		t.Fatalf("activity scaling weak: calm %v vs active %v", cv, av)
+	}
+}

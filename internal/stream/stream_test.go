@@ -1,0 +1,175 @@
+package stream
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func frames(n, dim int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = float64(i*dim + j)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestSliceSource(t *testing.T) {
+	src := NewSliceSource(frames(3, 2), 100)
+	var got []Frame
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		got = append(got, f)
+	}
+	if len(got) != 3 {
+		t.Fatalf("frames = %d", len(got))
+	}
+	if got[1].T != 0.01 {
+		t.Fatalf("T = %v, want 0.01", got[1].T)
+	}
+	if got[2].Values[1] != 5 {
+		t.Fatalf("values = %v", got[2].Values)
+	}
+	src.Reset()
+	if _, ok := src.Next(); !ok {
+		t.Fatal("Reset should rewind")
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	src := &FuncSource{Rate: 10, N: 4, Fn: func(i int) []float64 { return []float64{float64(i)} }}
+	count := 0
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		if f.Values[0] != float64(count) {
+			t.Fatalf("value = %v at %d", f.Values[0], count)
+		}
+		count++
+	}
+	if count != 4 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestWindowSliding(t *testing.T) {
+	w := NewWindow(3)
+	if w.Full() {
+		t.Fatal("empty window reported full")
+	}
+	for i := 0; i < 5; i++ {
+		w.Push([]float64{float64(i), float64(i * 10)})
+	}
+	if !w.Full() || w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	m := w.Matrix()
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("Matrix %dx%d", m.Rows, m.Cols)
+	}
+	// Oldest surviving frame is i=2.
+	if m.At(0, 0) != 2 || m.At(2, 0) != 4 {
+		t.Fatalf("window order wrong: %v", m.Data)
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatal("Reset failed")
+	}
+	if got := w.Matrix(); got.Rows != 0 {
+		t.Fatal("empty matrix expected")
+	}
+}
+
+func TestWindowPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWindow(0)
+}
+
+func TestAcquireStoresEverythingWhenConsumerKeepsUp(t *testing.T) {
+	src := NewSliceSource(frames(1000, 4), 100)
+	var stored int64
+	stats := Acquire(src, 64, func(batch []Frame) {
+		atomic.AddInt64(&stored, int64(len(batch)))
+	})
+	if stats.Produced != 1000 {
+		t.Fatalf("Produced = %d", stats.Produced)
+	}
+	if stats.Stored != 1000 || stats.Dropped != 0 {
+		t.Fatalf("Stored = %d Dropped = %d", stats.Stored, stats.Dropped)
+	}
+	if atomic.LoadInt64(&stored) != 1000 {
+		t.Fatalf("store callback saw %d", stored)
+	}
+	if stats.Flushes < 1000/64 {
+		t.Fatalf("Flushes = %d", stats.Flushes)
+	}
+}
+
+func TestAcquirePreservesOrder(t *testing.T) {
+	src := NewSliceSource(frames(500, 1), 100)
+	var seen []float64
+	Acquire(src, 32, func(batch []Frame) {
+		for _, f := range batch {
+			seen = append(seen, f.Values[0])
+		}
+	})
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatalf("order violated at %d: %v after %v", i, seen[i], seen[i-1])
+		}
+	}
+	if len(seen) != 500 {
+		t.Fatalf("saw %d frames", len(seen))
+	}
+}
+
+func TestAcquireRealtimeDropsWhenConsumerStalls(t *testing.T) {
+	src := NewSliceSource(frames(2000, 2), 100)
+	stats := AcquireRealtime(src, 16, func(batch []Frame) {
+		time.Sleep(2 * time.Millisecond) // pathological storage latency
+	})
+	if stats.Dropped == 0 {
+		t.Fatal("expected drops with a stalled consumer")
+	}
+	if stats.Stored+stats.Dropped != stats.Produced {
+		t.Fatalf("accounting broken: %d + %d != %d", stats.Stored, stats.Dropped, stats.Produced)
+	}
+}
+
+func TestAcquireBlocksInsteadOfDropping(t *testing.T) {
+	src := NewSliceSource(frames(300, 2), 100)
+	stats := Acquire(src, 16, func(batch []Frame) {
+		time.Sleep(time.Millisecond)
+	})
+	if stats.Dropped != 0 || stats.Stored != 300 {
+		t.Fatalf("lossless acquire lost data: %+v", stats)
+	}
+}
+
+func TestAcquireEmptySource(t *testing.T) {
+	stats := Acquire(NewSliceSource(nil, 100), 8, func([]Frame) {})
+	if stats.Produced != 0 || stats.Stored != 0 {
+		t.Fatalf("empty source stats: %+v", stats)
+	}
+}
+
+func TestAcquireDefaultBufSize(t *testing.T) {
+	src := NewSliceSource(frames(10, 1), 100)
+	stats := Acquire(src, 0, func([]Frame) {})
+	if stats.Stored != 10 {
+		t.Fatalf("Stored = %d", stats.Stored)
+	}
+}

@@ -1,0 +1,209 @@
+package svdstream
+
+import (
+	"math"
+	"math/cmplx"
+
+	"aims/internal/dsp"
+	"aims/internal/vec"
+)
+
+// Similarity baselines from the related-work comparison of §3.4.2:
+// Euclidean distance (needs identical lengths — its documented weakness),
+// DFT and DWT feature distances (linear transforms that rotate the axes of
+// the per-channel time series). All operate on time-major frame sequences.
+
+// ResampleFrames linearly resamples a frame sequence to outLen ticks per
+// channel — the length normalisation the transform baselines require.
+func ResampleFrames(frames [][]float64, outLen int) [][]float64 {
+	if len(frames) == 0 || outLen <= 0 {
+		return nil
+	}
+	d := len(frames[0])
+	out := make([][]float64, outLen)
+	for i := range out {
+		out[i] = make([]float64, d)
+	}
+	for c := 0; c < d; c++ {
+		col := make([]float64, len(frames))
+		for i := range frames {
+			col[i] = frames[i][c]
+		}
+		re := dsp.Resample(col, float64(len(frames)), float64(outLen), outLen)
+		for i := range out {
+			out[i][c] = re[i]
+		}
+	}
+	return out
+}
+
+// EuclideanDistance flattens both sequences (truncated to the shorter
+// length) and returns the L2 distance — the straw-man measure the paper
+// rejects for its identical-length requirement and dimensionality-curse
+// sensitivity.
+func EuclideanDistance(a, b [][]float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		for c := range a[i] {
+			d := a[i][c] - b[i][c]
+			s += d * d
+		}
+	}
+	// Penalise the unmatched tail so trivially-short sequences don't win.
+	s *= float64(maxInt(len(a), len(b))) / float64(maxInt(n, 1))
+	return math.Sqrt(s)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DFTDistance resamples both sequences to a common length, keeps the k
+// lowest-frequency magnitude coefficients per channel, and compares them
+// in L2 — the Agrawal/Faloutsos-style spectral feature distance.
+func DFTDistance(a, b [][]float64, k int) float64 {
+	const norm = 64
+	ra, rb := ResampleFrames(a, norm), ResampleFrames(b, norm)
+	if ra == nil || rb == nil {
+		return math.Inf(1)
+	}
+	d := len(ra[0])
+	var s float64
+	for c := 0; c < d; c++ {
+		fa := dftMags(column(ra, c), k)
+		fb := dftMags(column(rb, c), k)
+		for i := range fa {
+			diff := fa[i] - fb[i]
+			s += diff * diff
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func column(frames [][]float64, c int) []float64 {
+	out := make([]float64, len(frames))
+	for i := range frames {
+		out[i] = frames[i][c]
+	}
+	return out
+}
+
+func dftMags(x []float64, k int) []float64 {
+	spec := dsp.FFTReal(x)
+	if k > len(spec) {
+		k = len(spec)
+	}
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = cmplx.Abs(spec[i]) / float64(len(x))
+	}
+	return out
+}
+
+// DWTDistance resamples to a power-of-two length, Haar-transforms each
+// channel and compares the k coarsest coefficients — the Chan–Fu wavelet
+// feature distance.
+func DWTDistance(a, b [][]float64, k int) float64 {
+	const norm = 64
+	ra, rb := ResampleFrames(a, norm), ResampleFrames(b, norm)
+	if ra == nil || rb == nil {
+		return math.Inf(1)
+	}
+	d := len(ra[0])
+	var s float64
+	for c := 0; c < d; c++ {
+		wa := haarPrefix(column(ra, c), k)
+		wb := haarPrefix(column(rb, c), k)
+		for i := range wa {
+			diff := wa[i] - wb[i]
+			s += diff * diff
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func haarPrefix(x []float64, k int) []float64 {
+	w := append([]float64(nil), x...)
+	// In-place Haar via the wavelet package would add a dependency cycle
+	// risk-free; reuse the dsp-free local cascade instead.
+	n := len(w)
+	tmp := make([]float64, n)
+	for n > 1 {
+		half := n / 2
+		for i := 0; i < half; i++ {
+			tmp[i] = (w[2*i] + w[2*i+1]) / math.Sqrt2
+			tmp[half+i] = (w[2*i] - w[2*i+1]) / math.Sqrt2
+		}
+		copy(w[:n], tmp[:n])
+		n = half
+	}
+	if k > len(w) {
+		k = len(w)
+	}
+	return w[:k]
+}
+
+// SmoothFrames applies a centred moving average of the given width to each
+// channel — the conventional noise filtering AIMS acquisition performs
+// before analysis (§3.1). Width ≤ 1 returns the input unchanged.
+func SmoothFrames(frames [][]float64, width int) [][]float64 {
+	if width <= 1 || len(frames) == 0 {
+		return frames
+	}
+	d := len(frames[0])
+	out := make([][]float64, len(frames))
+	half := width / 2
+	for i := range frames {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(frames) {
+			hi = len(frames) - 1
+		}
+		fr := make([]float64, d)
+		for c := 0; c < d; c++ {
+			var s float64
+			for k := lo; k <= hi; k++ {
+				s += frames[k][c]
+			}
+			fr[c] = s / float64(hi-lo+1)
+		}
+		out[i] = fr
+	}
+	return out
+}
+
+// SVDDistance converts the weighted-sum similarity into a distance for the
+// common classifier interface. Inputs are noise-filtered first (§3.1):
+// unlike the DFT/DWT feature distances, the raw SVD signature has no
+// implicit low-pass stage, so the acquisition filter levels the field.
+func SVDDistance(topK int) func(a, b [][]float64) float64 {
+	return func(a, b [][]float64) float64 {
+		sa := SignatureOf(vec.MatrixFromRows(SmoothFrames(a, 7)))
+		sb := SignatureOf(vec.MatrixFromRows(SmoothFrames(b, 7)))
+		return 1 - SimilarityTopK(sa, sb, topK)
+	}
+}
+
+// NearestTemplate classifies an isolated segment by minimum distance to
+// the labelled reference executions.
+func NearestTemplate(segment [][]float64, refs map[string][][]float64,
+	dist func(a, b [][]float64) float64) string {
+	best := ""
+	bestD := math.Inf(1)
+	for name, ref := range refs {
+		if d := dist(segment, ref); d < bestD || (d == bestD && name < best) {
+			best, bestD = name, d
+		}
+	}
+	return best
+}

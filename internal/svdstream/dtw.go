@@ -1,0 +1,79 @@
+package svdstream
+
+import "math"
+
+// DTWDistance is dynamic time warping over multi-channel frame sequences —
+// the similarity-search-for-time-warped-subsequences line of related work
+// (§3.4.2, Park et al.). It aligns sequences of different lengths by a
+// monotone warping path and is the strongest classical baseline for
+// variable-duration motions, at O(len(a)·len(b)) per comparison (versus
+// the SVD signature's O(len)·d² + d³ once per window).
+//
+// window is the Sakoe–Chiba band half-width in ticks (≤ 0 = unconstrained).
+func DTWDistance(a, b [][]float64, window int) float64 {
+	na, nb := len(a), len(b)
+	if na == 0 || nb == 0 {
+		return math.Inf(1)
+	}
+	if window <= 0 {
+		window = maxInt2(na, nb)
+	}
+	// Ensure the band can reach the corner.
+	if diff := nb - na; diff < 0 {
+		diff = -diff
+		if window < diff {
+			window = diff
+		}
+	} else if window < diff {
+		window = diff
+	}
+
+	const inf = math.MaxFloat64
+	prev := make([]float64, nb+1)
+	cur := make([]float64, nb+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= na; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo := i - window
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + window
+		if hi > nb {
+			hi = nb
+		}
+		for j := lo; j <= hi; j++ {
+			c := frameDelta(a[i-1], b[j-1])
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			if best == inf {
+				continue
+			}
+			cur[j] = c + best
+		}
+		prev, cur = cur, prev
+	}
+	total := prev[nb]
+	if total == inf {
+		return math.Inf(1)
+	}
+	// Normalise by path length so short sequences are not favoured.
+	return math.Sqrt(total / float64(na+nb))
+}
+
+func maxInt2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

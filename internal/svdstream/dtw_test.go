@@ -1,0 +1,101 @@
+package svdstream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aims/internal/synth"
+)
+
+func TestDTWIdenticalSequencesZero(t *testing.T) {
+	a := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	if d := DTWDistance(a, a, 0); d != 0 {
+		t.Fatalf("self distance %v", d)
+	}
+}
+
+func TestDTWEmptyIsInfinite(t *testing.T) {
+	if d := DTWDistance(nil, [][]float64{{1}}, 0); !math.IsInf(d, 1) {
+		t.Fatalf("empty = %v", d)
+	}
+}
+
+func TestDTWHandlesTimeWarp(t *testing.T) {
+	// The same trajectory at half speed should be near-zero under DTW but
+	// large under truncating Euclidean.
+	fast := make([][]float64, 40)
+	slow := make([][]float64, 80)
+	for i := range fast {
+		fast[i] = []float64{math.Sin(float64(i) / 6)}
+	}
+	for i := range slow {
+		slow[i] = []float64{math.Sin(float64(i) / 12)}
+	}
+	dtw := DTWDistance(fast, slow, 0)
+	euc := EuclideanDistance(fast, slow)
+	if dtw > euc/4 {
+		t.Fatalf("DTW %v should absorb warping far better than Euclid %v", dtw, euc)
+	}
+}
+
+func TestDTWSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([][]float64, 20)
+	b := make([][]float64, 33)
+	for i := range a {
+		a[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	for i := range b {
+		b[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	d1 := DTWDistance(a, b, 0)
+	d2 := DTWDistance(b, a, 0)
+	if math.Abs(d1-d2) > 1e-9 {
+		t.Fatalf("asymmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestDTWBandConstraint(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([][]float64, 50)
+	b := make([][]float64, 50)
+	for i := range a {
+		a[i] = []float64{rng.NormFloat64()}
+		b[i] = []float64{rng.NormFloat64()}
+	}
+	// A tight band restricts warping, so the distance cannot decrease.
+	wide := DTWDistance(a, b, 0)
+	tight := DTWDistance(a, b, 2)
+	if tight+1e-9 < wide {
+		t.Fatalf("band widened the match: tight %v < wide %v", tight, wide)
+	}
+	// Unequal lengths with a tiny band must still reach the corner.
+	c := b[:30]
+	if d := DTWDistance(a, c, 1); math.IsInf(d, 1) {
+		t.Fatal("band failed to reach the corner")
+	}
+}
+
+func TestDTWRecognisesSigns(t *testing.T) {
+	vocab := synth.Vocabulary(6, 9)
+	rng := rand.New(rand.NewSource(10))
+	refs := make(map[string][][]float64, len(vocab))
+	for _, s := range vocab {
+		refs[s.Name] = s.Render(1, 0, rng)
+	}
+	dist := func(a, b [][]float64) float64 { return DTWDistance(a, b, 20) }
+	correct, trials := 0, 0
+	for _, s := range vocab {
+		for k := 0; k < 3; k++ {
+			seg := s.Render(0.7+0.3*float64(k), 0.4, rng)
+			if NearestTemplate(seg, refs, dist) == s.Name {
+				correct++
+			}
+			trials++
+		}
+	}
+	if correct*5 < trials*4 {
+		t.Fatalf("DTW recognition %d/%d", correct, trials)
+	}
+}

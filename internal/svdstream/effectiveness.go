@@ -1,0 +1,63 @@
+package svdstream
+
+import "sort"
+
+// Effectiveness quantifies how well a similarity/distance measure
+// separates same-motion pairs from cross-motion pairs — §3.4.1's closing
+// proposal: "our information-theory based heuristic can be evolved into a
+// metric to measure the effectiveness of different similarity measures."
+//
+// The statistic is the pairwise ROC-AUC: the probability that a uniformly
+// random same-label pair is scored closer than a uniformly random
+// cross-label pair. 1.0 = perfect separation; 0.5 = chance.
+
+// LabeledSegment is one observation for the effectiveness evaluation.
+type LabeledSegment struct {
+	Name   string
+	Frames [][]float64
+}
+
+// Effectiveness computes the pairwise AUC of a distance function over a
+// labelled segment set. It returns 0.5 when either pair population is
+// empty.
+func Effectiveness(segments []LabeledSegment, dist func(a, b [][]float64) float64) float64 {
+	var same, cross []float64
+	for i := 0; i < len(segments); i++ {
+		for j := i + 1; j < len(segments); j++ {
+			d := dist(segments[i].Frames, segments[j].Frames)
+			if segments[i].Name == segments[j].Name {
+				same = append(same, d)
+			} else {
+				cross = append(cross, d)
+			}
+		}
+	}
+	return pairAUC(same, cross)
+}
+
+// pairAUC returns P(same < cross) + ½·P(same == cross) via a merge over
+// the sorted populations — O((n+m) log(n+m)).
+func pairAUC(same, cross []float64) float64 {
+	if len(same) == 0 || len(cross) == 0 {
+		return 0.5
+	}
+	sort.Float64s(same)
+	sort.Float64s(cross)
+	// For each same distance, count how many cross distances exceed it.
+	var wins, ties float64
+	j := 0
+	jEq := 0
+	for _, s := range same {
+		for j < len(cross) && cross[j] < s {
+			j++
+		}
+		jEq = j
+		for jEq < len(cross) && cross[jEq] == s {
+			jEq++
+		}
+		wins += float64(len(cross) - jEq)
+		ties += float64(jEq - j)
+	}
+	total := float64(len(same) * len(cross))
+	return (wins + ties/2) / total
+}

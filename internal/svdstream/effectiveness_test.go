@@ -1,0 +1,92 @@
+package svdstream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aims/internal/synth"
+)
+
+func TestPairAUCKnownValues(t *testing.T) {
+	// Perfect separation.
+	if got := pairAUC([]float64{1, 2}, []float64{5, 6}); got != 1 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+	// Perfectly wrong.
+	if got := pairAUC([]float64{5, 6}, []float64{1, 2}); got != 0 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+	// All tied.
+	if got := pairAUC([]float64{3, 3}, []float64{3, 3}); got != 0.5 {
+		t.Fatalf("tied AUC = %v", got)
+	}
+	// Empty population.
+	if got := pairAUC(nil, []float64{1}); got != 0.5 {
+		t.Fatalf("empty AUC = %v", got)
+	}
+	// Interleaved: same {1,3}, cross {2,4} → pairs: (1,2)✓ (1,4)✓ (3,2)✗ (3,4)✓ → 0.75.
+	if got := pairAUC([]float64{1, 3}, []float64{2, 4}); got != 0.75 {
+		t.Fatalf("interleaved AUC = %v", got)
+	}
+}
+
+func TestPairAUCMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		same := make([]float64, 1+rng.Intn(30))
+		cross := make([]float64, 1+rng.Intn(30))
+		for i := range same {
+			same[i] = math.Floor(rng.Float64() * 10)
+		}
+		for i := range cross {
+			cross[i] = math.Floor(rng.Float64() * 10)
+		}
+		var wins, ties float64
+		for _, s := range same {
+			for _, c := range cross {
+				switch {
+				case s < c:
+					wins++
+				case s == c:
+					ties++
+				}
+			}
+		}
+		want := (wins + ties/2) / float64(len(same)*len(cross))
+		sc := append([]float64(nil), same...)
+		cc := append([]float64(nil), cross...)
+		if got := pairAUC(sc, cc); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: %v vs brute %v", trial, got, want)
+		}
+	}
+}
+
+func TestEffectivenessRanksMeasuresSanely(t *testing.T) {
+	vocab := synth.Vocabulary(5, 31)
+	rng := rand.New(rand.NewSource(32))
+	var segs []LabeledSegment
+	for _, s := range vocab {
+		for k := 0; k < 4; k++ {
+			segs = append(segs, LabeledSegment{
+				Name:   s.Name,
+				Frames: s.Render(0.8+0.1*float64(k), 0.5, rng),
+			})
+		}
+	}
+	svdAUC := Effectiveness(segs, SVDDistance(6))
+	if svdAUC < 0.95 {
+		t.Fatalf("SVD effectiveness %v on easy vocabulary", svdAUC)
+	}
+	// A broken measure (constant distance) sits at chance.
+	flat := Effectiveness(segs, func(a, b [][]float64) float64 { return 1 })
+	if flat != 0.5 {
+		t.Fatalf("constant measure AUC %v, want 0.5", flat)
+	}
+	// A random measure hovers near chance.
+	rr := rand.New(rand.NewSource(33))
+	random := Effectiveness(segs, func(a, b [][]float64) float64 { return rr.Float64() })
+	if random < 0.3 || random > 0.7 {
+		t.Fatalf("random measure AUC %v", random)
+	}
+}

@@ -1,0 +1,117 @@
+package svdstream
+
+import (
+	"fmt"
+	"math"
+
+	"aims/internal/vec"
+)
+
+// Incremental maintains the SVD signature of a sliding window of frames
+// with rank-1 second-moment updates and warm-started Jacobi sweeps —
+// "computation of SVD utilizing results that have already been computed in
+// the earlier steps" (§3.4.1).
+type Incremental struct {
+	dims int
+	cap  int
+	buf  [][]float64
+	head int
+	size int
+	gram *vec.Matrix
+
+	prevVectors *vec.Matrix
+	dirty       bool
+	cached      Signature
+}
+
+// NewIncremental creates a sliding-window signature tracker for the given
+// frame dimensionality and window capacity.
+func NewIncremental(dims, capacity int) *Incremental {
+	if dims <= 0 || capacity <= 0 {
+		panic(fmt.Sprintf("svdstream: incremental dims=%d capacity=%d", dims, capacity))
+	}
+	return &Incremental{
+		dims: dims,
+		cap:  capacity,
+		buf:  make([][]float64, capacity),
+		gram: vec.NewMatrix(dims, dims),
+	}
+}
+
+// Len returns the number of frames currently in the window.
+func (inc *Incremental) Len() int { return inc.size }
+
+// Full reports whether the window is at capacity.
+func (inc *Incremental) Full() bool { return inc.size == inc.cap }
+
+// Push adds a frame, evicting the oldest when full; the second-moment
+// matrix is updated with one rank-1 addition (and one subtraction on
+// eviction) instead of being rebuilt.
+func (inc *Incremental) Push(frame []float64) {
+	if len(frame) != inc.dims {
+		panic(fmt.Sprintf("svdstream: frame dims %d != %d", len(frame), inc.dims))
+	}
+	if inc.size == inc.cap {
+		old := inc.buf[inc.head]
+		rank1(inc.gram, old, -1)
+	} else {
+		inc.size++
+	}
+	stored := append([]float64(nil), frame...)
+	inc.buf[inc.head] = stored
+	inc.head = (inc.head + 1) % inc.cap
+	rank1(inc.gram, stored, +1)
+	inc.dirty = true
+}
+
+func rank1(g *vec.Matrix, x []float64, sign float64) {
+	for i := range x {
+		if x[i] == 0 {
+			continue
+		}
+		gi := g.Row(i)
+		s := sign * x[i]
+		for j := range x {
+			gi[j] += s * x[j]
+		}
+	}
+}
+
+// Signature returns the current window's signature, warm-starting the
+// eigensolver from the previous call's rotation.
+func (inc *Incremental) Signature() Signature {
+	if !inc.dirty && inc.cached.Vectors != nil {
+		return inc.cached
+	}
+	eig := vec.SymEigenWarm(inc.gram, inc.prevVectors)
+	vals := make([]float64, len(eig.Values))
+	for i, l := range eig.Values {
+		if l < 0 {
+			l = 0
+		}
+		vals[i] = math.Sqrt(l)
+	}
+	inc.prevVectors = eig.Vectors
+	inc.cached = Signature{Vectors: eig.Vectors, Values: vals}
+	inc.dirty = false
+	return inc.cached
+}
+
+// Energy returns the trace of the second-moment matrix — total signal
+// energy in the window, used by the recogniser's rest detector.
+func (inc *Incremental) Energy() float64 {
+	var tr float64
+	for i := 0; i < inc.dims; i++ {
+		tr += inc.gram.At(i, i)
+	}
+	return tr
+}
+
+// Reset empties the window.
+func (inc *Incremental) Reset() {
+	inc.size, inc.head = 0, 0
+	inc.gram = vec.NewMatrix(inc.dims, inc.dims)
+	inc.dirty = true
+	inc.prevVectors = nil
+	inc.cached = Signature{}
+}

@@ -1,0 +1,66 @@
+package svdstream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"aims/internal/vec"
+)
+
+// Random-projection dimension reduction (§3.3.1 lists "dimension reduction
+// techniques such as random projections" among the planned refinements):
+// project the 28-D sensor space onto k ≪ 28 Gaussian directions before
+// computing signatures. The Johnson–Lindenstrauss property keeps pairwise
+// geometry approximately intact while the eigensolver shrinks from O(d³)
+// to O(k³) per window — the ablation experiment quantifies the
+// accuracy/cost trade.
+
+// Projector is a fixed random linear map ℝ^in → ℝ^out.
+type Projector struct {
+	In, Out int
+	m       *vec.Matrix // Out × In, entries N(0, 1/Out)
+}
+
+// NewProjector draws a Gaussian projection with the given shape and seed.
+func NewProjector(in, out int, seed int64) *Projector {
+	if in <= 0 || out <= 0 || out > in {
+		panic(fmt.Sprintf("svdstream: projector %d→%d", in, out))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := vec.NewMatrix(out, in)
+	scale := 1 / math.Sqrt(float64(out))
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * scale
+	}
+	return &Projector{In: in, Out: out, m: m}
+}
+
+// Apply projects one frame.
+func (p *Projector) Apply(frame []float64) []float64 {
+	return p.m.MulVec(frame)
+}
+
+// ApplyAll projects a time-major frame sequence.
+func (p *Projector) ApplyAll(frames [][]float64) [][]float64 {
+	out := make([][]float64, len(frames))
+	for i, fr := range frames {
+		out[i] = p.Apply(fr)
+	}
+	return out
+}
+
+// SignatureProjected computes the SVD signature in the projected space.
+func (p *Projector) SignatureProjected(frames [][]float64) Signature {
+	return SignatureOf(vec.MatrixFromRows(p.ApplyAll(frames)))
+}
+
+// ProjectedSVDDistance is SVDDistance computed after random projection —
+// the cheap variant for the ablation.
+func ProjectedSVDDistance(p *Projector, topK int) func(a, b [][]float64) float64 {
+	return func(a, b [][]float64) float64 {
+		sa := p.SignatureProjected(SmoothFrames(a, 7))
+		sb := p.SignatureProjected(SmoothFrames(b, 7))
+		return 1 - SimilarityTopK(sa, sb, topK)
+	}
+}

@@ -1,0 +1,103 @@
+package svdstream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aims/internal/synth"
+	"aims/internal/vec"
+)
+
+func TestProjectorShapes(t *testing.T) {
+	p := NewProjector(28, 8, 1)
+	out := p.Apply(make([]float64, 28))
+	if len(out) != 8 {
+		t.Fatalf("projected width %d", len(out))
+	}
+	frames := [][]float64{make([]float64, 28), make([]float64, 28)}
+	all := p.ApplyAll(frames)
+	if len(all) != 2 || len(all[0]) != 8 {
+		t.Fatal("ApplyAll shape")
+	}
+}
+
+func TestProjectorPanicsOnBadShape(t *testing.T) {
+	for _, bad := range [][2]int{{0, 1}, {8, 0}, {8, 9}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %v", bad)
+				}
+			}()
+			NewProjector(bad[0], bad[1], 1)
+		}()
+	}
+}
+
+func TestProjectorApproximatelyPreservesGeometry(t *testing.T) {
+	// JL flavour: relative distances between random frames survive a
+	// 28→12 projection within a loose factor.
+	rng := rand.New(rand.NewSource(2))
+	p := NewProjector(28, 12, 3)
+	for trial := 0; trial < 20; trial++ {
+		a := make([]float64, 28)
+		b := make([]float64, 28)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		orig := vec.Norm(vec.Sub(a, b))
+		proj := vec.Norm(vec.Sub(p.Apply(a), p.Apply(b)))
+		ratio := proj / orig
+		if ratio < 0.35 || ratio > 2.2 {
+			t.Fatalf("distance ratio %v outside sane JL band", ratio)
+		}
+	}
+}
+
+func TestProjectedRecognitionStillWorks(t *testing.T) {
+	vocab := synth.Vocabulary(6, 5)
+	rng := rand.New(rand.NewSource(6))
+	refs := make(map[string][][]float64, len(vocab))
+	for _, s := range vocab {
+		refs[s.Name] = s.Render(1, 0, rng)
+	}
+	p := NewProjector(synth.SignDims, 10, 7)
+	dist := ProjectedSVDDistance(p, 6)
+	correct, trials := 0, 0
+	for _, s := range vocab {
+		for k := 0; k < 4; k++ {
+			seg := s.Render(0.8+0.1*float64(k), 0.4, rng)
+			if NearestTemplate(seg, refs, dist) == s.Name {
+				correct++
+			}
+			trials++
+		}
+	}
+	if correct*4 < trials*3 {
+		t.Fatalf("projected recognition %d/%d", correct, trials)
+	}
+}
+
+func TestSmoothFramesReducesNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	frames := make([][]float64, 200)
+	for i := range frames {
+		frames[i] = []float64{math.Sin(float64(i) / 10), rng.NormFloat64()}
+	}
+	sm := SmoothFrames(frames, 7)
+	var rawVar, smVar float64
+	for i := range frames {
+		rawVar += frames[i][1] * frames[i][1]
+		smVar += sm[i][1] * sm[i][1]
+	}
+	if smVar > rawVar/2 {
+		t.Fatalf("smoothing weak: %v vs %v", smVar, rawVar)
+	}
+	// Width ≤ 1 is the identity.
+	same := SmoothFrames(frames, 1)
+	if &same[0][0] != &frames[0][0] {
+		t.Fatal("width-1 smoothing should be a no-op")
+	}
+}

@@ -1,0 +1,302 @@
+package svdstream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Recognizer performs simultaneous pattern isolation and recognition over
+// a continuous multi-sensor stream (§3.4): frames accumulate information
+// about the motion currently in progress; similarity against every
+// vocabulary member is tracked incrementally; the moment the leading
+// sign's accumulated evidence dominates decisively the recogniser commits
+// to it (low latency), and the motion's span is closed when the stream
+// returns to rest (accurate isolation).
+type Recognizer struct {
+	cfg       RecognizerConfig
+	templates []template
+
+	inMotion    bool
+	motionStart int
+	ewma        float64
+	prevFrame   []float64
+	restTicks   int
+
+	decided      bool
+	decidedName  string
+	decidedTick  int
+	decidedScore float64
+
+	window      *Incremental
+	acc         map[string]float64
+	lastBestSim float64
+	ticks       int
+}
+
+type template struct {
+	name string
+	sig  Signature
+}
+
+// RecognizerConfig tunes the isolation heuristic.
+type RecognizerConfig struct {
+	Dims int
+	// Stride is how often (in ticks) similarities are re-evaluated while a
+	// motion is in progress. Default 8.
+	Stride int
+	// TopK components used in the weighted-sum similarity. Default 6.
+	TopK int
+	// RestThreshold is the EWMA frame-to-frame energy below which the
+	// stream counts as resting. Must be calibrated to the rig's noise
+	// floor (see CalibrateRest).
+	RestThreshold float64
+	// RestTicks is how many consecutive sub-threshold ticks end a motion;
+	// it must bridge the momentary slow-downs at keyframe plateaus.
+	// Default 15.
+	RestTicks int
+	// MinMotionTicks discards twitches shorter than this. Default 20.
+	MinMotionTicks int
+	// DominanceMargin commits early when the leader's accumulated score
+	// exceeds the runner-up by this factor. Default 1.25.
+	DominanceMargin float64
+	// MinEvaluations before an early commitment is allowed. Default 4.
+	MinEvaluations int
+	// RejectBelow, when > 0, labels motions whose best raw weighted-SVD
+	// similarity never reaches it as unknown (Detection.Name == Unknown)
+	// instead of forcing the nearest vocabulary entry — out-of-vocabulary
+	// rejection. In-vocabulary motions score near 1.0; foreign motions
+	// far lower, so thresholds around 0.8 work across noise levels.
+	RejectBelow float64
+}
+
+// Unknown is the Detection.Name of a rejected (out-of-vocabulary) motion.
+const Unknown = "<unknown>"
+
+func (c RecognizerConfig) withDefaults() RecognizerConfig {
+	if c.Stride <= 0 {
+		c.Stride = 8
+	}
+	if c.TopK <= 0 {
+		c.TopK = 6
+	}
+	if c.RestTicks <= 0 {
+		c.RestTicks = 15
+	}
+	if c.MinMotionTicks <= 0 {
+		c.MinMotionTicks = 20
+	}
+	if c.DominanceMargin <= 0 {
+		c.DominanceMargin = 1.25
+	}
+	if c.MinEvaluations <= 0 {
+		c.MinEvaluations = 4
+	}
+	return c
+}
+
+// Detection is one isolated-and-recognised motion.
+type Detection struct {
+	Name       string
+	Start, End int // tick range [Start, End)
+	Score      float64
+	// Early is true when the dominance rule committed before the motion
+	// ended; DecisionTick is when the name was locked in (recognition
+	// latency = DecisionTick − Start).
+	Early        bool
+	DecisionTick int
+}
+
+// NewRecognizer builds a recogniser from named template signatures.
+func NewRecognizer(templates map[string]Signature, cfg RecognizerConfig) *Recognizer {
+	cfg = cfg.withDefaults()
+	if cfg.Dims <= 0 {
+		panic("svdstream: RecognizerConfig.Dims required")
+	}
+	r := &Recognizer{
+		cfg:    cfg,
+		window: NewIncremental(cfg.Dims, 1<<20), // growing segment window
+		acc:    map[string]float64{},
+	}
+	names := make([]string, 0, len(templates))
+	for n := range templates {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.templates = append(r.templates, template{name: n, sig: templates[n]})
+	}
+	return r
+}
+
+// CalibrateRest estimates a rest threshold from a stretch of known-idle
+// frames: 2× the mean frame-to-frame energy — several noise standard
+// deviations above the floor yet low enough that slow mid-sign passages
+// do not read as rest.
+func CalibrateRest(idle [][]float64) float64 {
+	if len(idle) < 2 {
+		return 1e-6
+	}
+	var sum float64
+	for i := 1; i < len(idle); i++ {
+		sum += frameDelta(idle[i], idle[i-1])
+	}
+	return 2 * sum / float64(len(idle)-1)
+}
+
+func frameDelta(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Feed consumes one frame and returns a detection when a motion closes.
+func (r *Recognizer) Feed(tick int, frame []float64) *Detection {
+	if len(frame) != r.cfg.Dims {
+		panic(fmt.Sprintf("svdstream: frame dims %d != %d", len(frame), r.cfg.Dims))
+	}
+	defer func() { r.prevFrame = append(r.prevFrame[:0], frame...); r.ticks++ }()
+
+	if r.prevFrame == nil {
+		return nil
+	}
+	delta := frameDelta(frame, r.prevFrame)
+	const alpha = 0.2
+	r.ewma = (1-alpha)*r.ewma + alpha*delta
+	moving := r.ewma > r.cfg.RestThreshold
+
+	if !r.inMotion {
+		if moving {
+			r.inMotion = true
+			r.motionStart = tick
+			r.restTicks = 0
+			r.decided = false
+			r.window.Reset()
+			for k := range r.acc {
+				delete(r.acc, k)
+			}
+		}
+		return nil
+	}
+
+	// In motion: the segment grows.
+	r.window.Push(frame)
+
+	if !moving {
+		r.restTicks++
+		if r.restTicks >= r.cfg.RestTicks {
+			det := r.finishMotion(tick + 1 - r.restTicks)
+			r.inMotion = false
+			return det
+		}
+	} else {
+		r.restTicks = 0
+	}
+
+	if !r.decided && r.window.Len()%r.cfg.Stride == 0 && r.window.Len() >= r.cfg.MinMotionTicks {
+		r.evaluate()
+		if name, score, ok := r.dominant(); ok {
+			r.decided = true
+			r.decidedName = name
+			r.decidedScore = score
+			r.decidedTick = tick
+		}
+	}
+	return nil
+}
+
+// evaluate updates accumulated evidence: positive information flows to the
+// best-matching signs, negative information (the mean drain) to all — the
+// stream "carries negative information about all the other absent
+// patterns".
+func (r *Recognizer) evaluate() {
+	sig := r.window.Signature()
+	var mean float64
+	sims := make([]float64, len(r.templates))
+	r.lastBestSim = 0
+	for i, t := range r.templates {
+		sims[i] = SimilarityTopK(sig, t.sig, r.cfg.TopK)
+		mean += sims[i]
+		if sims[i] > r.lastBestSim {
+			r.lastBestSim = sims[i]
+		}
+	}
+	if len(sims) > 0 {
+		mean /= float64(len(sims))
+	}
+	for i, t := range r.templates {
+		r.acc[t.name] += sims[i] - mean
+	}
+}
+
+// leaders returns the best and second-best accumulated names.
+func (r *Recognizer) leaders() (best string, bestV, second float64) {
+	bestV, second = math.Inf(-1), math.Inf(-1)
+	for _, t := range r.templates {
+		v := r.acc[t.name]
+		if v > bestV {
+			second = bestV
+			best, bestV = t.name, v
+		} else if v > second {
+			second = v
+		}
+	}
+	return
+}
+
+// dominant reports whether the accumulated evidence singles out one sign.
+func (r *Recognizer) dominant() (string, float64, bool) {
+	best, bestV, second := r.leaders()
+	evals := r.window.Len() / r.cfg.Stride
+	if evals < r.cfg.MinEvaluations || best == "" {
+		return "", 0, false
+	}
+	if second <= 0 {
+		second = 1e-9
+	}
+	if r.cfg.RejectBelow > 0 && r.lastBestSim < r.cfg.RejectBelow {
+		// The motion does not resemble any vocabulary entry strongly
+		// enough to commit while rejection is on.
+		return "", 0, false
+	}
+	if bestV > 0 && bestV/second >= r.cfg.DominanceMargin && bestV-second > 0.05*float64(evals) {
+		return best, bestV, true
+	}
+	return "", 0, false
+}
+
+// finishMotion closes the current segment at the given end tick: the
+// committed name wins if a dominance decision was made, otherwise the
+// final accumulated leader.
+func (r *Recognizer) finishMotion(end int) *Detection {
+	if r.window.Len() < r.cfg.MinMotionTicks {
+		return nil
+	}
+	if r.decided {
+		return &Detection{
+			Name: r.decidedName, Start: r.motionStart, End: end,
+			Score: r.decidedScore, Early: true, DecisionTick: r.decidedTick,
+		}
+	}
+	r.evaluate()
+	best, bestV, _ := r.leaders()
+	if best == "" {
+		return nil
+	}
+	if r.cfg.RejectBelow > 0 && r.lastBestSim < r.cfg.RejectBelow {
+		return &Detection{Name: Unknown, Start: r.motionStart, End: end, Score: r.lastBestSim, DecisionTick: end}
+	}
+	return &Detection{Name: best, Start: r.motionStart, End: end, Score: bestV, DecisionTick: end}
+}
+
+// Flush closes any in-progress motion at stream end.
+func (r *Recognizer) Flush(tick int) *Detection {
+	if !r.inMotion {
+		return nil
+	}
+	r.inMotion = false
+	return r.finishMotion(tick)
+}

@@ -1,0 +1,55 @@
+package svdstream
+
+import (
+	"testing"
+
+	"aims/internal/synth"
+)
+
+// TestRecognizerRejectsOutOfVocabulary streams a session containing signs
+// from a vocabulary the recogniser was never shown; with RejectBelow set,
+// those motions must mostly come back as Unknown while in-vocabulary signs
+// keep being recognised.
+func TestRecognizerRejectsOutOfVocabulary(t *testing.T) {
+	known := synth.Vocabulary(6, 501)
+	foreign := synth.Vocabulary(6, 777) // disjoint seed ⇒ different signs
+	templates := makeTemplates(known, 502)
+
+	run := func(vocab []synth.Sign, seed int64) (named, unknown int) {
+		frames, _ := synth.SignStream(vocab, synth.StreamOptions{
+			Count: 15, Noise: 0.4, DurJitter: 0.25, GapTicks: 80, Seed: seed,
+		})
+		r := NewRecognizer(templates, RecognizerConfig{
+			Dims:          synth.SignDims,
+			RestThreshold: CalibrateRest(frames[:20]),
+			RejectBelow:   0.8,
+		})
+		for tick, fr := range frames {
+			if d := r.Feed(tick, fr); d != nil {
+				if d.Name == Unknown {
+					unknown++
+				} else {
+					named++
+				}
+			}
+		}
+		if d := r.Flush(len(frames)); d != nil {
+			if d.Name == Unknown {
+				unknown++
+			} else {
+				named++
+			}
+		}
+		return named, unknown
+	}
+
+	inNamed, inUnknown := run(known, 503)
+	outNamed, outUnknown := run(foreign, 504)
+
+	if inNamed < 10 {
+		t.Fatalf("in-vocab: only %d named (%d unknown) — rejection too aggressive", inNamed, inUnknown)
+	}
+	if outUnknown <= outNamed {
+		t.Fatalf("out-of-vocab: %d named vs %d unknown — rejection ineffective", outNamed, outUnknown)
+	}
+}

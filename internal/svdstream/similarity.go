@@ -1,0 +1,153 @@
+// Package svdstream implements AIMS's online query-and-analysis subsystem
+// (§3.4): the weighted-sum SVD similarity measure over aggregated sensor
+// streams, incremental SVD maintenance for sliding windows, the
+// information-accumulation heuristic that simultaneously isolates and
+// recognises variable-length motions in a continuous stream, and the
+// Euclidean/DFT/DWT similarity baselines of the related-work comparison.
+package svdstream
+
+import (
+	"fmt"
+	"math"
+
+	"aims/internal/vec"
+)
+
+// Signature is the SVD fingerprint of a multi-sensor window: the right
+// singular vectors of the rows=time × cols=sensors matrix (equivalently the
+// eigenvectors of its uncentered second-moment matrix) with their singular
+// values. Rotations capture the directions hand state occupies; magnitudes
+// their energies. Signatures of different window lengths are comparable —
+// the property that frees the recogniser from fixed-length matching.
+type Signature struct {
+	Vectors *vec.Matrix // sensors × sensors, column i ↔ Values[i]
+	Values  []float64   // singular values, descending
+}
+
+// SignatureOf computes the signature of a window matrix (rows = time,
+// cols = sensors).
+func SignatureOf(m *vec.Matrix) Signature {
+	eig := vec.SymEigen(m.Gram())
+	vals := make([]float64, len(eig.Values))
+	for i, l := range eig.Values {
+		if l < 0 {
+			l = 0
+		}
+		vals[i] = math.Sqrt(l)
+	}
+	return Signature{Vectors: eig.Vectors, Values: vals}
+}
+
+// SignatureFromMoments builds a signature from a second-moment (or
+// covariance) matrix — the §3.4.1 port: every entry of that matrix is a
+// second-order polynomial range-sum, so the whole signature is derivable
+// from ProPolyne queries in the wavelet domain.
+func SignatureFromMoments(moments [][]float64) Signature {
+	n := len(moments)
+	m := vec.NewMatrix(n, n)
+	for i := range moments {
+		if len(moments[i]) != n {
+			panic(fmt.Sprintf("svdstream: ragged moment matrix row %d", i))
+		}
+		for j, v := range moments[i] {
+			m.Set(i, j, v)
+		}
+	}
+	eig := vec.SymEigen(m)
+	vals := make([]float64, n)
+	for i, l := range eig.Values {
+		if l < 0 {
+			l = 0
+		}
+		vals[i] = math.Sqrt(l)
+	}
+	return Signature{Vectors: eig.Vectors, Values: vals}
+}
+
+// Similarity is the weighted-sum SVD measure: corresponding singular
+// vectors are compared by |cosine| and weighted by the (normalised)
+// geometric mean of their singular values. The result lies in [0, 1]; 1
+// means identical rotation structure with identical energy profile.
+func Similarity(a, b Signature) float64 {
+	if a.Vectors.Cols != b.Vectors.Cols {
+		panic(fmt.Sprintf("svdstream: signature dims %d != %d", a.Vectors.Cols, b.Vectors.Cols))
+	}
+	n := a.Vectors.Cols
+	var weightSum, sim float64
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		weights[i] = math.Sqrt(a.Values[i] * b.Values[i])
+		weightSum += weights[i]
+	}
+	if weightSum == 0 {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		if weights[i] == 0 {
+			continue
+		}
+		dot := 0.0
+		for r := 0; r < n; r++ {
+			dot += a.Vectors.At(r, i) * b.Vectors.At(r, i)
+		}
+		sim += weights[i] / weightSum * math.Abs(dot)
+	}
+	return sim
+}
+
+// SimilarityTopK restricts the weighted sum to the k strongest components,
+// which suppresses noise-dominated directions.
+func SimilarityTopK(a, b Signature, k int) float64 {
+	n := a.Vectors.Cols
+	if k <= 0 || k > n {
+		k = n
+	}
+	var weightSum, sim float64
+	for i := 0; i < k; i++ {
+		w := math.Sqrt(a.Values[i] * b.Values[i])
+		weightSum += w
+		if w == 0 {
+			continue
+		}
+		dot := 0.0
+		for r := 0; r < n; r++ {
+			dot += a.Vectors.At(r, i) * b.Vectors.At(r, i)
+		}
+		sim += w * math.Abs(dot)
+	}
+	if weightSum == 0 {
+		return 0
+	}
+	return sim / weightSum
+}
+
+// MomentMatrix returns the uncentered second-moment matrix XᵀX of a frame
+// sequence (time-major) — the quantity §3.4.1 shows is computable from
+// degree-2 polynomial range-sums.
+func MomentMatrix(frames [][]float64) [][]float64 {
+	if len(frames) == 0 {
+		return nil
+	}
+	d := len(frames[0])
+	out := make([][]float64, d)
+	for i := range out {
+		out[i] = make([]float64, d)
+	}
+	for _, fr := range frames {
+		for i := 0; i < d; i++ {
+			vi := fr[i]
+			if vi == 0 {
+				continue
+			}
+			for j := i; j < d; j++ {
+				out[i][j] += vi * fr[j]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			out[j][i] = out[i][j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package svdstream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aims/internal/synth"
+	"aims/internal/vec"
+)
+
+func randWindow(rng *rand.Rand, rows, cols int) *vec.Matrix {
+	m := vec.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestSimilaritySelfIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randWindow(rng, 50, 8)
+	s := SignatureOf(m)
+	if got := Similarity(s, s); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("self similarity = %v", got)
+	}
+	if got := SimilarityTopK(s, s, 3); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("topK self similarity = %v", got)
+	}
+}
+
+func TestSimilaritySymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := SignatureOf(randWindow(rng, 40, 6))
+	b := SignatureOf(randWindow(rng, 55, 6))
+	if math.Abs(Similarity(a, b)-Similarity(b, a)) > 1e-9 {
+		t.Fatal("similarity not symmetric")
+	}
+}
+
+func TestSimilarityBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		a := SignatureOf(randWindow(rng, 30+rng.Intn(40), 7))
+		b := SignatureOf(randWindow(rng, 30+rng.Intn(40), 7))
+		s := Similarity(a, b)
+		if s < 0 || s > 1+1e-9 {
+			t.Fatalf("similarity %v out of [0,1]", s)
+		}
+	}
+}
+
+func TestSimilarityScaleInvariantInLength(t *testing.T) {
+	// The same motion executed slower (frames repeated) must keep a high
+	// similarity — the variable-length property.
+	vocab := synth.Vocabulary(1, 7)
+	rng := rand.New(rand.NewSource(4))
+	fast := vocab[0].Render(0.7, 0.1, rng)
+	slow := vocab[0].Render(1.4, 0.1, rng)
+	sf := SignatureOf(vec.MatrixFromRows(fast))
+	ss := SignatureOf(vec.MatrixFromRows(slow))
+	if got := SimilarityTopK(sf, ss, 6); got < 0.9 {
+		t.Fatalf("same sign at different speeds: similarity %v < 0.9", got)
+	}
+}
+
+func TestSimilarityDiscriminatesSigns(t *testing.T) {
+	vocab := synth.Vocabulary(8, 9)
+	rng := rand.New(rand.NewSource(5))
+	// Same sign twice vs different signs.
+	for i := 0; i < 4; i++ {
+		a1 := SignatureOf(vec.MatrixFromRows(vocab[i].Render(1, 0.2, rng)))
+		a2 := SignatureOf(vec.MatrixFromRows(vocab[i].Render(1.2, 0.2, rng)))
+		b := SignatureOf(vec.MatrixFromRows(vocab[i+4].Render(1, 0.2, rng)))
+		same := SimilarityTopK(a1, a2, 6)
+		diff := SimilarityTopK(a1, b, 6)
+		if same <= diff {
+			t.Fatalf("sign %d: same-sign similarity %v not above cross-sign %v", i, same, diff)
+		}
+	}
+}
+
+func TestSignatureFromMomentsMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	frames := make([][]float64, 80)
+	for i := range frames {
+		fr := make([]float64, 5)
+		for d := range fr {
+			fr[d] = rng.NormFloat64() * float64(d+1)
+		}
+		frames[i] = fr
+	}
+	direct := SignatureOf(vec.MatrixFromRows(frames))
+	viaMoments := SignatureFromMoments(MomentMatrix(frames))
+	// Same eigenstructure ⇒ similarity 1.
+	if got := Similarity(direct, viaMoments); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("moment-derived signature similarity %v, want 1", got)
+	}
+	for i := range direct.Values {
+		if math.Abs(direct.Values[i]-viaMoments.Values[i]) > 1e-6*(1+direct.Values[0]) {
+			t.Fatalf("singular value %d: %v vs %v", i, direct.Values[i], viaMoments.Values[i])
+		}
+	}
+}
+
+func TestIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const dims, capacity = 6, 32
+	inc := NewIncremental(dims, capacity)
+	var all [][]float64
+	for i := 0; i < 100; i++ {
+		fr := make([]float64, dims)
+		for d := range fr {
+			fr[d] = rng.NormFloat64()
+		}
+		all = append(all, fr)
+		inc.Push(fr)
+
+		if i >= capacity-1 && i%7 == 0 {
+			window := all[len(all)-capacity:]
+			batch := SignatureOf(vec.MatrixFromRows(window))
+			got := inc.Signature()
+			if sim := Similarity(batch, got); math.Abs(sim-1) > 1e-6 {
+				t.Fatalf("tick %d: incremental signature similarity %v", i, sim)
+			}
+			for k := range got.Values {
+				if math.Abs(got.Values[k]-batch.Values[k]) > 1e-6*(1+batch.Values[0]) {
+					t.Fatalf("tick %d: singular value %d mismatch", i, k)
+				}
+			}
+		}
+	}
+	if !inc.Full() || inc.Len() != capacity {
+		t.Fatal("window accounting broken")
+	}
+	inc.Reset()
+	if inc.Len() != 0 || inc.Energy() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestIncrementalEnergy(t *testing.T) {
+	inc := NewIncremental(2, 4)
+	inc.Push([]float64{3, 4})
+	if math.Abs(inc.Energy()-25) > 1e-12 {
+		t.Fatalf("Energy = %v", inc.Energy())
+	}
+}
+
+func makeTemplates(vocab []synth.Sign, seed int64) map[string]Signature {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[string]Signature, len(vocab))
+	for _, s := range vocab {
+		// Aggregate moment matrices of three executions for robustness.
+		var agg [][]float64
+		for k := 0; k < 3; k++ {
+			m := MomentMatrix(s.Render(0.8+0.2*float64(k), 0.1, rng))
+			if agg == nil {
+				agg = m
+			} else {
+				for i := range m {
+					for j := range m[i] {
+						agg[i][j] += m[i][j]
+					}
+				}
+			}
+		}
+		out[s.Name] = SignatureFromMoments(agg)
+	}
+	return out
+}
+
+func TestRecognizerIsolatesAndRecognises(t *testing.T) {
+	vocab := synth.Vocabulary(6, 11)
+	templates := makeTemplates(vocab, 100)
+
+	frames, segs := synth.SignStream(vocab, synth.StreamOptions{
+		Count: 20, Noise: 0.4, DurJitter: 0.3, GapTicks: 50, Seed: 12,
+	})
+	rest := frames[:20]
+	r := NewRecognizer(templates, RecognizerConfig{
+		Dims:          synth.SignDims,
+		RestThreshold: CalibrateRest(rest),
+	})
+	var dets []Detection
+	for tick, fr := range frames {
+		if d := r.Feed(tick, fr); d != nil {
+			dets = append(dets, *d)
+		}
+	}
+	if d := r.Flush(len(frames)); d != nil {
+		dets = append(dets, *d)
+	}
+
+	// Match detections to ground truth by overlap.
+	correct, matched := 0, 0
+	for _, seg := range segs {
+		for _, d := range dets {
+			overlap := minInt(seg.End, d.End) - maxInt(seg.Start, d.Start)
+			if overlap > (seg.End-seg.Start)/2 {
+				matched++
+				if d.Name == seg.Name {
+					correct++
+				}
+				break
+			}
+		}
+	}
+	if matched < len(segs)*8/10 {
+		t.Fatalf("isolated %d/%d segments", matched, len(segs))
+	}
+	if correct < matched*7/10 {
+		t.Fatalf("recognised %d/%d matched segments", correct, matched)
+	}
+	// No rampant over-segmentation.
+	if len(dets) > len(segs)*2 {
+		t.Fatalf("%d detections for %d true segments", len(dets), len(segs))
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestNearestTemplateBaselines(t *testing.T) {
+	vocab := synth.Vocabulary(5, 13)
+	rng := rand.New(rand.NewSource(14))
+	refs := make(map[string][][]float64, len(vocab))
+	for _, s := range vocab {
+		refs[s.Name] = s.Render(1, 0, rng)
+	}
+	dists := map[string]func(a, b [][]float64) float64{
+		"euclid": EuclideanDistance,
+		"dft":    func(a, b [][]float64) float64 { return DFTDistance(a, b, 8) },
+		"dwt":    func(a, b [][]float64) float64 { return DWTDistance(a, b, 8) },
+		"svd":    SVDDistance(6),
+	}
+	for name, dist := range dists {
+		correct := 0
+		trials := 0
+		for _, s := range vocab {
+			for k := 0; k < 3; k++ {
+				seg := s.Render(0.8+0.2*float64(k), 0.3, rng)
+				if NearestTemplate(seg, refs, dist) == s.Name {
+					correct++
+				}
+				trials++
+			}
+		}
+		// Every measure should beat chance comfortably on clean-ish data;
+		// exact rankings are the subject of experiment E7.
+		if correct*5 < trials*3 {
+			t.Errorf("%s: %d/%d correct", name, correct, trials)
+		}
+	}
+}
+
+func TestResampleFrames(t *testing.T) {
+	frames := [][]float64{{0, 0}, {1, 10}, {2, 20}, {3, 30}}
+	out := ResampleFrames(frames, 8)
+	if len(out) != 8 || len(out[0]) != 2 {
+		t.Fatalf("shape %dx%d", len(out), len(out[0]))
+	}
+	// Monotone ramps stay monotone.
+	for i := 1; i < len(out); i++ {
+		if out[i][0] < out[i-1][0]-1e-9 {
+			t.Fatal("resample broke monotonicity")
+		}
+	}
+	if ResampleFrames(nil, 8) != nil {
+		t.Fatal("nil input")
+	}
+}
+
+func TestCalibrateRest(t *testing.T) {
+	if got := CalibrateRest(nil); got <= 0 {
+		t.Fatal("degenerate calibration")
+	}
+	idle := [][]float64{{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}}
+	if got := CalibrateRest(idle); got <= 0 {
+		t.Fatalf("calibration = %v", got)
+	}
+}

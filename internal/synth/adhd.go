@@ -1,0 +1,281 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"aims/internal/sensors"
+)
+
+// The ADHD Virtual-Classroom study (§2.1): subjects perform the AX
+// attention task while distractions fire; trackers on head, hands and legs
+// stream 6-D pose at the device clock. The generator encodes the study's
+// working hypothesis — hyperactive subjects move more, fidget at higher
+// frequency, and are disproportionately captured by distractions — with
+// enough overlap between groups that classification is non-trivial.
+
+// TrackerCount is the number of body trackers (head, two hands, two legs).
+const TrackerCount = 5
+
+// TrackerDims is the number of channels per tracker (x, y, z, h, p, r).
+const TrackerDims = 6
+
+// SessionDims is the width of one ADHD session frame.
+const SessionDims = TrackerCount * TrackerDims
+
+// Subject is one study participant.
+type Subject struct {
+	ID   int
+	ADHD bool
+	Seed int64
+}
+
+// Stimulus is one letter presentation of the AX task; IsTarget marks an X
+// following an A (the pattern requiring a button press).
+type Stimulus struct {
+	Tick     int
+	IsTarget bool
+}
+
+// Distraction is one scheduled classroom distraction.
+type Distraction struct {
+	Tick     int
+	Duration int
+	Kind     string
+}
+
+// Response records the subject's reaction to one stimulus.
+type Response struct {
+	Stimulus      int // index into Session.Stimuli
+	Hit           bool
+	ReactionTicks int // valid when Hit
+	FalseAlarm    bool
+}
+
+// Session is one recorded Virtual-Classroom run.
+type Session struct {
+	Subject      Subject
+	Rate         float64
+	Frames       [][]float64 // T × SessionDims
+	Stimuli      []Stimulus
+	Distractions []Distraction
+	Responses    []Response
+}
+
+var distractionKinds = []string{"ambient-noise", "paper-airplane", "student-walks-in", "window-activity"}
+
+// NewCohort creates n subjects, a fraction of whom are ADHD-diagnosed.
+func NewCohort(n int, adhdFraction float64, seed int64) []Subject {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Subject, n)
+	nADHD := int(math.Round(float64(n) * adhdFraction))
+	for i := range out {
+		out[i] = Subject{ID: i, ADHD: i < nADHD, Seed: rng.Int63()}
+	}
+	// Shuffle so group membership is not a function of ID order.
+	rng.Shuffle(n, func(i, j int) {
+		out[i].ADHD, out[j].ADHD = out[j].ADHD, out[i].ADHD
+	})
+	return out
+}
+
+// GenerateSession simulates durTicks of a subject's Virtual-Classroom run
+// at the standard device clock.
+func GenerateSession(subj Subject, durTicks int) Session {
+	rng := rand.New(rand.NewSource(subj.Seed))
+	s := Session{Subject: subj, Rate: sensors.DefaultClock}
+
+	// Distraction schedule: roughly every 6 s.
+	for tick := 300 + rng.Intn(300); tick < durTicks-100; tick += 400 + rng.Intn(500) {
+		s.Distractions = append(s.Distractions, Distraction{
+			Tick:     tick,
+			Duration: 100 + rng.Intn(200),
+			Kind:     distractionKinds[rng.Intn(len(distractionKinds))],
+		})
+	}
+	// Stimulus schedule: a letter every ~1.5 s; 25 % are AX targets.
+	for tick := 150; tick < durTicks-150; tick += 120 + rng.Intn(80) {
+		s.Stimuli = append(s.Stimuli, Stimulus{Tick: tick, IsTarget: rng.Float64() < 0.25})
+	}
+
+	// Group-dependent motion parameters driven by a latent hyperactivity
+	// severity. The group distributions overlap (σ = 0.45 around means one
+	// unit apart) so that motion features separate the cohorts at roughly
+	// the paper's 86 % — not trivially.
+	severity := 0.45 * rng.NormFloat64()
+	if subj.ADHD {
+		severity += 1
+	}
+	clamp := func(v, lo, hi float64) float64 {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	fidgetAmp := clamp(0.012+0.010*severity, 0.004, 0.05)
+	burstRate := clamp(0.002+0.005*severity, 0.0005, 0.02)
+	burstAmp := clamp(0.05+0.07*severity, 0.02, 0.3)
+	distractGain := clamp(1.5+2.5*severity, 1, 6)
+
+	// Per-channel band-limited fidget sources.
+	fidgetHz := clamp(2+2.5*severity, 1, 6)
+	srcs := make([]*sensors.BandlimitedSource, SessionDims)
+	for c := range srcs {
+		srcs[c] = sensors.NewBandlimitedSource(fidgetHz, fidgetAmp, 0.001, 5, subj.Seed+int64(c)*31)
+	}
+
+	inDistraction := func(tick int) bool {
+		for _, d := range s.Distractions {
+			if tick >= d.Tick && tick < d.Tick+d.Duration {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Movement bursts: exponential envelopes on random trackers.
+	type burst struct {
+		tracker, start, dur int
+		amp                 float64
+	}
+	var bursts []burst
+	for tick := 0; tick < durTicks; tick++ {
+		rate := burstRate
+		if inDistraction(tick) {
+			rate *= distractGain
+		}
+		if rng.Float64() < rate {
+			bursts = append(bursts, burst{
+				tracker: rng.Intn(TrackerCount),
+				start:   tick,
+				dur:     50 + rng.Intn(150),
+				amp:     burstAmp * (0.5 + rng.Float64()),
+			})
+		}
+	}
+
+	s.Frames = make([][]float64, durTicks)
+	for tick := 0; tick < durTicks; tick++ {
+		t := float64(tick) / s.Rate
+		fr := make([]float64, SessionDims)
+		for c := range fr {
+			fr[c] = srcs[c].Sample(t)
+		}
+		for _, b := range bursts {
+			if tick < b.start || tick >= b.start+b.dur {
+				continue
+			}
+			phase := float64(tick-b.start) / float64(b.dur)
+			env := b.amp * math.Sin(math.Pi*phase)
+			for d := 0; d < TrackerDims; d++ {
+				fr[b.tracker*TrackerDims+d] += env * math.Sin(2*math.Pi*3*t+float64(d))
+			}
+		}
+		s.Frames[tick] = fr
+	}
+
+	// Responses: ADHD subjects miss more, react slower, and suffer extra
+	// under distraction.
+	for i, st := range s.Stimuli {
+		if !st.IsTarget {
+			// Commission errors (pressing on a non-target).
+			faP := clamp(0.02+0.08*severity, 0.005, 0.4)
+			if rng.Float64() < faP {
+				s.Responses = append(s.Responses, Response{Stimulus: i, FalseAlarm: true})
+			}
+			continue
+		}
+		missP := clamp(0.05+0.18*severity, 0.01, 0.6)
+		rtMean := 45 + 18*severity // ticks (≈450 ms baseline)
+		rtSD := clamp(10+8*severity, 6, 40)
+		if inDistraction(st.Tick) {
+			missP *= 1.6
+			rtMean *= 1.2
+			if subj.ADHD {
+				missP *= 1.5
+			}
+			missP = clamp(missP, 0, 0.95)
+		}
+		if rng.Float64() < missP {
+			s.Responses = append(s.Responses, Response{Stimulus: i, Hit: false})
+			continue
+		}
+		rt := int(rtMean + rtSD*rng.NormFloat64())
+		if rt < 15 {
+			rt = 15
+		}
+		s.Responses = append(s.Responses, Response{Stimulus: i, Hit: true, ReactionTicks: rt})
+	}
+	return s
+}
+
+// MotionSpeedFeatures extracts the per-tracker motion-speed statistics the
+// paper's SVM study classified on: mean and standard deviation of frame-to-
+// frame speed for each tracker (position channels only), 2·TrackerCount
+// features in total.
+func MotionSpeedFeatures(s Session) []float64 {
+	feats := make([]float64, 0, 2*TrackerCount)
+	for tr := 0; tr < TrackerCount; tr++ {
+		speeds := make([]float64, 0, len(s.Frames)-1)
+		for i := 1; i < len(s.Frames); i++ {
+			var d2 float64
+			for d := 0; d < 3; d++ { // x, y, z
+				diff := s.Frames[i][tr*TrackerDims+d] - s.Frames[i-1][tr*TrackerDims+d]
+				d2 += diff * diff
+			}
+			speeds = append(speeds, math.Sqrt(d2)*s.Rate) // m/s
+		}
+		var mean float64
+		for _, v := range speeds {
+			mean += v
+		}
+		if len(speeds) > 0 {
+			mean /= float64(len(speeds))
+		}
+		var sd float64
+		for _, v := range speeds {
+			sd += (v - mean) * (v - mean)
+		}
+		if len(speeds) > 0 {
+			sd = math.Sqrt(sd / float64(len(speeds)))
+		}
+		feats = append(feats, mean, sd)
+	}
+	return feats
+}
+
+// HitRate returns the fraction of targets the subject hit.
+func (s Session) HitRate() float64 {
+	var targets, hits int
+	for _, r := range s.Responses {
+		if r.FalseAlarm {
+			continue
+		}
+		targets++
+		if r.Hit {
+			hits++
+		}
+	}
+	if targets == 0 {
+		return 0
+	}
+	return float64(hits) / float64(targets)
+}
+
+// MeanReactionTicks returns the average reaction time over hits, or 0.
+func (s Session) MeanReactionTicks() float64 {
+	var sum, n float64
+	for _, r := range s.Responses {
+		if r.Hit {
+			sum += float64(r.ReactionTicks)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}

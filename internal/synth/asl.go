@@ -1,0 +1,195 @@
+// Package synth generates the workloads the paper evaluates on but whose
+// originals are unavailable: American Sign Language hand-motion streams
+// captured by a 28-sensor glove rig (§2.2), ADHD Virtual-Classroom sessions
+// with body trackers, attention tasks and distractions (§2.1), and the
+// multidimensional datasets (smooth "atmospheric" fields, Zipf-skewed and
+// uniform tuple sets) used by the ProPolyne experiments. Every generator is
+// deterministic given its seed.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SignDims is the dimensionality of one hand-capture frame (CyberGlove 22
+// + Polhemus 6).
+const SignDims = 28
+
+// Sign is one vocabulary entry: a smooth trajectory through joint-space
+// keyframes. Different executions of the same sign vary in duration and
+// amplitude but share the keyframe skeleton — exactly the variability the
+// online recognition subsystem must absorb.
+type Sign struct {
+	Name      string
+	KeyFrames [][]float64 // K × SignDims joint/pose targets
+	BaseTicks int         // nominal duration at the device clock
+}
+
+// Vocabulary builds n distinguishable signs. Keyframes are drawn per sign
+// from sign-specific joint postures, so two signs differ in both posture
+// and motion path.
+func Vocabulary(n int, seed int64) []Sign {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sign, n)
+	for s := range out {
+		k := 4 + rng.Intn(4)
+		frames := make([][]float64, k)
+		// A per-sign "home posture" anchors all keyframes so the sign has
+		// a coherent identity.
+		home := make([]float64, SignDims)
+		for d := range home {
+			home[d] = jointRange(d) * (2*rng.Float64() - 1)
+		}
+		for f := range frames {
+			fr := make([]float64, SignDims)
+			for d := range fr {
+				fr[d] = home[d] + jointRange(d)*0.6*(2*rng.Float64()-1)
+			}
+			frames[f] = fr
+		}
+		out[s] = Sign{
+			Name:      fmt.Sprintf("sign-%02d", s),
+			KeyFrames: frames,
+			BaseTicks: 60 + rng.Intn(80), // 0.6–1.4 s at 100 Hz
+		}
+	}
+	return out
+}
+
+// ConfusableVocabulary builds n signs that all share one home posture and
+// differ only by keyframe deltas of amplitude spread·jointRange — the
+// regime where similarity measures genuinely diverge (real ASL signs share
+// hand shapes and differ in subtle motion). spread ∈ (0, 1]; smaller is
+// harder.
+func ConfusableVocabulary(n int, spread float64, seed int64) []Sign {
+	rng := rand.New(rand.NewSource(seed))
+	home := make([]float64, SignDims)
+	for d := range home {
+		home[d] = jointRange(d) * (2*rng.Float64() - 1) * 0.5
+	}
+	out := make([]Sign, n)
+	for s := range out {
+		k := 4 + rng.Intn(3)
+		frames := make([][]float64, k)
+		for f := range frames {
+			fr := make([]float64, SignDims)
+			for d := range fr {
+				fr[d] = home[d] + jointRange(d)*spread*(2*rng.Float64()-1)
+			}
+			frames[f] = fr
+		}
+		out[s] = Sign{
+			Name:      fmt.Sprintf("csign-%02d", s),
+			KeyFrames: frames,
+			BaseTicks: 60 + rng.Intn(80),
+		}
+	}
+	return out
+}
+
+// jointRange returns the plausible half-range of channel d: joint angles
+// span tens of degrees, tracker positions fractions of a metre.
+func jointRange(d int) float64 {
+	if d < 22 {
+		return 45 // CyberGlove joint angle, degrees
+	}
+	if d < 25 {
+		return 0.3 // Polhemus position, metres
+	}
+	return 60 // Polhemus rotation, degrees
+}
+
+// Render executes a sign: keyframes are interpolated with a cosine ramp
+// over BaseTicks·durScale ticks, and per-channel sensor noise is added.
+func (s Sign) Render(durScale, noise float64, rng *rand.Rand) [][]float64 {
+	ticks := int(math.Round(float64(s.BaseTicks) * durScale))
+	if ticks < 4 {
+		ticks = 4
+	}
+	k := len(s.KeyFrames)
+	out := make([][]float64, ticks)
+	for i := 0; i < ticks; i++ {
+		// Position along the keyframe path in [0, k-1].
+		pos := float64(i) / float64(ticks-1) * float64(k-1)
+		lo := int(pos)
+		if lo >= k-1 {
+			lo = k - 2
+		}
+		frac := pos - float64(lo)
+		// Cosine easing gives C¹-smooth motion like a human hand.
+		w := (1 - math.Cos(math.Pi*frac)) / 2
+		frame := make([]float64, SignDims)
+		for d := 0; d < SignDims; d++ {
+			v := s.KeyFrames[lo][d]*(1-w) + s.KeyFrames[lo+1][d]*w
+			frame[d] = v + noise*rng.NormFloat64()
+		}
+		out[i] = frame
+	}
+	return out
+}
+
+// Segment labels a region of a rendered stream with its ground-truth sign.
+type Segment struct {
+	Name       string
+	Start, End int // tick range [Start, End)
+}
+
+// StreamOptions configures SignStream.
+type StreamOptions struct {
+	Count     int     // number of sign executions
+	Noise     float64 // sensor noise stddev
+	DurJitter float64 // ±fraction of duration variability (e.g. 0.3)
+	GapTicks  int     // average rest gap between signs
+	Seed      int64
+}
+
+// SignStream renders a continuous session: Count random vocabulary signs
+// separated by rest gaps (hand near neutral), returning the frame stream
+// and the ground-truth segmentation. This is the input of the online
+// query-and-analysis experiments (E7).
+func SignStream(vocab []Sign, opt StreamOptions) ([][]float64, []Segment) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var frames [][]float64
+	var segs []Segment
+	rest := make([]float64, SignDims)
+	appendRest := func(n int) {
+		for i := 0; i < n; i++ {
+			fr := make([]float64, SignDims)
+			for d := range fr {
+				fr[d] = rest[d] + opt.Noise*rng.NormFloat64()
+			}
+			frames = append(frames, fr)
+		}
+	}
+	// transitionTicks smoothly moves the hand between postures — a real
+	// hand cannot teleport from a sign's final pose back to rest.
+	const transitionTicks = 15
+	appendRamp := func(from, to []float64) {
+		for i := 1; i <= transitionTicks; i++ {
+			w := (1 - math.Cos(math.Pi*float64(i)/float64(transitionTicks))) / 2
+			fr := make([]float64, SignDims)
+			for d := range fr {
+				fr[d] = from[d]*(1-w) + to[d]*w + opt.Noise*rng.NormFloat64()
+			}
+			frames = append(frames, fr)
+		}
+	}
+	appendRest(opt.GapTicks/2 + 1)
+	for c := 0; c < opt.Count; c++ {
+		sign := vocab[rng.Intn(len(vocab))]
+		durScale := 1 + opt.DurJitter*(2*rng.Float64()-1)
+		body := sign.Render(durScale, opt.Noise, rng)
+		appendRamp(rest, body[0])
+		segs = append(segs, Segment{Name: sign.Name, Start: len(frames), End: len(frames) + len(body)})
+		frames = append(frames, body...)
+		appendRamp(body[len(body)-1], rest)
+		gap := 1
+		if opt.GapTicks > 0 {
+			gap = opt.GapTicks/2 + rng.Intn(opt.GapTicks+1)
+		}
+		appendRest(gap)
+	}
+	return frames, segs
+}

@@ -1,0 +1,163 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dataset generators for the off-line query experiments (E3–E5). Each
+// returns a dense frequency/measure cube in row-major order; ProPolyne's
+// behaviour depends only on the cube's energy distribution, which these
+// three families span: benign (smooth), adversarial (uniform random) and
+// realistic (skewed).
+
+// UniformCube fills a cube with i.i.d. uniform counts in [0, maxCount].
+// White data has no wavelet structure at all — the worst case for data
+// approximation.
+func UniformCube(dims []int, maxCount float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, size(dims))
+	for i := range out {
+		out[i] = rng.Float64() * maxCount
+	}
+	return out
+}
+
+// ZipfCube scatters nTuples tuples over the cube with Zipf-distributed
+// coordinates (skew s ≥ 1 concentrates mass near the origin of each
+// dimension) — the shape of realistic categorical/measurement data.
+func ZipfCube(dims []int, nTuples int, skew float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, size(dims))
+	zipfs := make([]*rand.Zipf, len(dims))
+	for d, n := range dims {
+		zipfs[d] = rand.NewZipf(rng, skew, 1, uint64(n-1))
+	}
+	strides := stridesOf(dims)
+	for t := 0; t < nTuples; t++ {
+		off := 0
+		for d := range dims {
+			off += int(zipfs[d].Uint64()) * strides[d]
+		}
+		out[off]++
+	}
+	return out
+}
+
+// SmoothCube synthesises an "atmospheric" field like the NASA/JPL dataset
+// of the paper's Fig. 4 demo: a sum of smooth low-frequency modes plus a
+// few localised anomalies (storm cells). Smooth data compacts superbly
+// under wavelets — the best case for data approximation.
+func SmoothCube(dims []int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, size(dims))
+	strides := stridesOf(dims)
+
+	type mode struct {
+		freq, phase []float64
+		amp         float64
+	}
+	modes := make([]mode, 6)
+	for m := range modes {
+		fr := make([]float64, len(dims))
+		ph := make([]float64, len(dims))
+		for d := range dims {
+			fr[d] = (0.5 + 2.5*rng.Float64()) / float64(dims[d])
+			ph[d] = 2 * math.Pi * rng.Float64()
+		}
+		modes[m] = mode{freq: fr, phase: ph, amp: 10 / float64(m+1)}
+	}
+	type anomaly struct {
+		center []int
+		radius float64
+		amp    float64
+	}
+	anomalies := make([]anomaly, 3)
+	for a := range anomalies {
+		c := make([]int, len(dims))
+		for d := range dims {
+			c[d] = rng.Intn(dims[d])
+		}
+		anomalies[a] = anomaly{center: c, radius: 2 + 4*rng.Float64(), amp: 25 * rng.Float64()}
+	}
+
+	idx := make([]int, len(dims))
+	for off := range out {
+		rem := off
+		for d := len(dims) - 1; d >= 0; d-- {
+			idx[d] = rem % dims[d]
+			rem /= dims[d]
+		}
+		v := 20.0
+		for _, m := range modes {
+			arg := m.phase[0]
+			for d := range dims {
+				arg += 2 * math.Pi * m.freq[d] * float64(idx[d])
+			}
+			v += m.amp * math.Sin(arg)
+		}
+		for _, a := range anomalies {
+			var d2 float64
+			for d := range dims {
+				diff := float64(idx[d] - a.center[d])
+				d2 += diff * diff
+			}
+			v += a.amp * math.Exp(-d2/(2*a.radius*a.radius))
+		}
+		out[off] = v
+	}
+	_ = strides
+	return out
+}
+
+// ClusteredTuples draws nTuples points from k Gaussian clusters inside the
+// cube and returns their (integer) coordinates — tuple-level input for the
+// relational/hybrid experiments.
+func ClusteredTuples(dims []int, nTuples, k int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, k)
+	spreads := make([]float64, k)
+	for c := range centers {
+		ctr := make([]float64, len(dims))
+		for d := range dims {
+			ctr[d] = rng.Float64() * float64(dims[d])
+		}
+		centers[c] = ctr
+		spreads[c] = 1 + rng.Float64()*float64(dims[0])/8
+	}
+	out := make([][]int, nTuples)
+	for t := range out {
+		c := rng.Intn(k)
+		pt := make([]int, len(dims))
+		for d := range dims {
+			v := int(math.Round(centers[c][d] + spreads[c]*rng.NormFloat64()))
+			if v < 0 {
+				v = 0
+			}
+			if v >= dims[d] {
+				v = dims[d] - 1
+			}
+			pt[d] = v
+		}
+		out[t] = pt
+	}
+	return out
+}
+
+func size(dims []int) int {
+	s := 1
+	for _, n := range dims {
+		s *= n
+	}
+	return s
+}
+
+func stridesOf(dims []int) []int {
+	st := make([]int, len(dims))
+	acc := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= dims[i]
+	}
+	return st
+}

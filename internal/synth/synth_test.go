@@ -1,0 +1,277 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestVocabularyDeterministicAndDistinct(t *testing.T) {
+	a := Vocabulary(8, 3)
+	b := Vocabulary(8, 3)
+	if len(a) != 8 {
+		t.Fatalf("vocab size = %d", len(a))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].BaseTicks != b[i].BaseTicks {
+			t.Fatal("same seed must give same vocabulary")
+		}
+		for f := range a[i].KeyFrames {
+			for d := range a[i].KeyFrames[f] {
+				if a[i].KeyFrames[f][d] != b[i].KeyFrames[f][d] {
+					t.Fatal("keyframes not deterministic")
+				}
+			}
+		}
+	}
+	// Distinct signs must have distinct home postures.
+	var dist float64
+	for d := 0; d < SignDims; d++ {
+		diff := a[0].KeyFrames[0][d] - a[1].KeyFrames[0][d]
+		dist += diff * diff
+	}
+	if dist < 1 {
+		t.Fatal("signs 0 and 1 are nearly identical")
+	}
+}
+
+func TestRenderDurationScaling(t *testing.T) {
+	v := Vocabulary(1, 9)[0]
+	rng := rand.New(rand.NewSource(1))
+	short := v.Render(0.7, 0, rng)
+	long := v.Render(1.3, 0, rng)
+	if len(long) <= len(short) {
+		t.Fatalf("durations: short %d, long %d", len(short), len(long))
+	}
+	wantShort := int(math.Round(float64(v.BaseTicks) * 0.7))
+	if len(short) != wantShort {
+		t.Fatalf("short = %d, want %d", len(short), wantShort)
+	}
+	for _, fr := range short {
+		if len(fr) != SignDims {
+			t.Fatalf("frame width %d", len(fr))
+		}
+	}
+}
+
+func TestRenderIsSmooth(t *testing.T) {
+	v := Vocabulary(1, 5)[0]
+	rng := rand.New(rand.NewSource(2))
+	frames := v.Render(1, 0, rng)
+	// Noise-free rendering: per-tick channel jumps must be small relative
+	// to the overall range.
+	for i := 1; i < len(frames); i++ {
+		for d := 0; d < SignDims; d++ {
+			jump := math.Abs(frames[i][d] - frames[i-1][d])
+			if jump > jointRange(d)*0.5 {
+				t.Fatalf("discontinuity at tick %d dim %d: %v", i, d, jump)
+			}
+		}
+	}
+}
+
+func TestSignStreamSegmentsConsistent(t *testing.T) {
+	vocab := Vocabulary(6, 11)
+	frames, segs := SignStream(vocab, StreamOptions{
+		Count: 10, Noise: 0.3, DurJitter: 0.3, GapTicks: 30, Seed: 4,
+	})
+	if len(segs) != 10 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	prevEnd := 0
+	for _, seg := range segs {
+		if seg.Start < prevEnd {
+			t.Fatalf("segments overlap: %+v", seg)
+		}
+		if seg.End <= seg.Start || seg.End > len(frames) {
+			t.Fatalf("bad segment bounds: %+v (stream %d)", seg, len(frames))
+		}
+		prevEnd = seg.End
+	}
+	names := map[string]bool{}
+	for _, seg := range segs {
+		names[seg.Name] = true
+	}
+	if len(names) < 2 {
+		t.Fatal("stream should contain multiple distinct signs")
+	}
+}
+
+func TestNewCohortBalance(t *testing.T) {
+	cohort := NewCohort(100, 0.5, 21)
+	var adhd int
+	for _, s := range cohort {
+		if s.ADHD {
+			adhd++
+		}
+	}
+	if adhd != 50 {
+		t.Fatalf("ADHD count = %d, want 50", adhd)
+	}
+	// Shuffled: the first 50 must not all be ADHD.
+	var firstHalf int
+	for _, s := range cohort[:50] {
+		if s.ADHD {
+			firstHalf++
+		}
+	}
+	if firstHalf == 50 || firstHalf == 0 {
+		t.Fatal("cohort not shuffled")
+	}
+}
+
+func TestGenerateSessionShape(t *testing.T) {
+	subj := Subject{ID: 1, ADHD: true, Seed: 42}
+	s := GenerateSession(subj, 3000)
+	if len(s.Frames) != 3000 {
+		t.Fatalf("frames = %d", len(s.Frames))
+	}
+	for _, fr := range s.Frames[:10] {
+		if len(fr) != SessionDims {
+			t.Fatalf("frame width = %d, want %d", len(fr), SessionDims)
+		}
+	}
+	if len(s.Stimuli) == 0 || len(s.Distractions) == 0 {
+		t.Fatal("session missing stimuli or distractions")
+	}
+	if len(s.Responses) == 0 {
+		t.Fatal("no responses recorded")
+	}
+	// Determinism.
+	s2 := GenerateSession(subj, 3000)
+	if s2.Frames[100][7] != s.Frames[100][7] {
+		t.Fatal("session not deterministic")
+	}
+}
+
+func TestADHDSubjectsMoveMore(t *testing.T) {
+	// Cohort-level motion separation — the basis of the 86 % SVM claim.
+	var adhdSpeed, ctrlSpeed float64
+	var na, nc int
+	for i := 0; i < 12; i++ {
+		adhd := GenerateSession(Subject{ID: i, ADHD: true, Seed: int64(1000 + i)}, 2000)
+		ctrl := GenerateSession(Subject{ID: i, ADHD: false, Seed: int64(2000 + i)}, 2000)
+		fa := MotionSpeedFeatures(adhd)
+		fc := MotionSpeedFeatures(ctrl)
+		for d := 0; d < len(fa); d += 2 { // mean-speed features
+			adhdSpeed += fa[d]
+			ctrlSpeed += fc[d]
+			na++
+			nc++
+		}
+	}
+	if adhdSpeed/float64(na) <= ctrlSpeed/float64(nc) {
+		t.Fatalf("ADHD mean speed %v not above control %v",
+			adhdSpeed/float64(na), ctrlSpeed/float64(nc))
+	}
+}
+
+func TestADHDTaskPerformanceWorse(t *testing.T) {
+	var adhdHits, ctrlHits, adhdRT, ctrlRT float64
+	for i := 0; i < 10; i++ {
+		a := GenerateSession(Subject{ID: i, ADHD: true, Seed: int64(3000 + i)}, 4000)
+		c := GenerateSession(Subject{ID: i, ADHD: false, Seed: int64(4000 + i)}, 4000)
+		adhdHits += a.HitRate()
+		ctrlHits += c.HitRate()
+		adhdRT += a.MeanReactionTicks()
+		ctrlRT += c.MeanReactionTicks()
+	}
+	if adhdHits >= ctrlHits {
+		t.Fatalf("ADHD hit rate %v should be below control %v", adhdHits/10, ctrlHits/10)
+	}
+	if adhdRT <= ctrlRT {
+		t.Fatalf("ADHD reaction time %v should exceed control %v", adhdRT/10, ctrlRT/10)
+	}
+}
+
+func TestMotionSpeedFeatureWidth(t *testing.T) {
+	s := GenerateSession(Subject{ID: 0, Seed: 5}, 500)
+	f := MotionSpeedFeatures(s)
+	if len(f) != 2*TrackerCount {
+		t.Fatalf("features = %d, want %d", len(f), 2*TrackerCount)
+	}
+	for i, v := range f {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("feature %d = %v", i, v)
+		}
+	}
+}
+
+func TestUniformCube(t *testing.T) {
+	c := UniformCube([]int{8, 8}, 10, 1)
+	if len(c) != 64 {
+		t.Fatalf("size = %d", len(c))
+	}
+	for _, v := range c {
+		if v < 0 || v > 10 {
+			t.Fatalf("value %v out of range", v)
+		}
+	}
+}
+
+func TestZipfCubeMassAndSkew(t *testing.T) {
+	c := ZipfCube([]int{16, 16}, 5000, 1.3, 2)
+	var total float64
+	for _, v := range c {
+		total += v
+	}
+	if total != 5000 {
+		t.Fatalf("total mass = %v, want 5000", total)
+	}
+	// Skew: the origin cell region must hold far more than the far corner.
+	var nearOrigin, farCorner float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			nearOrigin += c[i*16+j]
+			farCorner += c[(12+i)*16+12+j]
+		}
+	}
+	if nearOrigin < 10*farCorner+1 {
+		t.Fatalf("Zipf skew weak: origin %v vs corner %v", nearOrigin, farCorner)
+	}
+}
+
+func TestSmoothCubeIsSmooth(t *testing.T) {
+	dims := []int{32, 32}
+	c := SmoothCube(dims, 3)
+	// Average neighbour difference must be small relative to value range.
+	var maxV, minV float64 = math.Inf(-1), math.Inf(1)
+	var diffSum float64
+	var diffN int
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			v := c[i*32+j]
+			if v > maxV {
+				maxV = v
+			}
+			if v < minV {
+				minV = v
+			}
+			if j > 0 {
+				diffSum += math.Abs(v - c[i*32+j-1])
+				diffN++
+			}
+		}
+	}
+	if (maxV - minV) <= 0 {
+		t.Fatal("flat cube")
+	}
+	if diffSum/float64(diffN) > (maxV-minV)/4 {
+		t.Fatalf("cube not smooth: avg diff %v vs range %v", diffSum/float64(diffN), maxV-minV)
+	}
+}
+
+func TestClusteredTuples(t *testing.T) {
+	dims := []int{64, 64}
+	pts := ClusteredTuples(dims, 1000, 4, 9)
+	if len(pts) != 1000 {
+		t.Fatalf("tuples = %d", len(pts))
+	}
+	for _, p := range pts {
+		for d := range dims {
+			if p[d] < 0 || p[d] >= dims[d] {
+				t.Fatalf("point out of bounds: %v", p)
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a real symmetric matrix:
+// A = V · diag(Values) · Vᵀ, with Values sorted in descending order and the
+// columns of V the corresponding orthonormal eigenvectors.
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix // n×n, column j is the eigenvector for Values[j]
+}
+
+// SymEigen computes the eigendecomposition of the symmetric matrix a using
+// the cyclic Jacobi method. The input is not modified. It panics if a is not
+// square; symmetry is assumed (only the upper triangle drives rotations but
+// the matrix is processed symmetrically).
+//
+// Jacobi is quadratic per sweep but converges in a handful of sweeps for the
+// small (≤ a few hundred) dimensionalities AIMS works with, and is
+// numerically very robust — exactly the trade-off a sensor-space eigensolver
+// wants.
+func SymEigen(a *Matrix) Eigen {
+	return symEigenFrom(a.Clone(), nil)
+}
+
+// symEigenFrom runs cyclic Jacobi on w (destroyed) starting from the given
+// accumulated rotation matrix (or identity when v0 is nil). Passing the
+// previous decomposition's rotation matrix warm-starts incremental updates.
+func symEigenFrom(w *Matrix, v0 *Matrix) Eigen {
+	n := w.Rows
+	if n != w.Cols {
+		panic(fmt.Sprintf("vec: SymEigen non-square %dx%d", n, w.Cols))
+	}
+	v := v0
+	if v == nil {
+		v = Identity(n)
+	}
+	if n <= 1 {
+		vals := make([]float64, n)
+		if n == 1 {
+			vals[0] = w.At(0, 0)
+		}
+		return Eigen{Values: vals, Vectors: v}
+	}
+
+	const maxSweeps = 64
+	tol := 1e-14 * w.FrobeniusNorm()
+	if tol == 0 {
+		tol = 1e-300
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := w.MaxOffDiagonal()
+		if off <= tol {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= tol/float64(n) {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				// Rotation angle (Golub & Van Loan 8.4).
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply the rotation J(p,q,θ): w = Jᵀ w J.
+				for k := 0; k < n; k++ {
+					wkp, wkq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk, wqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Extract and sort eigenpairs descending by value.
+	idx := make([]int, n)
+	vals := make([]float64, n)
+	for i := range idx {
+		idx[i] = i
+		vals[i] = w.At(i, i)
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+
+	sorted := make([]float64, n)
+	vecs := NewMatrix(n, n)
+	for newJ, oldJ := range idx {
+		sorted[newJ] = vals[oldJ]
+		for i := 0; i < n; i++ {
+			vecs.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return Eigen{Values: sorted, Vectors: vecs}
+}
+
+// SymEigenWarm computes the eigendecomposition of symmetric a starting
+// from a previous decomposition's eigenvector matrix v0. When a changed
+// only slightly (e.g. a sliding-window second-moment matrix after one
+// frame), v0ᵀ·a·v0 is nearly diagonal and Jacobi converges in one or two
+// sweeps instead of several — the incremental-SVD path of AIMS's online
+// subsystem. Passing nil v0 falls back to SymEigen.
+func SymEigenWarm(a *Matrix, v0 *Matrix) Eigen {
+	if v0 == nil {
+		return SymEigen(a)
+	}
+	if v0.Rows != a.Rows || v0.Cols != a.Cols {
+		panic(fmt.Sprintf("vec: SymEigenWarm v0 %dx%d for a %dx%d", v0.Rows, v0.Cols, a.Rows, a.Cols))
+	}
+	b := v0.T().Mul(a).Mul(v0)
+	return symEigenFrom(b, v0.Clone())
+}
+
+// SVD holds the thin singular value decomposition A = U · diag(S) · Vᵀ of an
+// m×n matrix with m ≥ n (AIMS window matrices are tall: many time samples,
+// few sensors). S is sorted descending; V is n×n with orthonormal columns;
+// U is m×n (columns for nonzero singular values are orthonormal).
+type SVD struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// ComputeSVD computes the thin SVD of a via the eigendecomposition of the
+// Gram matrix aᵀa. This is accurate to ~sqrt(machine epsilon) for the small
+// condition numbers of sensor windows and costs O(m·n² + n³) — ideal for
+// tall-skinny immersidata windows.
+func ComputeSVD(a *Matrix) SVD {
+	if a.Rows < a.Cols {
+		// Handle wide matrices by transposing: A = U S Vᵀ ⇔ Aᵀ = V S Uᵀ.
+		sv := ComputeSVD(a.T())
+		return SVD{U: sv.V, S: sv.S, V: sv.U}
+	}
+	eig := SymEigen(a.Gram())
+	n := a.Cols
+	s := make([]float64, n)
+	for i, lam := range eig.Values {
+		if lam < 0 {
+			lam = 0
+		}
+		s[i] = math.Sqrt(lam)
+	}
+	// U = A V S⁻¹ for nonzero singular values.
+	av := a.Mul(eig.Vectors)
+	u := NewMatrix(a.Rows, n)
+	for j := 0; j < n; j++ {
+		if s[j] > 1e-12*s[0] && s[j] > 0 {
+			inv := 1 / s[j]
+			for i := 0; i < a.Rows; i++ {
+				u.Set(i, j, av.At(i, j)*inv)
+			}
+		}
+	}
+	return SVD{U: u, S: s, V: eig.Vectors}
+}

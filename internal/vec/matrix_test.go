@@ -1,0 +1,238 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v", m.At(1, 0))
+	}
+	m.Set(1, 0, 9)
+	if m.At(1, 0) != 9 {
+		t.Fatalf("Set failed")
+	}
+	if got := m.Col(1); got[0] != 2 || got[1] != 4 {
+		t.Fatalf("Col = %v", got)
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) == -1 {
+		t.Fatal("Clone aliases data")
+	}
+	if !strings.Contains(m.String(), "9.0000") {
+		t.Fatalf("String output missing element: %q", m.String())
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := MatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := MatrixFromRows([][]float64{{19, 22}, {43, 50}})
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("Mul = %v, want %v", got.Data, want.Data)
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, 1+rng.Intn(8), 1+rng.Intn(8))
+		tt := m.T().T()
+		for i := range m.Data {
+			if m.Data[i] != tt.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramMatchesExplicitProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randMatrix(rng, 20, 6)
+	g1 := m.Gram()
+	g2 := m.T().Mul(m)
+	for i := range g1.Data {
+		if !almostEqual(g1.Data[i], g2.Data[i], 1e-10) {
+			t.Fatalf("Gram mismatch at %d: %v vs %v", i, g1.Data[i], g2.Data[i])
+		}
+	}
+}
+
+func TestIdentityAndAddScaled(t *testing.T) {
+	i3 := Identity(3)
+	m := i3.Clone().AddScaled(i3, 2)
+	for k := 0; k < 3; k++ {
+		if m.At(k, k) != 3 {
+			t.Fatalf("AddScaled diag = %v", m.At(k, k))
+		}
+	}
+}
+
+func TestSymEigenReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(12)
+		a := randMatrix(rng, n, n)
+		sym := a.T().Mul(a) // symmetric PSD
+		eig := SymEigen(sym)
+
+		// Check A·v = λ·v for every eigenpair.
+		for j := 0; j < n; j++ {
+			v := eig.Vectors.Col(j)
+			av := sym.MulVec(v)
+			for i := 0; i < n; i++ {
+				if !almostEqual(av[i], eig.Values[j]*v[i], 1e-7*(1+math.Abs(eig.Values[0]))) {
+					t.Fatalf("trial %d: eigenpair %d violated at row %d: %v vs %v",
+						trial, j, i, av[i], eig.Values[j]*v[i])
+				}
+			}
+		}
+		// Eigenvalues sorted descending.
+		for j := 1; j < n; j++ {
+			if eig.Values[j] > eig.Values[j-1]+1e-9 {
+				t.Fatalf("eigenvalues not sorted: %v", eig.Values)
+			}
+		}
+		// Eigenvectors orthonormal.
+		vtv := eig.Vectors.T().Mul(eig.Vectors)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEqual(vtv.At(i, j), want, 1e-8) {
+					t.Fatalf("VᵀV[%d][%d] = %v", i, j, vtv.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	d := NewMatrix(3, 3)
+	d.Set(0, 0, 1)
+	d.Set(1, 1, 5)
+	d.Set(2, 2, 3)
+	eig := SymEigen(d)
+	want := []float64{5, 3, 1}
+	for i, w := range want {
+		if !almostEqual(eig.Values[i], w, 1e-12) {
+			t.Fatalf("Values = %v, want %v", eig.Values, want)
+		}
+	}
+}
+
+func TestSymEigenTrivialSizes(t *testing.T) {
+	e0 := SymEigen(NewMatrix(0, 0))
+	if len(e0.Values) != 0 {
+		t.Fatal("0x0 eigen should be empty")
+	}
+	m1 := NewMatrix(1, 1)
+	m1.Set(0, 0, 7)
+	e1 := SymEigen(m1)
+	if e1.Values[0] != 7 {
+		t.Fatalf("1x1 eigenvalue = %v", e1.Values[0])
+	}
+}
+
+func TestSVDReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 8; trial++ {
+		rows, cols := 10+rng.Intn(30), 2+rng.Intn(6)
+		a := randMatrix(rng, rows, cols)
+		sv := ComputeSVD(a)
+
+		// Rebuild A = U S Vᵀ.
+		us := sv.U.Clone()
+		for j := 0; j < cols; j++ {
+			for i := 0; i < rows; i++ {
+				us.Set(i, j, us.At(i, j)*sv.S[j])
+			}
+		}
+		rec := us.Mul(sv.V.T())
+		for i := range a.Data {
+			if !almostEqual(a.Data[i], rec.Data[i], 1e-6*(1+sv.S[0])) {
+				t.Fatalf("trial %d: SVD reconstruction mismatch at %d: %v vs %v",
+					trial, i, a.Data[i], rec.Data[i])
+			}
+		}
+		// Singular values descending, non-negative.
+		for j := 0; j < cols; j++ {
+			if sv.S[j] < 0 {
+				t.Fatalf("negative singular value %v", sv.S[j])
+			}
+			if j > 0 && sv.S[j] > sv.S[j-1]+1e-9 {
+				t.Fatalf("singular values not sorted: %v", sv.S)
+			}
+		}
+	}
+}
+
+func TestSVDWideMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randMatrix(rng, 3, 8)
+	sv := ComputeSVD(a)
+	us := sv.U.Clone()
+	for j := 0; j < us.Cols; j++ {
+		for i := 0; i < us.Rows; i++ {
+			us.Set(i, j, us.At(i, j)*sv.S[j])
+		}
+	}
+	rec := us.Mul(sv.V.T())
+	if rec.Rows != 3 || rec.Cols != 8 {
+		t.Fatalf("wide SVD shape %dx%d", rec.Rows, rec.Cols)
+	}
+	for i := range a.Data {
+		if !almostEqual(a.Data[i], rec.Data[i], 1e-6*(1+sv.S[0])) {
+			t.Fatalf("wide SVD reconstruction mismatch at %d", i)
+		}
+	}
+}
+
+func TestSVDEnergyProperty(t *testing.T) {
+	// Σ σ² must equal ‖A‖_F² (Parseval for the SVD).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randMatrix(rng, 4+rng.Intn(20), 2+rng.Intn(5))
+		sv := ComputeSVD(a)
+		var e float64
+		for _, s := range sv.S {
+			e += s * s
+		}
+		fn := a.FrobeniusNorm()
+		return almostEqual(e, fn*fn, 1e-6*(1+fn*fn))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

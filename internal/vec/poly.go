@@ -1,0 +1,159 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Poly is a univariate polynomial with Poly[i] the coefficient of x^i.
+// The zero-length polynomial is identically zero. Polynomials are the query
+// language of ProPolyne: a range aggregate is ⟨data, p(x)·1_range(x)⟩ for a
+// polynomial p.
+type Poly []float64
+
+// PolyConst returns the constant polynomial c.
+func PolyConst(c float64) Poly { return Poly{c} }
+
+// PolyX returns the monomial x^k.
+func PolyX(k int) Poly {
+	p := make(Poly, k+1)
+	p[k] = 1
+	return p
+}
+
+// Degree returns the degree of p, treating trailing zero coefficients as
+// absent. The zero polynomial has degree -1.
+func (p Poly) Degree() int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Eval evaluates p at x by Horner's rule.
+func (p Poly) Eval(x float64) float64 {
+	var s float64
+	for i := len(p) - 1; i >= 0; i-- {
+		s = s*x + p[i]
+	}
+	return s
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	out := make(Poly, n)
+	copy(out, p)
+	for i, v := range q {
+		out[i] += v
+	}
+	return out
+}
+
+// Scale returns c·p as a new polynomial.
+func (p Poly) Scale(c float64) Poly {
+	out := make(Poly, len(p))
+	for i, v := range p {
+		out[i] = c * v
+	}
+	return out
+}
+
+// Mul returns the product p·q.
+func (p Poly) Mul(q Poly) Poly {
+	if len(p) == 0 || len(q) == 0 {
+		return Poly{}
+	}
+	out := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			out[i+j] += a * b
+		}
+	}
+	return out
+}
+
+// ComposeAffine returns q(x) = p(a·x + b), expanded via the binomial
+// theorem. This is the workhorse of the lazy wavelet transform: one analysis
+// level maps an interior polynomial p(n) to Σ_m h[m]·p(2k+m), i.e. a sum of
+// affine compositions with a = 2.
+func (p Poly) ComposeAffine(a, b float64) Poly {
+	out := make(Poly, len(p))
+	if len(p) == 0 {
+		return out
+	}
+	// (a x + b)^k expanded iteratively.
+	pow := Poly{1} // (a x + b)^0
+	for k := 0; k < len(p); k++ {
+		if c := p[k]; c != 0 {
+			for i, v := range pow {
+				out[i] += c * v
+			}
+		}
+		if k+1 < len(p) {
+			pow = pow.Mul(Poly{b, a})
+		}
+	}
+	return out
+}
+
+// Trim removes trailing coefficients with magnitude ≤ eps and returns the
+// (possibly shorter) polynomial.
+func (p Poly) Trim(eps float64) Poly {
+	n := len(p)
+	for n > 0 && math.Abs(p[n-1]) <= eps {
+		n--
+	}
+	return p[:n]
+}
+
+// IsZero reports whether every coefficient has magnitude ≤ eps.
+func (p Poly) IsZero(eps float64) bool {
+	for _, v := range p {
+		if math.Abs(v) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the polynomial for diagnostics, e.g. "1 + 2x - 0.5x^2".
+func (p Poly) String() string {
+	if p.Degree() < 0 {
+		return "0"
+	}
+	var b strings.Builder
+	first := true
+	for i, c := range p {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			if c >= 0 {
+				b.WriteString(" + ")
+			} else {
+				b.WriteString(" - ")
+				c = -c
+			}
+		}
+		switch i {
+		case 0:
+			fmt.Fprintf(&b, "%g", c)
+		case 1:
+			fmt.Fprintf(&b, "%gx", c)
+		default:
+			fmt.Fprintf(&b, "%gx^%d", c, i)
+		}
+		first = false
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyEval(t *testing.T) {
+	p := Poly{1, 2, 3} // 1 + 2x + 3x²
+	if got := p.Eval(2); got != 17 {
+		t.Fatalf("Eval = %v, want 17", got)
+	}
+	if got := (Poly{}).Eval(5); got != 0 {
+		t.Fatalf("zero poly Eval = %v", got)
+	}
+}
+
+func TestPolyDegree(t *testing.T) {
+	if got := (Poly{0, 0, 0}).Degree(); got != -1 {
+		t.Fatalf("Degree = %d, want -1", got)
+	}
+	if got := (Poly{1, 0, 2, 0}).Degree(); got != 2 {
+		t.Fatalf("Degree = %d, want 2", got)
+	}
+}
+
+func TestPolyAddScaleMul(t *testing.T) {
+	p := Poly{1, 1}
+	q := Poly{0, 0, 2}
+	sum := p.Add(q)
+	if sum.Eval(3) != p.Eval(3)+q.Eval(3) {
+		t.Fatal("Add broken")
+	}
+	if p.Scale(2).Eval(5) != 2*p.Eval(5) {
+		t.Fatal("Scale broken")
+	}
+	prod := p.Mul(p) // (1+x)² = 1 + 2x + x²
+	want := Poly{1, 2, 1}
+	for i := range want {
+		if !almostEqual(prod[i], want[i], 1e-12) {
+			t.Fatalf("Mul = %v", prod)
+		}
+	}
+	if got := (Poly{}).Mul(p); len(got) != 0 {
+		t.Fatalf("zero Mul = %v", got)
+	}
+}
+
+func TestComposeAffine(t *testing.T) {
+	p := Poly{0, 0, 1} // x²
+	q := p.ComposeAffine(2, 3)
+	// (2x+3)² = 4x² + 12x + 9
+	want := Poly{9, 12, 4}
+	for i := range want {
+		if !almostEqual(q[i], want[i], 1e-12) {
+			t.Fatalf("ComposeAffine = %v, want %v", q, want)
+		}
+	}
+}
+
+func TestComposeAffineMatchesEvalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		deg := rng.Intn(5)
+		p := make(Poly, deg+1)
+		for i := range p {
+			p[i] = rng.NormFloat64()
+		}
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		q := p.ComposeAffine(a, b)
+		for trial := 0; trial < 5; trial++ {
+			x := rng.NormFloat64()
+			lhs, rhs := q.Eval(x), p.Eval(a*x+b)
+			if math.Abs(lhs-rhs) > 1e-7*(1+math.Abs(rhs)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyTrimIsZero(t *testing.T) {
+	p := Poly{1, 2, 1e-15}
+	q := p.Trim(1e-12)
+	if len(q) != 2 {
+		t.Fatalf("Trim = %v", q)
+	}
+	if !(Poly{1e-13, -1e-14}).IsZero(1e-12) {
+		t.Fatal("IsZero false negative")
+	}
+	if (Poly{0.1}).IsZero(1e-12) {
+		t.Fatal("IsZero false positive")
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	cases := map[string]Poly{
+		"0":             {},
+		"1 + 2x":        {1, 2},
+		"3x^2":          {0, 0, 3},
+		"1 - 2x":        {1, -2},
+		"-1 + 1x":       {-1, 1},
+		"2 + 1x + 3x^2": {2, 1, 3},
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", []float64(p), got, want)
+		}
+	}
+}
+
+func TestPolyConstAndX(t *testing.T) {
+	if PolyConst(4).Eval(100) != 4 {
+		t.Fatal("PolyConst broken")
+	}
+	if PolyX(3).Eval(2) != 8 {
+		t.Fatal("PolyX broken")
+	}
+}

@@ -1,0 +1,175 @@
+// Package vec provides the small dense linear-algebra kernel used across
+// AIMS: vectors, matrices, a cyclic-Jacobi symmetric eigensolver, an SVD
+// built on it, and univariate polynomials.
+//
+// The package is deliberately self-contained (stdlib only) and tuned for the
+// modest dimensionalities that appear in immersidata processing: sensor
+// spaces of a few dozen dimensions and window matrices of a few thousand
+// rows. All types use float64 throughout.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b.
+// It panics if the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func Norm(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Norm1 returns the L1 norm of v.
+func Norm1(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// NormInf returns the L∞ norm of v.
+func NormInf(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Scale multiplies every element of v by c in place and returns v.
+func Scale(v []float64, c float64) []float64 {
+	for i := range v {
+		v[i] *= c
+	}
+	return v
+}
+
+// AddTo adds src into dst element-wise (dst += src) and returns dst.
+// It panics if the lengths differ.
+func AddTo(dst, src []float64) []float64 {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vec: AddTo length mismatch %d != %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
+}
+
+// Sub returns a new vector a - b.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Sub length mismatch %d != %d", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Clone returns a copy of v.
+func Clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Sum returns the sum of the elements of v.
+func Sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return Sum(v) / float64(len(v))
+}
+
+// Variance returns the population variance of v, or 0 for fewer than one
+// element.
+func Variance(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// Covariance returns the population covariance of a and b.
+// It panics if the lengths differ.
+func Covariance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: Covariance length mismatch %d != %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var s float64
+	for i := range a {
+		s += (a[i] - ma) * (b[i] - mb)
+	}
+	return s / float64(len(a))
+}
+
+// MSE returns the mean squared error between a and b.
+// It panics if the lengths differ.
+func MSE(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: MSE length mismatch %d != %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+// RelativeError returns |approx-exact| / max(|exact|, floor). The floor
+// guards against division by tiny exact answers; callers that want a pure
+// relative error can pass floor = 0 (the result is then +Inf for exact = 0,
+// approx != 0).
+func RelativeError(approx, exact, floor float64) float64 {
+	denom := math.Abs(exact)
+	if denom < floor {
+		denom = floor
+	}
+	if denom == 0 {
+		if approx == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(approx-exact) / denom
+}

@@ -1,0 +1,129 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorms(t *testing.T) {
+	v := []float64{3, -4}
+	if got := Norm(v); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := Norm1(v); got != 7 {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+	if got := NormInf(v); got != 4 {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+}
+
+func TestScaleAddSubClone(t *testing.T) {
+	v := []float64{1, 2}
+	Scale(v, 3)
+	if v[0] != 3 || v[1] != 6 {
+		t.Fatalf("Scale: %v", v)
+	}
+	AddTo(v, []float64{1, 1})
+	if v[0] != 4 || v[1] != 7 {
+		t.Fatalf("AddTo: %v", v)
+	}
+	d := Sub(v, []float64{4, 7})
+	if d[0] != 0 || d[1] != 0 {
+		t.Fatalf("Sub: %v", d)
+	}
+	c := Clone(v)
+	c[0] = 99
+	if v[0] == 99 {
+		t.Fatal("Clone aliases input")
+	}
+}
+
+func TestStats(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	if got := Mean(v); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(v); !almostEqual(got, 1.25, 1e-12) {
+		t.Errorf("Variance = %v, want 1.25", got)
+	}
+	if got := Covariance(v, v); !almostEqual(got, 1.25, 1e-12) {
+		t.Errorf("Covariance(v,v) = %v, want Variance", got)
+	}
+	b := []float64{4, 3, 2, 1}
+	if got := Covariance(v, b); !almostEqual(got, -1.25, 1e-12) {
+		t.Errorf("Covariance = %v, want -1.25", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestMSEAndRelativeError(t *testing.T) {
+	if got := MSE([]float64{1, 2}, []float64{1, 4}); got != 2 {
+		t.Errorf("MSE = %v, want 2", got)
+	}
+	if got := RelativeError(9, 10, 0); !almostEqual(got, 0.1, 1e-12) {
+		t.Errorf("RelativeError = %v", got)
+	}
+	if got := RelativeError(0, 0, 0); got != 0 {
+		t.Errorf("RelativeError(0,0) = %v", got)
+	}
+	if got := RelativeError(1, 0, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelativeError(1,0) = %v, want +Inf", got)
+	}
+	if got := RelativeError(1, 0.5, 2); got != 0.25 {
+		t.Errorf("RelativeError floor = %v, want 0.25", got)
+	}
+}
+
+func TestCovarianceSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(64)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		return almostEqual(Covariance(a, b), Covariance(b, a), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 100
+		}
+		return Variance(v) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package wavelet
+
+import (
+	"math"
+	"sort"
+)
+
+// TopK returns a sparse approximation of the dense coefficient vector w
+// keeping only the k largest-magnitude entries. This is the classical
+// wavelet *data approximation* (Vitter–Wang style) that the paper contrasts
+// with ProPolyne's query approximation: its accuracy is highly
+// data-dependent, which experiment E3 demonstrates.
+func TopK(w []float64, k int) Sparse {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(w) {
+		k = len(w)
+	}
+	idx := make([]int, len(w))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := math.Abs(w[idx[a]]), math.Abs(w[idx[b]])
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b]
+	})
+	out := make(Sparse, k)
+	for _, i := range idx[:k] {
+		if w[i] != 0 {
+			out[i] = w[i]
+		}
+	}
+	return out
+}
+
+// Threshold returns a sparse approximation keeping entries with
+// |value| > eps.
+func Threshold(w []float64, eps float64) Sparse {
+	out := make(Sparse)
+	for i, v := range w {
+		if math.Abs(v) > eps {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// EnergyFraction returns the fraction of total squared energy of w captured
+// by its k largest-magnitude coefficients — the energy-compaction metric
+// used by the best-basis experiments (E6).
+func EnergyFraction(w []float64, k int) float64 {
+	var total float64
+	mags := make([]float64, len(w))
+	for i, v := range w {
+		mags[i] = v * v
+		total += mags[i]
+	}
+	if total == 0 {
+		return 1
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(mags)))
+	if k > len(mags) {
+		k = len(mags)
+	}
+	var kept float64
+	for _, m := range mags[:k] {
+		kept += m
+	}
+	return kept / total
+}

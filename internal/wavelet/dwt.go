@@ -1,0 +1,146 @@
+package wavelet
+
+import "fmt"
+
+// MaxLevels returns how many analysis levels a periodic transform with the
+// given filter performs on a signal of length n (a power of two). A level
+// is possible while the current signal is even and at least as long as the
+// filter, which keeps the wrapped polyphase matrix orthogonal.
+func MaxLevels(n int, f Filter) int {
+	levels := 0
+	for n >= f.Len() && n >= 2 && n%2 == 0 {
+		n /= 2
+		levels++
+	}
+	return levels
+}
+
+// checkLength panics unless n is a positive power of two — the layout
+// arithmetic of the standard coefficient ordering depends on it.
+func checkLength(n int) {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("wavelet: length %d is not a positive power of two", n))
+	}
+}
+
+// analyzeStep performs one periodic analysis level: src (length n, even)
+// is split into approx (first n/2 of dst) and detail (second n/2 of dst).
+func analyzeStep(dst, src []float64, f Filter) {
+	n := len(src)
+	half := n / 2
+	l := f.Len()
+	for k := 0; k < half; k++ {
+		var a, d float64
+		base := 2 * k
+		for m := 0; m < l; m++ {
+			idx := base + m
+			if idx >= n {
+				idx -= n
+				if idx >= n { // filter longer than signal wraps multiple times
+					idx %= n
+				}
+			}
+			v := src[idx]
+			a += f.H[m] * v
+			d += f.G[m] * v
+		}
+		dst[k] = a
+		dst[half+k] = d
+	}
+}
+
+// synthesizeStep inverts analyzeStep: src holds [approx|detail] of length n;
+// dst receives the reconstructed signal of length n.
+func synthesizeStep(dst, src []float64, f Filter) {
+	n := len(src)
+	half := n / 2
+	l := f.Len()
+	for i := range dst[:n] {
+		dst[i] = 0
+	}
+	for k := 0; k < half; k++ {
+		a := src[k]
+		d := src[half+k]
+		base := 2 * k
+		for m := 0; m < l; m++ {
+			idx := base + m
+			for idx >= n {
+				idx -= n
+			}
+			dst[idx] += f.H[m]*a + f.G[m]*d
+		}
+	}
+}
+
+// Analyze computes the multi-level periodic DWT of x in place using the
+// standard layout [a_J | d_J | d_{J-1} | … | d_1], where J = levels. If
+// levels < 0, the maximum possible number of levels is used. len(x) must be
+// a power of two. It returns the number of levels actually performed.
+func Analyze(x []float64, f Filter, levels int) int {
+	checkLength(len(x))
+	maxL := MaxLevels(len(x), f)
+	if levels < 0 || levels > maxL {
+		levels = maxL
+	}
+	tmp := make([]float64, len(x))
+	n := len(x)
+	for j := 0; j < levels; j++ {
+		analyzeStep(tmp[:n], x[:n], f)
+		copy(x[:n], tmp[:n])
+		n /= 2
+	}
+	return levels
+}
+
+// Synthesize inverts Analyze for the same filter and level count, in place.
+func Synthesize(x []float64, f Filter, levels int) {
+	checkLength(len(x))
+	maxL := MaxLevels(len(x), f)
+	if levels < 0 || levels > maxL {
+		levels = maxL
+	}
+	tmp := make([]float64, len(x))
+	// Rebuild from the coarsest band upward.
+	for j := levels - 1; j >= 0; j-- {
+		n := len(x) >> uint(j)
+		synthesizeStep(tmp[:n], x[:n], f)
+		copy(x[:n], tmp[:n])
+	}
+}
+
+// Transform returns a transformed copy of x (levels as in Analyze).
+func Transform(x []float64, f Filter, levels int) ([]float64, int) {
+	out := make([]float64, len(x))
+	copy(out, x)
+	lv := Analyze(out, f, levels)
+	return out, lv
+}
+
+// Inverse returns an inverse-transformed copy of coefficients w.
+func Inverse(w []float64, f Filter, levels int) []float64 {
+	out := make([]float64, len(w))
+	copy(out, w)
+	Synthesize(out, f, levels)
+	return out
+}
+
+// Band identifies a subband in the standard layout of a length-n, J-level
+// transform. Level 0 is the coarsest approximation band a_J; level j ≥ 1 is
+// the detail band d_{J-j+1}… To keep callers sane we expose offsets instead.
+
+// BandOffset returns the offset and length of the detail band produced at
+// analysis level `level` (1-based: level 1 is the finest, produced first)
+// in the standard layout of a length-n, levels-deep transform.
+func BandOffset(n, levels, level int) (offset, length int) {
+	if level < 1 || level > levels {
+		panic(fmt.Sprintf("wavelet: BandOffset level %d out of range [1,%d]", level, levels))
+	}
+	length = n >> uint(level)
+	return length, length
+}
+
+// ApproxBand returns the offset (always 0) and length of the coarsest
+// approximation band of a length-n, levels-deep transform.
+func ApproxBand(n, levels int) (offset, length int) {
+	return 0, n >> uint(levels)
+}

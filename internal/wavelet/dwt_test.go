@@ -1,0 +1,207 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSignal(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestFilterOrthonormality(t *testing.T) {
+	for _, f := range Filters {
+		var hh, hg float64
+		for m := range f.H {
+			hh += f.H[m] * f.H[m]
+			hg += f.H[m] * f.G[m]
+		}
+		if math.Abs(hh-1) > 1e-10 {
+			t.Errorf("%s: ‖h‖² = %v, want 1", f.Name, hh)
+		}
+		// Lowpass sums to √2; highpass sums to 0 (≥1 vanishing moment).
+		var hs, gs float64
+		for m := range f.H {
+			hs += f.H[m]
+			gs += f.G[m]
+		}
+		if math.Abs(hs-math.Sqrt2) > 1e-10 {
+			t.Errorf("%s: Σh = %v, want √2", f.Name, hs)
+		}
+		if math.Abs(gs) > 1e-10 {
+			t.Errorf("%s: Σg = %v, want 0", f.Name, gs)
+		}
+		// Vanishing moments: Σ g[m]·m^p == 0 for p < VanishingMoments.
+		for p := 0; p < f.VanishingMoments; p++ {
+			var s float64
+			for m := range f.G {
+				s += f.G[m] * math.Pow(float64(m), float64(p))
+			}
+			if math.Abs(s) > 1e-8 {
+				t.Errorf("%s: moment %d = %v, want 0", f.Name, p, s)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	f, err := ByName("db3")
+	if err != nil || f.Name != "db3" {
+		t.Fatalf("ByName(db3) = %v, %v", f.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown filter")
+	}
+}
+
+func TestForDegree(t *testing.T) {
+	cases := map[int]string{-1: "haar", 0: "haar", 1: "db2", 2: "db3", 3: "db4"}
+	for deg, want := range cases {
+		f, err := ForDegree(deg)
+		if err != nil || f.Name != want {
+			t.Errorf("ForDegree(%d) = %v, %v; want %s", deg, f.Name, err, want)
+		}
+	}
+	if _, err := ForDegree(10); err == nil {
+		t.Fatal("expected error for huge degree")
+	}
+}
+
+func TestMaxLevels(t *testing.T) {
+	if got := MaxLevels(16, Haar); got != 4 {
+		t.Errorf("MaxLevels(16, haar) = %d, want 4", got)
+	}
+	if got := MaxLevels(16, D4); got != 3 {
+		t.Errorf("MaxLevels(16, db2) = %d, want 3", got)
+	}
+	if got := MaxLevels(16, D8); got != 2 {
+		t.Errorf("MaxLevels(16, db4) = %d, want 2", got)
+	}
+	if got := MaxLevels(4, D8); got != 0 {
+		t.Errorf("MaxLevels(4, db4) = %d, want 0", got)
+	}
+}
+
+func TestRoundTripAllFilters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range Filters {
+		for _, n := range []int{8, 64, 256} {
+			x := randSignal(rng, n)
+			w, lv := Transform(x, f, -1)
+			back := Inverse(w, f, lv)
+			for i := range x {
+				if math.Abs(back[i]-x[i]) > 1e-10 {
+					t.Fatalf("%s n=%d: round trip mismatch at %d: %v vs %v",
+						f.Name, n, i, back[i], x[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripPartialLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randSignal(rng, 128)
+	w, lv := Transform(x, D6, 2)
+	if lv != 2 {
+		t.Fatalf("levels = %d, want 2", lv)
+	}
+	back := Inverse(w, D6, 2)
+	for i := range x {
+		if math.Abs(back[i]-x[i]) > 1e-10 {
+			t.Fatalf("partial round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Orthonormality: ‖x‖ == ‖Transform(x)‖ for every filter.
+	f := func(seed int64, filterIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl := Filters[int(filterIdx)%len(Filters)]
+		n := 1 << (3 + rng.Intn(6))
+		x := randSignal(rng, n)
+		var ex float64
+		for _, v := range x {
+			ex += v * v
+		}
+		w, _ := Transform(x, fl, -1)
+		var ew float64
+		for _, v := range w {
+			ew += v * v
+		}
+		return math.Abs(ex-ew) <= 1e-9*(1+ex)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInnerProductPreservedProperty(t *testing.T) {
+	// ⟨x, y⟩ == ⟨x̂, ŷ⟩: the identity ProPolyne rests on.
+	f := func(seed int64, filterIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl := Filters[int(filterIdx)%len(Filters)]
+		n := 1 << (3 + rng.Intn(5))
+		x, y := randSignal(rng, n), randSignal(rng, n)
+		var dot float64
+		for i := range x {
+			dot += x[i] * y[i]
+		}
+		wx, _ := Transform(x, fl, -1)
+		wy, _ := Transform(y, fl, -1)
+		var dotW float64
+		for i := range wx {
+			dotW += wx[i] * wy[i]
+		}
+		return math.Abs(dot-dotW) <= 1e-8*(1+math.Abs(dot))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaarTransformKnownValues(t *testing.T) {
+	x := []float64{1, 3, 5, 7}
+	w, lv := Transform(x, Haar, -1)
+	if lv != 2 {
+		t.Fatalf("levels = %d", lv)
+	}
+	// Overall average coefficient = sum/√N·... for orthonormal Haar the
+	// first coefficient is Σx/√N · √N/√N… directly: a2[0] = (1+3+5+7)/2 = 8.
+	if math.Abs(w[0]-8) > 1e-12 {
+		t.Errorf("w[0] = %v, want 8", w[0])
+	}
+	// Finest details: (1-3)/√2, (5-7)/√2.
+	if math.Abs(w[2]-(-math.Sqrt2)) > 1e-12 || math.Abs(w[3]-(-math.Sqrt2)) > 1e-12 {
+		t.Errorf("finest details = %v %v, want -√2 -√2", w[2], w[3])
+	}
+}
+
+func TestAnalyzePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Analyze(make([]float64, 12), Haar, -1)
+}
+
+func TestBandOffsets(t *testing.T) {
+	// n=16, 4 levels: layout [a4(1) | d4(1) | d3(2) | d2(4) | d1(8)].
+	if off, ln := ApproxBand(16, 4); off != 0 || ln != 1 {
+		t.Errorf("ApproxBand = %d,%d", off, ln)
+	}
+	if off, ln := BandOffset(16, 4, 1); off != 8 || ln != 8 {
+		t.Errorf("BandOffset level1 = %d,%d", off, ln)
+	}
+	if off, ln := BandOffset(16, 4, 4); off != 1 || ln != 1 {
+		t.Errorf("BandOffset level4 = %d,%d", off, ln)
+	}
+}

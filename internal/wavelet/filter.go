@@ -1,0 +1,109 @@
+// Package wavelet implements the transform substrate of AIMS: orthonormal
+// periodic discrete wavelet transforms (Haar and Daubechies families),
+// tensor-product multidimensional transforms, the Haar error tree used by
+// the storage subsystem, sparse single-point (append) updates, and the
+// *lazy wavelet transform* that maps polynomial range-sum queries into the
+// wavelet domain in polylogarithmic time — the mechanism underlying
+// ProPolyne (§3.3 of the paper).
+package wavelet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Filter is an orthonormal conjugate-mirror filter pair. H is the lowpass
+// (scaling) filter; G the highpass (wavelet) filter derived from H by the
+// alternating-flip construction g[m] = (-1)^m · h[L-1-m].
+type Filter struct {
+	Name string
+	H    []float64
+	G    []float64
+	// VanishingMoments is the number p such that the wavelet annihilates
+	// all polynomials of degree < p. ProPolyne query sparsity requires
+	// VanishingMoments > degree of the range-sum polynomial.
+	VanishingMoments int
+}
+
+// Len returns the filter length L.
+func (f Filter) Len() int { return len(f.H) }
+
+func newFilter(name string, h []float64, moments int) Filter {
+	l := len(h)
+	g := make([]float64, l)
+	for m := 0; m < l; m++ {
+		sign := 1.0
+		if m%2 == 1 {
+			sign = -1
+		}
+		g[m] = sign * h[l-1-m]
+	}
+	return Filter{Name: name, H: h, G: g, VanishingMoments: moments}
+}
+
+var (
+	sqrt2 = math.Sqrt(2)
+
+	// Haar is the 2-tap Haar filter (1 vanishing moment): supports COUNT
+	// range-sums sparsely and is the basis of the storage error tree.
+	Haar = newFilter("haar", []float64{1 / sqrt2, 1 / sqrt2}, 1)
+
+	// D4 is Daubechies-4 (db2, 2 vanishing moments): degree-1 measures
+	// (SUM) transform sparsely.
+	D4 = newFilter("db2", []float64{
+		(1 + math.Sqrt(3)) / (4 * sqrt2),
+		(3 + math.Sqrt(3)) / (4 * sqrt2),
+		(3 - math.Sqrt(3)) / (4 * sqrt2),
+		(1 - math.Sqrt(3)) / (4 * sqrt2),
+	}, 2)
+
+	// D6 is Daubechies-6 (db3, 3 vanishing moments): supports degree-2
+	// measures (VARIANCE, COVARIANCE cross terms) sparsely.
+	D6 = newFilter("db3", []float64{
+		0.3326705529509569,
+		0.8068915093133388,
+		0.4598775021193313,
+		-0.13501102001039084,
+		-0.08544127388224149,
+		0.035226291882100656,
+	}, 3)
+
+	// D8 is Daubechies-8 (db4, 4 vanishing moments): headroom for cubic
+	// measures (skew-style aggregates).
+	D8 = newFilter("db4", []float64{
+		0.23037781330885523,
+		0.7148465705525415,
+		0.6308807679295904,
+		-0.02798376941698385,
+		-0.18703481171888114,
+		0.030841381835986965,
+		0.032883011666982945,
+		-0.010597401784997278,
+	}, 4)
+)
+
+// Filters lists all built-in filters, shortest first. The wavelet-packet
+// best-basis machinery and the per-dimension basis chooser iterate over it.
+var Filters = []Filter{Haar, D4, D6, D8}
+
+// ByName returns the built-in filter with the given name.
+func ByName(name string) (Filter, error) {
+	for _, f := range Filters {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Filter{}, fmt.Errorf("wavelet: unknown filter %q", name)
+}
+
+// ForDegree returns the shortest built-in filter whose vanishing moments
+// exceed the given polynomial degree, as required for sparse lazy query
+// transforms. Degree -1 (the zero polynomial) and 0 map to Haar.
+func ForDegree(degree int) (Filter, error) {
+	for _, f := range Filters {
+		if f.VanishingMoments > degree {
+			return f, nil
+		}
+	}
+	return Filter{}, fmt.Errorf("wavelet: no built-in filter with > %d vanishing moments", degree)
+}

@@ -1,0 +1,72 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+
+	"aims/internal/vec"
+)
+
+func FuzzLazyQueryMatchesDense(f *testing.F) {
+	f.Add(uint8(6), uint8(3), uint8(11), uint8(1), 1.0, 0.5)
+	f.Add(uint8(8), uint8(0), uint8(255), uint8(0), -2.0, 0.0)
+	f.Fuzz(func(t *testing.T, logN, loRaw, hiRaw, filterIdx uint8, c0, c1 float64) {
+		n := 1 << (3 + int(logN)%7) // 8..512
+		lo := int(loRaw) % n
+		hi := lo + int(hiRaw)%(n-lo)
+		fl := Filters[int(filterIdx)%len(Filters)]
+		if math.IsNaN(c0) || math.IsInf(c0, 0) || math.IsNaN(c1) || math.IsInf(c1, 0) {
+			return
+		}
+		if math.Abs(c0) > 1e6 || math.Abs(c1) > 1e6 {
+			return
+		}
+		p := vec.Poly{c0, c1}
+		if fl.VanishingMoments <= p.Degree() {
+			p = vec.Poly{c0} // keep sparse mode; the dense path has its own tests
+		}
+		s, err := LazyQuery(n, lo, hi, p, fl, -1)
+		if err != nil {
+			t.Fatalf("LazyQuery: %v", err)
+		}
+		dense := denseQuery(n, lo, hi, p, fl, -1)
+		got := s.Dense(n)
+		scale := 1.0
+		for _, v := range dense {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for i := range dense {
+			if math.Abs(got[i]-dense[i]) > 1e-6*scale {
+				t.Fatalf("n=%d range [%d,%d] %s: coefficient %d: %v vs %v",
+					n, lo, hi, fl.Name, i, got[i], dense[i])
+			}
+		}
+	})
+}
+
+func FuzzStreamingHaarMatchesBatch(f *testing.F) {
+	f.Add(uint16(7), int64(1))
+	f.Add(uint16(300), int64(2))
+	f.Fuzz(func(t *testing.T, nRaw uint16, seed int64) {
+		n := 1 + int(nRaw)%600
+		x := make([]float64, n)
+		v := seed
+		for i := range x {
+			v = v*6364136223846793005 + 1442695040888963407
+			x[i] = float64(v%1000) / 100
+		}
+		s := NewStreamingHaar()
+		s.PushAll(x)
+		got, size := s.Finalize(0)
+		padded := make([]float64, size)
+		copy(padded, x)
+		want, _ := Transform(padded, Haar, -1)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				t.Fatalf("n=%d: coefficient %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package wavelet
+
+import (
+	"fmt"
+	"math"
+
+	"aims/internal/vec"
+)
+
+// LazyQuery computes the wavelet transform of the polynomial range-query
+// vector q[k] = p(k) for k ∈ [lo, hi], q[k] = 0 otherwise, on a length-n
+// domain — without materialising q. For any data vector x with transform
+// x̂ = Transform(x, f, levels), orthonormality gives
+//
+//	Σ_{k=lo}^{hi} x[k]·p(k) = ⟨x̂, LazyQuery(...)⟩,
+//
+// which is how ProPolyne evaluates polynomial range-sums entirely in the
+// wavelet domain (Schmidt & Shahabi's "lazy wavelet transform").
+//
+// When f.VanishingMoments > p.Degree() the result has O(f.Len()·log n)
+// nonzero entries and is computed in polylogarithmic time: each analysis
+// level keeps the interior of the query as a closed-form polynomial and
+// touches only O(f.Len()) cells around the range boundaries. With too few
+// vanishing moments the transform is still exact but falls back to dense
+// detail bands.
+//
+// levels < 0 selects the maximum decomposition depth (matching Analyze).
+func LazyQuery(n, lo, hi int, p vec.Poly, f Filter, levels int) (Sparse, error) {
+	checkLength(n)
+	if lo > hi {
+		return Sparse{}, nil // empty range: zero query
+	}
+	if lo < 0 || hi >= n {
+		return nil, fmt.Errorf("wavelet: LazyQuery range [%d,%d] outside [0,%d)", lo, hi, n)
+	}
+	maxL := MaxLevels(n, f)
+	if levels < 0 || levels > maxL {
+		levels = maxL
+	}
+
+	sparseMode := f.VanishingMoments > p.Degree()
+	out := make(Sparse)
+
+	rep := lazyRep{
+		n:        n,
+		lo:       lo,
+		hi:       hi,
+		poly:     p,
+		explicit: map[int]float64{},
+	}
+	for j := 0; j < levels; j++ {
+		rep = rep.step(f, sparseMode, out)
+	}
+	// Emit the coarsest approximation band (positions [0, rep.n) already
+	// coincide with the standard layout).
+	for k := rep.lo; k <= rep.hi; k++ {
+		if _, ok := rep.explicit[k]; ok {
+			continue
+		}
+		out.Add(k, rep.poly.Eval(float64(k)))
+	}
+	for k, v := range rep.explicit {
+		out.Add(k, v)
+	}
+
+	// Drop numerically-zero residue relative to the query's own scale.
+	var maxAbs float64
+	for _, v := range out {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return out.Trim(1e-12 * maxAbs), nil
+}
+
+// lazyRep is the per-level representation of the partially transformed
+// query: a single polynomial piece over the non-wrapping interval [lo, hi]
+// plus explicit overrides. explicit entries take precedence over the piece;
+// cells outside both are zero.
+type lazyRep struct {
+	n        int
+	lo, hi   int // empty piece iff lo > hi
+	poly     vec.Poly
+	explicit map[int]float64
+}
+
+// at evaluates the represented signal at index k ∈ [0, n).
+func (r *lazyRep) at(k int) float64 {
+	if v, ok := r.explicit[k]; ok {
+		return v
+	}
+	if k >= r.lo && k <= r.hi {
+		return r.poly.Eval(float64(k))
+	}
+	return 0
+}
+
+// step performs one analysis level: detail coefficients are appended to out
+// at their standard-layout positions, and the new approximation
+// representation is returned.
+func (r lazyRep) step(f Filter, sparseMode bool, out Sparse) lazyRep {
+	n := r.n
+	half := n / 2
+	l := f.Len()
+
+	// Interior of the next level: windows fully inside the piece.
+	newLo, newHi := 0, -1
+	var nextPoly vec.Poly
+	if r.lo <= r.hi {
+		newLo = (r.lo + 1) / 2       // ceil(lo/2)
+		newHi = (r.hi - (l - 1)) / 2 // floor((hi-L+1)/2)
+		if r.hi-(l-1) < 0 {
+			newHi = -1 // floor of a negative near-zero value must stay empty
+		}
+		if newHi > half-1 {
+			newHi = half - 1
+		}
+		if newLo <= newHi {
+			// Q_a(k) = Σ_m h[m]·p(2k+m); degree preserved by affine composition.
+			nextPoly = make(vec.Poly, len(r.poly))
+			for m := 0; m < l; m++ {
+				nextPoly = nextPoly.Add(r.poly.ComposeAffine(2, float64(m)).Scale(f.H[m]))
+			}
+		} else {
+			newLo, newHi = 0, -1
+		}
+	}
+
+	// Candidate positions that must be evaluated explicitly: any k whose
+	// analysis window [2k, 2k+L-1] (mod n) touches a piece edge, an
+	// explicit cell, or wraps around the periodic boundary while support
+	// exists.
+	// A window overlapping the piece without covering it fully contains lo
+	// or hi (this holds for wrapping windows too, because the wrapped part
+	// starts at 0 and the unwrapped part ends at n-1), so edges plus
+	// explicit keys generate every position that cannot use the interior
+	// polynomial.
+	cand := map[int]bool{}
+	addAround := func(e int) {
+		for m := 0; m < l; m++ {
+			d := ((e-m)%n + n) % n
+			if d%2 == 0 {
+				cand[d/2] = true
+			}
+		}
+	}
+	if r.lo <= r.hi {
+		addAround(r.lo)
+		addAround(r.hi)
+	}
+	for e := range r.explicit {
+		addAround(e)
+	}
+
+	// Dense-fallback detail polynomial for interiors without enough
+	// vanishing moments.
+	if !sparseMode && newLo <= newHi {
+		var qd vec.Poly
+		for m := 0; m < l; m++ {
+			qd = qd.Add(r.poly.ComposeAffine(2, float64(m)).Scale(f.G[m]))
+		}
+		for k := newLo; k <= newHi; k++ {
+			if cand[k] {
+				continue
+			}
+			out.Add(half+k, qd.Eval(float64(k)))
+		}
+	}
+
+	// Explicit evaluation of candidates: both the detail output and the
+	// next level's approximation overrides.
+	nextExplicit := make(map[int]float64, len(cand))
+	for k := range cand {
+		var a, d float64
+		base := 2 * k
+		for m := 0; m < l; m++ {
+			idx := base + m
+			for idx >= n {
+				idx -= n
+			}
+			v := r.at(idx)
+			if v == 0 {
+				continue
+			}
+			a += f.H[m] * v
+			d += f.G[m] * v
+		}
+		out.Add(half+k, d)
+		nextExplicit[k] = a
+	}
+
+	return lazyRep{n: half, lo: newLo, hi: newHi, poly: nextPoly, explicit: nextExplicit}
+}

@@ -1,0 +1,251 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aims/internal/vec"
+)
+
+// denseQuery materialises the query vector and transforms it — the O(n log n)
+// reference the lazy transform must match exactly.
+func denseQuery(n, lo, hi int, p vec.Poly, f Filter, levels int) []float64 {
+	q := make([]float64, n)
+	for k := lo; k <= hi; k++ {
+		q[k] = p.Eval(float64(k))
+	}
+	w, _ := Transform(q, f, levels)
+	return w
+}
+
+func sparseMatchesDense(t *testing.T, s Sparse, dense []float64, tol float64, ctx string) {
+	t.Helper()
+	got := s.Dense(len(dense))
+	for i := range dense {
+		if math.Abs(got[i]-dense[i]) > tol {
+			t.Fatalf("%s: coefficient %d: lazy %v vs dense %v", ctx, i, got[i], dense[i])
+		}
+	}
+}
+
+func TestLazyQueryCountHaar(t *testing.T) {
+	// COUNT over [3, 11] on n=16.
+	s, err := LazyQuery(16, 3, 11, vec.PolyConst(1), Haar, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseMatchesDense(t, s, denseQuery(16, 3, 11, vec.PolyConst(1), Haar, -1), 1e-10, "count")
+}
+
+func TestLazyQueryMatchesDenseExhaustiveSmall(t *testing.T) {
+	// Every (lo, hi) pair on a small domain, all filters, degrees 0..2.
+	const n = 32
+	polys := []vec.Poly{vec.PolyConst(1), {0, 1}, {2, -1, 0.5}}
+	for _, f := range Filters {
+		for _, p := range polys {
+			if f.VanishingMoments <= p.Degree() {
+				continue // dense fallback covered elsewhere
+			}
+			for lo := 0; lo < n; lo += 5 {
+				for hi := lo; hi < n; hi += 4 {
+					s, err := LazyQuery(n, lo, hi, p, f, -1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tol := 1e-8 * (1 + math.Abs(p.Eval(float64(n))))
+					sparseMatchesDense(t, s, denseQuery(n, lo, hi, p, f, -1), tol,
+						f.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestLazyQueryProperty(t *testing.T) {
+	f := func(seed int64, filterIdx, degIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl := Filters[int(filterIdx)%len(Filters)]
+		deg := int(degIdx) % fl.VanishingMoments // keep sparse mode
+		n := 1 << (4 + rng.Intn(6))              // 16..512
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo)
+		p := make(vec.Poly, deg+1)
+		for i := range p {
+			p[i] = rng.NormFloat64()
+		}
+		s, err := LazyQuery(n, lo, hi, p, fl, -1)
+		if err != nil {
+			return false
+		}
+		dense := denseQuery(n, lo, hi, p, fl, -1)
+		got := s.Dense(n)
+		scale := 1.0
+		for _, v := range dense {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for i := range dense {
+			if math.Abs(got[i]-dense[i]) > 1e-7*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLazyQueryDenseFallback(t *testing.T) {
+	// Haar (1 vanishing moment) with a degree-1 polynomial: still exact,
+	// just not sparse.
+	p := vec.Poly{0, 1}
+	s, err := LazyQuery(64, 10, 50, p, Haar, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseMatchesDense(t, s, denseQuery(64, 10, 50, p, Haar, -1), 1e-7, "fallback")
+}
+
+func TestLazyQuerySparsity(t *testing.T) {
+	// The whole point: O(filterLen · log n) nonzeros for a COUNT query vs
+	// n/2-ish for the dense vector.
+	const n = 1 << 14
+	s, err := LazyQuery(n, 100, n-200, vec.PolyConst(1), Haar, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logN := 14
+	if len(s) > 4*logN {
+		t.Fatalf("haar count query has %d nonzeros, want ≤ %d", len(s), 4*logN)
+	}
+	// Degree-1 with db2.
+	s2, err := LazyQuery(n, 513, 10000, vec.Poly{0, 1}, D4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2) > 12*logN {
+		t.Fatalf("db2 degree-1 query has %d nonzeros, want ≤ %d", len(s2), 12*logN)
+	}
+}
+
+func TestLazyQueryRangeSumEquivalence(t *testing.T) {
+	// End-to-end: Σ x[k]·p(k) over range == ⟨x̂, q̂⟩.
+	rng := rand.New(rand.NewSource(77))
+	const n = 256
+	x := randSignal(rng, n)
+	for _, tc := range []struct {
+		p vec.Poly
+		f Filter
+	}{
+		{vec.PolyConst(1), Haar},
+		{vec.Poly{0, 1}, D4},
+		{vec.Poly{1, -2, 3}, D6},
+	} {
+		w, lv := Transform(x, tc.f, -1)
+		lo, hi := 17, 201
+		var want float64
+		for k := lo; k <= hi; k++ {
+			want += x[k] * tc.p.Eval(float64(k))
+		}
+		q, err := LazyQuery(n, lo, hi, tc.p, tc.f, lv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := q.Dot(w)
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("%s: range-sum %v, want %v", tc.f.Name, got, want)
+		}
+	}
+}
+
+func TestLazyQueryFullRange(t *testing.T) {
+	// Full-domain queries exercise the wrapping-window candidates.
+	const n = 64
+	for _, f := range Filters {
+		s, err := LazyQuery(n, 0, n-1, vec.PolyConst(1), f, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparseMatchesDense(t, s, denseQuery(n, 0, n-1, vec.PolyConst(1), f, -1),
+			1e-8, "full-"+f.Name)
+	}
+}
+
+func TestLazyQuerySingleCell(t *testing.T) {
+	const n = 128
+	for _, f := range Filters {
+		s, err := LazyQuery(n, 77, 77, vec.Poly{0, 0, 1}, f, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparseMatchesDense(t, s, denseQuery(n, 77, 77, vec.Poly{0, 0, 1}, f, -1),
+			1e-7*77*77, "cell-"+f.Name)
+	}
+}
+
+func TestLazyQueryEdges(t *testing.T) {
+	if _, err := LazyQuery(64, -1, 5, vec.PolyConst(1), Haar, -1); err == nil {
+		t.Fatal("expected error for negative lo")
+	}
+	if _, err := LazyQuery(64, 0, 64, vec.PolyConst(1), Haar, -1); err == nil {
+		t.Fatal("expected error for hi == n")
+	}
+	s, err := LazyQuery(64, 10, 5, vec.PolyConst(1), Haar, -1)
+	if err != nil || len(s) != 0 {
+		t.Fatalf("empty range: %v, %v", s, err)
+	}
+}
+
+func TestLazyQueryPartialLevels(t *testing.T) {
+	const n = 256
+	p := vec.Poly{0, 1}
+	s, err := LazyQuery(n, 30, 200, p, D4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparseMatchesDense(t, s, denseQuery(n, 30, 200, p, D4, 3), 1e-7*200, "partial")
+}
+
+func TestDeltaTransformMatchesDense(t *testing.T) {
+	const n = 128
+	rng := rand.New(rand.NewSource(5))
+	for _, f := range Filters {
+		idx := rng.Intn(n)
+		w := 2.5
+		s := DeltaTransform(n, idx, w, f, -1)
+		dense := make([]float64, n)
+		dense[idx] = w
+		ref, _ := Transform(dense, f, -1)
+		sparseMatchesDense(t, s, ref, 1e-10, "delta-"+f.Name)
+		// Sparsity: O(filterLen · log n).
+		if len(s) > f.Len()*8 {
+			t.Fatalf("%s: delta has %d nonzeros", f.Name, len(s))
+		}
+	}
+}
+
+func TestDeltaTransformAccumulates(t *testing.T) {
+	// Appending tuples one at a time must equal transforming the batch.
+	const n = 64
+	rng := rand.New(rand.NewSource(6))
+	data := make([]float64, n)
+	acc := make([]float64, n)
+	for i := 0; i < 20; i++ {
+		idx := rng.Intn(n)
+		w := rng.NormFloat64()
+		data[idx] += w
+		for pos, v := range DeltaTransform(n, idx, w, D6, -1) {
+			acc[pos] += v
+		}
+	}
+	ref, _ := Transform(data, D6, -1)
+	for i := range ref {
+		if math.Abs(acc[i]-ref[i]) > 1e-9 {
+			t.Fatalf("accumulated delta mismatch at %d: %v vs %v", i, acc[i], ref[i])
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package wavelet
+
+import "fmt"
+
+// Dims describes the shape of a dense multidimensional array stored in
+// row-major (last dimension fastest) order. Every extent must be a power of
+// two for the standard tensor-product transform.
+type Dims []int
+
+// Size returns the total number of cells.
+func (d Dims) Size() int {
+	s := 1
+	for _, n := range d {
+		s *= n
+	}
+	return s
+}
+
+// Strides returns the row-major stride of each dimension.
+func (d Dims) Strides() []int {
+	st := make([]int, len(d))
+	acc := 1
+	for i := len(d) - 1; i >= 0; i-- {
+		st[i] = acc
+		acc *= d[i]
+	}
+	return st
+}
+
+// Offset converts a multi-index to a flat position.
+func (d Dims) Offset(idx []int) int {
+	if len(idx) != len(d) {
+		panic(fmt.Sprintf("wavelet: Offset arity %d != %d", len(idx), len(d)))
+	}
+	off := 0
+	st := d.Strides()
+	for i, x := range idx {
+		if x < 0 || x >= d[i] {
+			panic(fmt.Sprintf("wavelet: index %d out of range [0,%d) in dim %d", x, d[i], i))
+		}
+		off += x * st[i]
+	}
+	return off
+}
+
+// Unflatten converts a flat position back to a multi-index.
+func (d Dims) Unflatten(off int) []int {
+	idx := make([]int, len(d))
+	for i := len(d) - 1; i >= 0; i-- {
+		idx[i] = off % d[i]
+		off /= d[i]
+	}
+	return idx
+}
+
+// TransformAxis applies the multi-level 1-D transform along one axis of the
+// dense array data (shape dims), in place, and returns the levels used.
+// Passing levels < 0 uses the per-axis maximum.
+func TransformAxis(data []float64, dims Dims, axis int, f Filter, levels int) int {
+	return applyAxis(data, dims, axis, func(line []float64) int {
+		return Analyze(line, f, levels)
+	})
+}
+
+// InverseAxis inverts TransformAxis with the same filter and level count.
+func InverseAxis(data []float64, dims Dims, axis int, f Filter, levels int) {
+	applyAxis(data, dims, axis, func(line []float64) int {
+		Synthesize(line, f, levels)
+		return 0
+	})
+}
+
+// applyAxis gathers every 1-D line along the axis, applies fn, and scatters
+// the result back. It returns fn's result from the first line (all lines
+// share the same length, so Analyze returns the same level count for each).
+func applyAxis(data []float64, dims Dims, axis int, fn func([]float64) int) int {
+	if axis < 0 || axis >= len(dims) {
+		panic(fmt.Sprintf("wavelet: axis %d out of range for %d dims", axis, len(dims)))
+	}
+	if len(data) != dims.Size() {
+		panic(fmt.Sprintf("wavelet: data length %d != dims size %d", len(data), dims.Size()))
+	}
+	n := dims[axis]
+	st := dims.Strides()
+	stride := st[axis]
+	line := make([]float64, n)
+
+	// Enumerate all line starts: iterate over the flattened space of the
+	// other dimensions.
+	outer := 1
+	for i, d := range dims {
+		if i != axis {
+			outer *= d
+		}
+	}
+	result := 0
+	for o := 0; o < outer; o++ {
+		// Decode o into a start offset, skipping the transformed axis.
+		rem := o
+		start := 0
+		for i := len(dims) - 1; i >= 0; i-- {
+			if i == axis {
+				continue
+			}
+			start += (rem % dims[i]) * st[i]
+			rem /= dims[i]
+		}
+		for k := 0; k < n; k++ {
+			line[k] = data[start+k*stride]
+		}
+		r := fn(line)
+		if o == 0 {
+			result = r
+		}
+		for k := 0; k < n; k++ {
+			data[start+k*stride] = line[k]
+		}
+	}
+	return result
+}
+
+// TransformND applies the tensor-product transform along every axis and
+// returns the per-axis level counts. The per-axis filter slice must have
+// one entry per dimension (this is AIMS's multi-basis transformation: each
+// dimension may use a different basis, §3.1.1).
+func TransformND(data []float64, dims Dims, filters []Filter) []int {
+	if len(filters) != len(dims) {
+		panic(fmt.Sprintf("wavelet: %d filters for %d dims", len(filters), len(dims)))
+	}
+	levels := make([]int, len(dims))
+	for axis := range dims {
+		levels[axis] = TransformAxis(data, dims, axis, filters[axis], -1)
+	}
+	return levels
+}
+
+// InverseND inverts TransformND given the level counts it returned.
+func InverseND(data []float64, dims Dims, filters []Filter, levels []int) {
+	for axis := len(dims) - 1; axis >= 0; axis-- {
+		InverseAxis(data, dims, axis, filters[axis], levels[axis])
+	}
+}

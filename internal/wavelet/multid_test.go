@@ -1,0 +1,264 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDimsHelpers(t *testing.T) {
+	d := Dims{4, 8, 2}
+	if d.Size() != 64 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	st := d.Strides()
+	if st[0] != 16 || st[1] != 2 || st[2] != 1 {
+		t.Fatalf("Strides = %v", st)
+	}
+	idx := []int{3, 5, 1}
+	off := d.Offset(idx)
+	if off != 3*16+5*2+1 {
+		t.Fatalf("Offset = %d", off)
+	}
+	back := d.Unflatten(off)
+	for i := range idx {
+		if back[i] != idx[i] {
+			t.Fatalf("Unflatten = %v, want %v", back, idx)
+		}
+	}
+}
+
+func TestOffsetPanics(t *testing.T) {
+	d := Dims{4, 4}
+	for _, bad := range [][]int{{4, 0}, {0, -1}, {1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for %v", bad)
+				}
+			}()
+			d.Offset(bad)
+		}()
+	}
+}
+
+func TestTransformNDRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	dims := Dims{8, 16, 4}
+	data := randSignal(rng, dims.Size())
+	orig := append([]float64(nil), data...)
+	filters := []Filter{Haar, D4, Haar}
+	levels := TransformND(data, dims, filters)
+	InverseND(data, dims, filters, levels)
+	for i := range orig {
+		if math.Abs(data[i]-orig[i]) > 1e-9 {
+			t.Fatalf("ND round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestTransformNDParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := Dims{1 << (1 + rng.Intn(3)), 1 << (1 + rng.Intn(3))}
+		data := randSignal(rng, dims.Size())
+		var e1 float64
+		for _, v := range data {
+			e1 += v * v
+		}
+		TransformND(data, dims, []Filter{Haar, Haar})
+		var e2 float64
+		for _, v := range data {
+			e2 += v * v
+		}
+		return math.Abs(e1-e2) <= 1e-9*(1+e1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformAxisSeparability(t *testing.T) {
+	// Transforming axis 0 then axis 1 must equal axis 1 then axis 0.
+	rng := rand.New(rand.NewSource(10))
+	dims := Dims{16, 8}
+	a := randSignal(rng, dims.Size())
+	b := append([]float64(nil), a...)
+	TransformAxis(a, dims, 0, D4, -1)
+	TransformAxis(a, dims, 1, Haar, -1)
+	TransformAxis(b, dims, 1, Haar, -1)
+	TransformAxis(b, dims, 0, D4, -1)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-10 {
+			t.Fatalf("axis order changed result at %d", i)
+		}
+	}
+}
+
+func TestTransformNDRangeSum2D(t *testing.T) {
+	// The 2-D ProPolyne identity: range-sum == Σ over the tensor product of
+	// per-dimension lazy query coefficients times the transformed cube.
+	rng := rand.New(rand.NewSource(11))
+	dims := Dims{32, 16}
+	data := randSignal(rng, dims.Size())
+	for i := range data {
+		data[i] = math.Abs(data[i]) // act like counts
+	}
+	orig := append([]float64(nil), data...)
+
+	filters := []Filter{Haar, Haar}
+	levels := TransformND(data, dims, filters)
+
+	lo := []int{5, 3}
+	hi := []int{25, 12}
+	var want float64
+	for i := lo[0]; i <= hi[0]; i++ {
+		for j := lo[1]; j <= hi[1]; j++ {
+			want += orig[dims.Offset([]int{i, j})]
+		}
+	}
+
+	q0, err := LazyQuery(dims[0], lo[0], hi[0], []float64{1}, filters[0], levels[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := LazyQuery(dims[1], lo[1], hi[1], []float64{1}, filters[1], levels[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got float64
+	for i0, v0 := range q0 {
+		for i1, v1 := range q1 {
+			got += v0 * v1 * data[dims.Offset([]int{i0, i1})]
+		}
+	}
+	if math.Abs(got-want) > 1e-8*(1+math.Abs(want)) {
+		t.Fatalf("2-D range sum = %v, want %v", got, want)
+	}
+}
+
+func TestErrorTreeStructure(t *testing.T) {
+	tr := NewErrorTree(16)
+	if tr.Parent(0) != -1 || tr.Parent(1) != 0 || tr.Parent(5) != 2 {
+		t.Fatal("Parent broken")
+	}
+	if c := tr.Children(0); len(c) != 1 || c[0] != 1 {
+		t.Fatalf("Children(0) = %v", c)
+	}
+	if c := tr.Children(3); len(c) != 2 || c[0] != 6 || c[1] != 7 {
+		t.Fatalf("Children(3) = %v", c)
+	}
+	if c := tr.Children(8); c != nil {
+		t.Fatalf("leaf Children = %v", c)
+	}
+	if tr.Depth(0) != 0 || tr.Depth(1) != 1 || tr.Depth(2) != 2 || tr.Depth(15) != 4 {
+		t.Fatal("Depth broken")
+	}
+}
+
+func TestErrorTreePointPathReconstructs(t *testing.T) {
+	// A point path must contain exactly the nonzero-relevant coefficients:
+	// reconstructing x[i] from only path coefficients must be exact.
+	rng := rand.New(rand.NewSource(12))
+	const n = 32
+	x := randSignal(rng, n)
+	w, lv := Transform(x, Haar, -1)
+	tr := NewErrorTree(n)
+	for i := 0; i < n; i++ {
+		path := tr.PointPath(i)
+		if len(path) != 6 { // log2(32)+1
+			t.Fatalf("path length %d", len(path))
+		}
+		masked := make([]float64, n)
+		for _, p := range path {
+			masked[p] = w[p]
+		}
+		back := Inverse(masked, Haar, lv)
+		if math.Abs(back[i]-x[i]) > 1e-9 {
+			t.Fatalf("point %d not reconstructible from path: %v vs %v", i, back[i], x[i])
+		}
+	}
+}
+
+func TestErrorTreeRangeNeedCoversPointPaths(t *testing.T) {
+	tr := NewErrorTree(64)
+	lo, hi := 13, 41
+	need := tr.RangeNeed(lo, hi)
+	for i := lo; i <= hi; i++ {
+		for _, p := range tr.PointPath(i) {
+			if !need[p] {
+				t.Fatalf("RangeNeed missing %d from point %d's path", p, i)
+			}
+		}
+	}
+}
+
+func TestErrorTreeDescendants(t *testing.T) {
+	tr := NewErrorTree(16)
+	if tr.Descendants(0) != 16 || tr.Descendants(1) != 16 {
+		t.Fatal("root descendants")
+	}
+	if tr.Descendants(2) != 8 || tr.Descendants(8) != 2 {
+		t.Fatalf("Descendants(2)=%d Descendants(8)=%d", tr.Descendants(2), tr.Descendants(8))
+	}
+}
+
+func TestTopKAndThreshold(t *testing.T) {
+	w := []float64{5, -3, 0.1, 4, 0}
+	s := TopK(w, 2)
+	if len(s) != 2 || s[0] != 5 || s[3] != 4 {
+		t.Fatalf("TopK = %v", s)
+	}
+	if got := TopK(w, 100); len(got) != 4 { // zero excluded
+		t.Fatalf("TopK over-size = %v", got)
+	}
+	if got := TopK(w, -1); len(got) != 0 {
+		t.Fatalf("TopK(-1) = %v", got)
+	}
+	th := Threshold(w, 2.9)
+	if len(th) != 3 {
+		t.Fatalf("Threshold = %v", th)
+	}
+	if got := Threshold(w, 3); len(got) != 2 { // strict: |−3| not kept
+		t.Fatalf("Threshold strict = %v", got)
+	}
+}
+
+func TestEnergyFraction(t *testing.T) {
+	w := []float64{3, 4} // energies 9, 16
+	if got := EnergyFraction(w, 1); math.Abs(got-16.0/25) > 1e-12 {
+		t.Fatalf("EnergyFraction = %v", got)
+	}
+	if got := EnergyFraction(w, 5); got != 1 {
+		t.Fatalf("EnergyFraction overflow k = %v", got)
+	}
+	if got := EnergyFraction([]float64{0, 0}, 1); got != 1 {
+		t.Fatalf("EnergyFraction zero = %v", got)
+	}
+}
+
+func TestSparseOps(t *testing.T) {
+	s := make(Sparse)
+	s.Add(3, 2)
+	s.Add(3, -2)
+	if len(s) != 0 {
+		t.Fatal("Add should cancel to empty")
+	}
+	s.Add(1, 5)
+	s.Add(2, -1)
+	if got := s.Dot([]float64{0, 2, 10, 0}); got != 0 {
+		t.Fatalf("Dot = %v", got)
+	}
+	ord := s.Ordered()
+	if ord[0].Index != 1 || ord[1].Index != 2 {
+		t.Fatalf("Ordered = %v", ord)
+	}
+	if s.Energy() != 26 {
+		t.Fatalf("Energy = %v", s.Energy())
+	}
+	d := s.Dense(4)
+	if d[1] != 5 || d[2] != -1 {
+		t.Fatalf("Dense = %v", d)
+	}
+}

@@ -1,0 +1,129 @@
+package wavelet
+
+import (
+	"math"
+	"sort"
+)
+
+// Sparse is a sparse wavelet-coefficient vector over the standard layout:
+// a map from coefficient position to value. It is the currency of the lazy
+// query transform and of incremental (append-only stream) updates.
+type Sparse map[int]float64
+
+// Add accumulates v into position i, deleting the entry if it cancels to
+// (near) zero.
+func (s Sparse) Add(i int, v float64) {
+	nv := s[i] + v
+	if math.Abs(nv) < 1e-300 {
+		delete(s, i)
+		return
+	}
+	s[i] = nv
+}
+
+// Dot returns the inner product of s with a dense coefficient vector.
+func (s Sparse) Dot(dense []float64) float64 {
+	var sum float64
+	for i, v := range s {
+		sum += v * dense[i]
+	}
+	return sum
+}
+
+// Dense expands s to a dense vector of length n.
+func (s Sparse) Dense(n int) []float64 {
+	out := make([]float64, n)
+	for i, v := range s {
+		out[i] = v
+	}
+	return out
+}
+
+// Trim removes entries with |value| ≤ eps and returns s.
+func (s Sparse) Trim(eps float64) Sparse {
+	for i, v := range s {
+		if math.Abs(v) <= eps {
+			delete(s, i)
+		}
+	}
+	return s
+}
+
+// Entry is a (position, value) coefficient pair.
+type Entry struct {
+	Index int
+	Value float64
+}
+
+// Ordered returns the entries of s sorted by descending |value| — the
+// retrieval order ProPolyne's progressive evaluation uses ("most important
+// query coefficients first").
+func (s Sparse) Ordered() []Entry {
+	out := make([]Entry, 0, len(s))
+	for i, v := range s {
+		out = append(out, Entry{i, v})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		va, vb := math.Abs(out[a].Value), math.Abs(out[b].Value)
+		if va != vb {
+			return va > vb
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
+}
+
+// Energy returns Σ v² over the entries.
+func (s Sparse) Energy() float64 {
+	var e float64
+	for _, v := range s {
+		e += v * v
+	}
+	return e
+}
+
+// DeltaTransform returns the wavelet transform of w·e_index (a single data
+// point of weight w at the given position) on a length-n domain, computed by
+// a sparse filter cascade in O(filterLen·log n · filterLen) time. This is
+// the incremental-append path: inserting a tuple into a wavelet-transformed
+// relation touches only these coefficients.
+func DeltaTransform(n int, index int, w float64, f Filter, levels int) Sparse {
+	checkLength(n)
+	maxL := MaxLevels(n, f)
+	if levels < 0 || levels > maxL {
+		levels = maxL
+	}
+	out := make(Sparse)
+	cur := Sparse{index: w}
+	l := f.Len()
+	size := n
+	for j := 0; j < levels; j++ {
+		half := size / 2
+		nextA := make(Sparse, len(cur))
+		for idx, v := range cur {
+			// Positions k whose analysis window 2k+m ≡ idx (mod size).
+			for m := 0; m < l; m++ {
+				d := idx - m
+				// Solve 2k ≡ d (mod size): k exists iff d is even after
+				// wrapping; the window wraps around the periodic boundary.
+				d = ((d % size) + size) % size
+				if d%2 != 0 {
+					continue
+				}
+				k := d / 2
+				nextA.Add(k, f.H[m]*v)
+				// Detail coefficients at this level occupy [half, size) of
+				// the working prefix, which is already their final
+				// standard-layout position.
+				out.Add(half+k, f.G[m]*v)
+			}
+		}
+		cur = nextA
+		size = half
+	}
+	// Remaining approximation coefficients sit at the front of the layout.
+	for k, v := range cur {
+		out.Add(k, v)
+	}
+	return out.Trim(1e-14 * math.Abs(w))
+}

@@ -1,0 +1,133 @@
+package wavelet
+
+import "fmt"
+
+// StreamingHaar maintains the Haar wavelet transform of an append-only
+// signal incrementally — the property §3.1.1 singles out: "the complexity
+// of wavelet transformation for incremental update (append) is low making
+// wavelets the appropriate choice given the continuous data stream nature
+// of immersidata, which is append only."
+//
+// Each Push costs amortised O(1): one pending value is kept per level, and
+// a sample cascades upward only along carry chains (the classic one-pass
+// wavelet construction). Detail coefficients are final the moment they are
+// emitted; Finalize pads the signal to the next power of two with zeros
+// and returns the full standard-layout transform, bit-exact with the batch
+// Analyze.
+type StreamingHaar struct {
+	n       int
+	pending []pendingLevel
+	// details[j] collects the level-(j+1) detail coefficients in order.
+	details [][]float64
+}
+
+type pendingLevel struct {
+	value float64
+	full  bool
+}
+
+// NewStreamingHaar returns an empty streaming transformer.
+func NewStreamingHaar() *StreamingHaar {
+	return &StreamingHaar{}
+}
+
+// Len returns the number of samples pushed so far.
+func (s *StreamingHaar) Len() int { return s.n }
+
+// Push appends one sample, cascading completed pairs upward.
+func (s *StreamingHaar) Push(x float64) {
+	s.n++
+	v := x
+	for level := 0; ; level++ {
+		if level == len(s.pending) {
+			s.pending = append(s.pending, pendingLevel{})
+			s.details = append(s.details, nil)
+		}
+		p := &s.pending[level]
+		if !p.full {
+			p.value = v
+			p.full = true
+			return
+		}
+		// Pair completed: emit the detail, carry the average upward.
+		a := (p.value + v) / sqrt2
+		d := (p.value - v) / sqrt2
+		s.details[level] = append(s.details[level], d)
+		p.full = false
+		v = a
+	}
+}
+
+// PushAll appends a batch.
+func (s *StreamingHaar) PushAll(xs []float64) {
+	for _, x := range xs {
+		s.Push(x)
+	}
+}
+
+// DetailCount returns how many finalised detail coefficients exist at the
+// given analysis level (1 = finest).
+func (s *StreamingHaar) DetailCount(level int) int {
+	if level < 1 || level > len(s.details) {
+		return 0
+	}
+	return len(s.details[level-1])
+}
+
+// Detail returns the i-th finalised detail coefficient of the given level
+// (1 = finest). These values never change as the stream grows — the
+// property that lets the storage layer write them out immediately.
+func (s *StreamingHaar) Detail(level, i int) float64 {
+	if level < 1 || level > len(s.details) || i < 0 || i >= len(s.details[level-1]) {
+		panic(fmt.Sprintf("wavelet: streaming detail (%d,%d) not available", level, i))
+	}
+	return s.details[level-1][i]
+}
+
+// Finalize pads the stream with zeros to the next power of two (at least
+// minLen, if given > 0) and returns the complete standard-layout transform
+// plus the padded length. The transformer remains usable: finalisation
+// works on a copy.
+func (s *StreamingHaar) Finalize(minLen int) ([]float64, int) {
+	n := s.n
+	if n < minLen {
+		n = minLen
+	}
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	if size == 0 || n == 0 {
+		size = 1
+	}
+	// Copy the cascade state and feed zeros.
+	cp := &StreamingHaar{n: s.n}
+	cp.pending = append([]pendingLevel(nil), s.pending...)
+	cp.details = make([][]float64, len(s.details))
+	for j := range s.details {
+		cp.details[j] = append([]float64(nil), s.details[j]...)
+	}
+	for cp.n < size {
+		cp.Push(0)
+	}
+	// Assemble the standard layout: [a_J | d_J | … | d_1].
+	out := make([]float64, size)
+	// The final approximation is the pending value at the top level (the
+	// cascade leaves exactly one pending value when n is a power of two).
+	top := len(cp.pending) - 1
+	if top >= 0 && cp.pending[top].full {
+		out[0] = cp.pending[top].value
+	} else if size == 1 {
+		out[0] = 0
+	}
+	levels := 0
+	for 1<<uint(levels) < size {
+		levels++
+	}
+	for lv := 1; lv <= levels; lv++ {
+		off := size >> uint(lv)
+		det := cp.details[lv-1]
+		copy(out[off:off+len(det)], det)
+	}
+	return out, size
+}

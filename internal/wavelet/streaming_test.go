@@ -1,0 +1,143 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamingHaarMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 16, 64, 256} {
+		x := randSignal(rng, n)
+		s := NewStreamingHaar()
+		s.PushAll(x)
+		got, size := s.Finalize(0)
+		if size != n {
+			t.Fatalf("n=%d: padded size %d", n, size)
+		}
+		want, _ := Transform(x, Haar, -1)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-10 {
+				t.Fatalf("n=%d: coefficient %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamingHaarPadsNonPowerOfTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randSignal(rng, 100)
+	s := NewStreamingHaar()
+	s.PushAll(x)
+	got, size := s.Finalize(0)
+	if size != 128 {
+		t.Fatalf("size = %d, want 128", size)
+	}
+	padded := make([]float64, 128)
+	copy(padded, x)
+	want, _ := Transform(padded, Haar, -1)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("coefficient %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStreamingHaarMinLen(t *testing.T) {
+	s := NewStreamingHaar()
+	s.Push(3)
+	got, size := s.Finalize(16)
+	if size != 16 {
+		t.Fatalf("size = %d", size)
+	}
+	want := make([]float64, 16)
+	want[0] = 3
+	ref, _ := Transform(want, Haar, -1)
+	for i := range ref {
+		if math.Abs(got[i]-ref[i]) > 1e-10 {
+			t.Fatalf("coefficient %d", i)
+		}
+	}
+}
+
+func TestStreamingHaarDetailsAreFinal(t *testing.T) {
+	// Detail coefficients must never change once emitted.
+	rng := rand.New(rand.NewSource(3))
+	s := NewStreamingHaar()
+	recorded := map[[2]int]float64{}
+	for i := 0; i < 200; i++ {
+		s.Push(rng.NormFloat64())
+		for lv := 1; lv <= 4; lv++ {
+			for k := 0; k < s.DetailCount(lv); k++ {
+				key := [2]int{lv, k}
+				v := s.Detail(lv, k)
+				if old, ok := recorded[key]; ok && old != v {
+					t.Fatalf("detail (%d,%d) changed from %v to %v", lv, k, old, v)
+				}
+				recorded[key] = v
+			}
+		}
+	}
+	if s.DetailCount(1) != 100 {
+		t.Fatalf("level-1 details = %d", s.DetailCount(1))
+	}
+	if s.DetailCount(99) != 0 {
+		t.Fatal("absent level should report 0")
+	}
+}
+
+func TestStreamingHaarDetailPanics(t *testing.T) {
+	s := NewStreamingHaar()
+	s.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Detail(1, 0)
+}
+
+func TestStreamingHaarFinalizeIsNonDestructive(t *testing.T) {
+	s := NewStreamingHaar()
+	s.PushAll([]float64{1, 2, 3})
+	a, _ := s.Finalize(0)
+	s.Push(4)
+	b, _ := s.Finalize(0)
+	// After pushing the 4th sample, the transform must equal the batch of
+	// all four — the early Finalize must not have corrupted state.
+	want, _ := Transform([]float64{1, 2, 3, 4}, Haar, -1)
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-10 {
+			t.Fatalf("post-finalize push broken at %d", i)
+		}
+	}
+	_ = a
+}
+
+func TestStreamingHaarProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		x := randSignal(rng, n)
+		s := NewStreamingHaar()
+		s.PushAll(x)
+		got, size := s.Finalize(0)
+		padded := make([]float64, size)
+		copy(padded, x)
+		want, _ := Transform(padded, Haar, -1)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package wavelet
+
+import "fmt"
+
+// ErrorTree models the dependency structure of a length-n, fully decomposed
+// Haar transform in standard layout. Reconstructing any data value requires
+// the overall average (position 0) plus one detail coefficient per level —
+// a root-to-leaf path. The storage subsystem (§3.2.1) tiles this tree onto
+// disk blocks; the tree type answers "which coefficients does a point/range
+// query need?".
+//
+// Positions: 0 is the root average; 1 is the top detail; detail position
+// p ∈ [2^j, 2^{j+1}) sits at depth j+1 and covers data interval
+// [ (p-2^j)·n/2^j , (p-2^j+1)·n/2^j ).
+type ErrorTree struct {
+	N int // signal length, power of two
+}
+
+// NewErrorTree returns the error tree for a length-n fully decomposed Haar
+// transform. n must be a power of two.
+func NewErrorTree(n int) ErrorTree {
+	checkLength(n)
+	return ErrorTree{N: n}
+}
+
+// Parent returns the position whose coefficient is needed together with p
+// when reconstructing values under p, or -1 for the root (position 0).
+// The top detail coefficient (position 1) has the root as its parent.
+func (t ErrorTree) Parent(p int) int {
+	switch {
+	case p < 0 || p >= t.N:
+		panic(fmt.Sprintf("wavelet: tree position %d out of range [0,%d)", p, t.N))
+	case p == 0:
+		return -1
+	case p == 1:
+		return 0
+	default:
+		return p / 2
+	}
+}
+
+// Children returns the detail positions directly below p, or nil for
+// leaf-level coefficients. The root's only child is position 1.
+func (t ErrorTree) Children(p int) []int {
+	switch {
+	case p < 0 || p >= t.N:
+		panic(fmt.Sprintf("wavelet: tree position %d out of range [0,%d)", p, t.N))
+	case p == 0:
+		if t.N == 1 {
+			return nil
+		}
+		return []int{1}
+	case 2*p >= t.N:
+		return nil
+	default:
+		return []int{2 * p, 2*p + 1}
+	}
+}
+
+// Depth returns the depth of position p: the root has depth 0, position 1
+// depth 1, and so on; leaf details have depth log2(n).
+func (t ErrorTree) Depth(p int) int {
+	if p < 0 || p >= t.N {
+		panic(fmt.Sprintf("wavelet: tree position %d out of range [0,%d)", p, t.N))
+	}
+	if p == 0 {
+		return 0
+	}
+	d := 1
+	for q := p; q > 1; q /= 2 {
+		d++
+	}
+	return d
+}
+
+// PointPath returns the coefficient positions required to reconstruct data
+// value i: the root plus one detail per level. len == log2(n)+1.
+func (t ErrorTree) PointPath(i int) []int {
+	if i < 0 || i >= t.N {
+		panic(fmt.Sprintf("wavelet: data index %d out of range [0,%d)", i, t.N))
+	}
+	path := []int{0}
+	if t.N == 1 {
+		return path
+	}
+	// Walk from the top detail down: at depth d (1-based), the relevant
+	// detail position is 2^{d-1} + i·2^{d-1}/n … easier: build from leaf up.
+	leaf := t.N/2 + i/2
+	var down []int
+	for p := leaf; p >= 1; p /= 2 {
+		down = append(down, p)
+	}
+	for j := len(down) - 1; j >= 0; j-- {
+		path = append(path, down[j])
+	}
+	return path
+}
+
+// RangeNeed returns the set of coefficient positions needed to reconstruct
+// every data value in [lo, hi] (inclusive): the union of point paths, which
+// the error-tree structure makes a subtree-union of size
+// O(range + log n). The map form suits the allocator's access-pattern
+// simulation.
+func (t ErrorTree) RangeNeed(lo, hi int) map[int]bool {
+	if lo < 0 || hi >= t.N || lo > hi {
+		panic(fmt.Sprintf("wavelet: range [%d,%d] invalid for n=%d", lo, hi, t.N))
+	}
+	need := map[int]bool{0: true}
+	if t.N == 1 {
+		return need
+	}
+	for pl, ph := t.N/2+lo/2, t.N/2+hi/2; pl >= 1; pl, ph = pl/2, ph/2 {
+		for p := pl; p <= ph; p++ {
+			need[p] = true
+		}
+	}
+	return need
+}
+
+// Descendants reports how many data values depend on the coefficient at
+// position p (the width of its support interval).
+func (t ErrorTree) Descendants(p int) int {
+	if p == 0 || p == 1 {
+		return t.N
+	}
+	d := t.Depth(p)
+	return t.N >> uint(d-1)
+}

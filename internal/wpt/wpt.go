@@ -1,0 +1,280 @@
+// Package wpt implements the Discrete Wavelet Packet Transform (DWPT) and
+// the Coifman–Wickerhauser best-basis search that AIMS's acquisition layer
+// uses to pick a transformation basis per dimension (§3.1.1 of the paper).
+// The packet table generalises the pyramid DWT by recursively splitting the
+// detail branches too, yielding a library of orthonormal bases; an additive
+// cost function plus dynamic programming selects the cheapest basis.
+package wpt
+
+import (
+	"fmt"
+	"math"
+
+	"aims/internal/wavelet"
+)
+
+// Table is a full packet decomposition: Rows[j] is the level-j row (length
+// n), partitioned into 2^j contiguous blocks of length n/2^j. Block b of
+// row j is the subband reached by the j filter choices encoded in b's bits
+// (0 = lowpass, 1 = highpass, most significant decision first).
+type Table struct {
+	N      int
+	Levels int
+	Filter wavelet.Filter
+	Rows   [][]float64
+}
+
+// Decompose builds the packet table of x down to maxLevels (capped by the
+// filter's periodic limit; maxLevels < 0 means "as deep as possible").
+func Decompose(x []float64, f wavelet.Filter, maxLevels int) *Table {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("wpt: length %d is not a positive power of two", n))
+	}
+	limit := wavelet.MaxLevels(n, f)
+	if maxLevels < 0 || maxLevels > limit {
+		maxLevels = limit
+	}
+	t := &Table{N: n, Levels: maxLevels, Filter: f, Rows: make([][]float64, maxLevels+1)}
+	t.Rows[0] = append([]float64(nil), x...)
+	for j := 0; j < maxLevels; j++ {
+		blockLen := n >> uint(j)
+		next := make([]float64, n)
+		for b := 0; b < 1<<uint(j); b++ {
+			src := t.Rows[j][b*blockLen : (b+1)*blockLen]
+			dst := next[b*blockLen : (b+1)*blockLen]
+			packetStep(dst, src, f)
+		}
+		t.Rows[j+1] = next
+	}
+	return t
+}
+
+// packetStep splits src into [approx|detail] halves of dst using one
+// periodic analysis step.
+func packetStep(dst, src []float64, f wavelet.Filter) {
+	n := len(src)
+	half := n / 2
+	l := f.Len()
+	for k := 0; k < half; k++ {
+		var a, d float64
+		for m := 0; m < l; m++ {
+			idx := (2*k + m) % n
+			a += f.H[m] * src[idx]
+			d += f.G[m] * src[idx]
+		}
+		dst[k] = a
+		dst[half+k] = d
+	}
+}
+
+// packetUnstep inverts packetStep.
+func packetUnstep(dst, src []float64, f wavelet.Filter) {
+	n := len(src)
+	half := n / 2
+	l := f.Len()
+	for i := range dst[:n] {
+		dst[i] = 0
+	}
+	for k := 0; k < half; k++ {
+		a, d := src[k], src[half+k]
+		for m := 0; m < l; m++ {
+			idx := (2*k + m) % n
+			dst[idx] += f.H[m]*a + f.G[m]*d
+		}
+	}
+}
+
+// Node identifies one packet: row Level, block Block ∈ [0, 2^Level).
+type Node struct {
+	Level int
+	Block int
+}
+
+// Block returns the coefficients of the given node.
+func (t *Table) Block(nd Node) []float64 {
+	blockLen := t.N >> uint(nd.Level)
+	return t.Rows[nd.Level][nd.Block*blockLen : (nd.Block+1)*blockLen]
+}
+
+// Cost is an additive information cost over a coefficient block. Lower is
+// better. It must be additive across disjoint blocks for the best-basis DP
+// to be optimal.
+type Cost func(block []float64) float64
+
+// ShannonCost is the Coifman–Wickerhauser entropy −Σ v²·log v² (with the
+// 0·log 0 = 0 convention). Minimising it concentrates energy into few
+// coefficients.
+func ShannonCost(block []float64) float64 {
+	var c float64
+	for _, v := range block {
+		e := v * v
+		if e > 0 {
+			c -= e * math.Log(e)
+		}
+	}
+	return c
+}
+
+// ThresholdCost counts coefficients with magnitude above eps — a direct
+// proxy for compressed size.
+func ThresholdCost(eps float64) Cost {
+	return func(block []float64) float64 {
+		var c float64
+		for _, v := range block {
+			if math.Abs(v) > eps {
+				c++
+			}
+		}
+		return c
+	}
+}
+
+// LogEnergyCost is Σ log(1+v²), a robust sparsity cost.
+func LogEnergyCost(block []float64) float64 {
+	var c float64
+	for _, v := range block {
+		c += math.Log1p(v * v)
+	}
+	return c
+}
+
+// Basis is a set of nodes whose blocks tile the signal space — an
+// orthonormal basis drawn from the packet library.
+type Basis struct {
+	Nodes []Node
+	Cost  float64
+}
+
+// BestBasis runs the bottom-up dynamic program: each node keeps its own
+// block if that costs less than the best decomposition of its two children.
+func (t *Table) BestBasis(cost Cost) Basis {
+	type cell struct {
+		cost  float64
+		split bool
+	}
+	cells := make([]map[int]cell, t.Levels+1)
+	for j := t.Levels; j >= 0; j-- {
+		cells[j] = make(map[int]cell, 1<<uint(j))
+		for b := 0; b < 1<<uint(j); b++ {
+			own := cost(t.Block(Node{j, b}))
+			if j == t.Levels {
+				cells[j][b] = cell{own, false}
+				continue
+			}
+			kids := cells[j+1][2*b].cost + cells[j+1][2*b+1].cost
+			if kids < own {
+				cells[j][b] = cell{kids, true}
+			} else {
+				cells[j][b] = cell{own, false}
+			}
+		}
+	}
+	var basis Basis
+	basis.Cost = cells[0][0].cost
+	var walk func(j, b int)
+	walk = func(j, b int) {
+		if cells[j][b].split {
+			walk(j+1, 2*b)
+			walk(j+1, 2*b+1)
+			return
+		}
+		basis.Nodes = append(basis.Nodes, Node{j, b})
+	}
+	walk(0, 0)
+	return basis
+}
+
+// Coefficients concatenates the basis blocks into one length-n vector
+// (ordered by block position, i.e. by frequency path).
+func (t *Table) Coefficients(b Basis) []float64 {
+	out := make([]float64, 0, t.N)
+	for _, nd := range b.Nodes {
+		out = append(out, t.Block(nd)...)
+	}
+	return out
+}
+
+// Reconstruct inverts the packet decomposition restricted to the given
+// basis: the basis blocks (possibly modified by the caller, e.g.
+// thresholded) are merged bottom-up back into a signal.
+func (t *Table) Reconstruct(b Basis, blocks [][]float64) []float64 {
+	if len(blocks) != len(b.Nodes) {
+		panic(fmt.Sprintf("wpt: %d blocks for %d basis nodes", len(blocks), len(b.Nodes)))
+	}
+	// Working rows, filled only where needed.
+	rows := make([][]float64, t.Levels+1)
+	for j := range rows {
+		rows[j] = make([]float64, t.N)
+	}
+	inBasis := make(map[Node]int, len(b.Nodes))
+	for i, nd := range b.Nodes {
+		inBasis[nd] = i
+		blockLen := t.N >> uint(nd.Level)
+		if len(blocks[i]) != blockLen {
+			panic(fmt.Sprintf("wpt: block %d has length %d, want %d", i, len(blocks[i]), blockLen))
+		}
+		copy(rows[nd.Level][nd.Block*blockLen:(nd.Block+1)*blockLen], blocks[i])
+	}
+	var build func(j, blk int)
+	build = func(j, blk int) {
+		if _, ok := inBasis[Node{j, blk}]; ok {
+			return
+		}
+		build(j+1, 2*blk)
+		build(j+1, 2*blk+1)
+		blockLen := t.N >> uint(j)
+		src := rows[j+1][blk*blockLen : (blk+1)*blockLen]
+		dst := rows[j][blk*blockLen : (blk+1)*blockLen]
+		packetUnstep(dst, src, t.Filter)
+	}
+	build(0, 0)
+	return rows[0]
+}
+
+// PyramidBasis returns the basis corresponding to the ordinary DWT with the
+// given number of levels: detail nodes at each level plus the final approx.
+func (t *Table) PyramidBasis(levels int) Basis {
+	if levels < 0 || levels > t.Levels {
+		levels = t.Levels
+	}
+	var b Basis
+	for j := 1; j <= levels; j++ {
+		b.Nodes = append(b.Nodes, Node{j, 1}) // detail branch of the approx chain
+	}
+	b.Nodes = append(b.Nodes, Node{levels, 0})
+	return b
+}
+
+// StandardCost evaluates the cost of the untransformed signal, i.e. the
+// "standard basis" alternative the hybrid chooser compares against.
+func StandardCost(x []float64, cost Cost) float64 { return cost(x) }
+
+// Choice records the outcome of per-dimension basis selection.
+type Choice struct {
+	Dimension int
+	// FilterName is "" when the standard (identity) basis wins.
+	FilterName string
+	Cost       float64
+	// Nodes is nil for the standard basis; otherwise the best packet basis.
+	Nodes []Node
+}
+
+// SelectBasis picks, for one dimension's marginal signal, the cheapest of:
+// the standard basis, and the best packet basis of every candidate filter.
+// This is the §3.1.1 multi-basis selection: "each dimension requires its
+// own transformation which may be different from others".
+func SelectBasis(dim int, signal []float64, candidates []wavelet.Filter, cost Cost) Choice {
+	best := Choice{Dimension: dim, FilterName: "", Cost: StandardCost(signal, cost)}
+	for _, f := range candidates {
+		if wavelet.MaxLevels(len(signal), f) == 0 {
+			continue
+		}
+		t := Decompose(signal, f, -1)
+		bb := t.BestBasis(cost)
+		if bb.Cost < best.Cost {
+			best = Choice{Dimension: dim, FilterName: f.Name, Cost: bb.Cost, Nodes: bb.Nodes}
+		}
+	}
+	return best
+}
