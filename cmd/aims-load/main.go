@@ -1,0 +1,230 @@
+// Command aims-load is a closed-loop load generator for the AIMS middle
+// tier: it drives N concurrent synthetic glove sessions (the 28-channel
+// CyberGlove+Polhemus rig of internal/sensors) against an aims-server,
+// interleaves live range-aggregate queries, and prints aggregate
+// throughput and query-latency statistics.
+//
+//	aims-load -sessions 32                  # in-process loopback server
+//	aims-load -addr host:7009 -sessions 8   # external server
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"aims/internal/core"
+	"aims/internal/sensors"
+	"aims/internal/server"
+	"aims/internal/stream"
+	"aims/internal/wire"
+)
+
+type sessionResult struct {
+	stored    uint64
+	shedB     uint64
+	shedF     uint64
+	latencies []time.Duration
+	err       error
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "server address (empty: start an in-process loopback server)")
+		sessions   = flag.Int("sessions", 32, "concurrent device sessions")
+		frames     = flag.Int("frames", 20000, "frames per session")
+		batch      = flag.Int("batch", 256, "frames per batch")
+		window     = flag.Int("window", 4, "max in-flight batches per session")
+		queryEvery = flag.Int("query-every", 64, "issue one live query every N batches (0 disables)")
+		policy     = flag.String("policy", "block", "backpressure policy for the in-process server: block|shed")
+		queue      = flag.Int("queue", 8192, "in-process server queue depth (frames)")
+		rate       = flag.Float64("rate", sensors.DefaultClock, "device clock (Hz) stamped on frames")
+		verbose    = flag.Bool("v", false, "per-session output")
+	)
+	flag.Parse()
+
+	pol, err := server.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// In-process loopback server unless pointed at a real one.
+	var srv *server.Server
+	target := *addr
+	if target == "" {
+		srv = server.New(server.Config{
+			QueueFrames: *queue,
+			Policy:      pol,
+			Store:       core.LiveStoreConfig{},
+		})
+		bound, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		target = bound.String()
+		fmt.Printf("in-process server on %s (policy=%s queue=%d)\n", target, *policy, *queue)
+	}
+
+	// Pregenerate one synthetic glove recording all sessions replay: the
+	// generator must outrun the server, so signal synthesis happens once.
+	specs := sensors.GloveSpecs()
+	dev := sensors.NewDevice(specs, *rate, 1.0, 1)
+	pregenN := *frames
+	if pregenN > 4096 {
+		pregenN = 4096
+	}
+	pregen := make([][]float64, pregenN)
+	for i := range pregen {
+		pregen[i] = dev.Frame(i)
+	}
+	mins := make([]float64, len(specs))
+	maxs := make([]float64, len(specs))
+	for c := range specs {
+		mins[c], maxs[c] = pregen[0][c], pregen[0][c]
+		for _, fr := range pregen {
+			if fr[c] < mins[c] {
+				mins[c] = fr[c]
+			}
+			if fr[c] > maxs[c] {
+				maxs[c] = fr[c]
+			}
+		}
+		// Margin so clamping stays rare if the replay wraps out of range.
+		span := maxs[c] - mins[c]
+		mins[c] -= 0.05 * span
+		maxs[c] += 0.05 * span
+	}
+
+	fmt.Printf("driving %d sessions × %d frames (%d channels, batch=%d, window=%d)\n",
+		*sessions, *frames, len(specs), *batch, *window)
+
+	results := make([]sessionResult, *sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < *sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s] = runSession(s, target, *rate, *frames, *batch, *window, *queryEvery, pregen, mins, maxs)
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var stored, shedB, shedF uint64
+	var lats []time.Duration
+	failed := 0
+	for s, r := range results {
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "session %d: %v\n", s, r.err)
+			continue
+		}
+		stored += r.stored
+		shedB += r.shedB
+		shedF += r.shedF
+		lats = append(lats, r.latencies...)
+		if *verbose {
+			fmt.Printf("  session %2d: stored=%d shed=%d/%d queries=%d\n", s, r.stored, r.shedB, r.shedF, len(r.latencies))
+		}
+	}
+
+	sent := uint64(*sessions-failed) * uint64(*frames)
+	fmt.Printf("\nwall=%s sent=%d stored=%d shed-batches=%d shed-frames=%d\n",
+		wall.Round(time.Millisecond), sent, stored, shedB, shedF)
+	fmt.Printf("throughput: %.0f frames/s aggregate (%.0f per session)\n",
+		float64(sent)/wall.Seconds(), float64(sent)/wall.Seconds()/float64(*sessions))
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+		fmt.Printf("query latency (n=%d): p50=%s p95=%s p99=%s max=%s\n",
+			len(lats), pct(.50).Round(time.Microsecond), pct(.95).Round(time.Microsecond),
+			pct(.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("server: %s\n", srv.Metrics())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runSession(id int, target string, rate float64, frames, batchSize, window, queryEvery int, pregen [][]float64, mins, maxs []float64) sessionResult {
+	var res sessionResult
+	c, err := wire.Dial(target)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	c.Window = window
+	_, err = c.Hello(wire.Hello{
+		Rate:         rate,
+		HorizonTicks: uint32(frames),
+		Name:         fmt.Sprintf("aims-load-%d", id),
+		Mins:         mins,
+		Maxs:         maxs,
+	})
+	if err != nil {
+		res.err = err
+		c.Abort()
+		return res
+	}
+
+	rng := rand.New(rand.NewSource(int64(id) + 1))
+	buf := make([]stream.Frame, 0, batchSize)
+	batches := 0
+	for tick := 0; tick < frames; {
+		buf = buf[:0]
+		for len(buf) < batchSize && tick < frames {
+			buf = append(buf, stream.Frame{
+				T:      float64(tick) / rate,
+				Values: pregen[tick%len(pregen)],
+			})
+			tick++
+		}
+		if err := c.SendBatch(buf); err != nil {
+			res.err = err
+			c.Abort()
+			return res
+		}
+		batches++
+		if queryEvery > 0 && batches%queryEvery == 0 {
+			q := wire.Query{
+				Kind:    wire.QueryAverage,
+				Channel: uint16(rng.Intn(len(mins))),
+				T0:      0,
+				T1:      float64(tick) / rate,
+			}
+			t0 := time.Now()
+			if _, err := c.Query(q); err != nil {
+				res.err = err
+				c.Abort()
+				return res
+			}
+			res.latencies = append(res.latencies, time.Since(t0))
+		}
+	}
+	ack, err := c.Close()
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.stored = ack.Stored
+	res.shedB = c.ShedBatches()
+	res.shedF = ack.Shed
+	return res
+}

@@ -1,0 +1,91 @@
+// Command aims-server runs the AIMS middle tier: a concurrent TCP server
+// immersive client devices register with, stream frame batches to, and
+// query while their session is live (the paper's Fig. 2 three-tier
+// architecture, tier two).
+//
+//	aims-server -addr :7009 -policy block -metrics 10s
+//
+// Stop it with SIGINT/SIGTERM; shutdown drains every session's in-flight
+// batches before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aims/internal/core"
+	"aims/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7009", "listen address")
+		queue   = flag.Int("queue", 8192, "per-session ingest queue depth (frames)")
+		acqBuf  = flag.Int("acquire-buffer", 256, "double-buffering batch size (frames)")
+		idle    = flag.Duration("idle", 30*time.Second, "idle-session eviction timeout")
+		policy  = flag.String("policy", "block", "backpressure policy: block|shed")
+		buckets = flag.Int("buckets", 256, "live-store time buckets (power of two)")
+		bins    = flag.Int("bins", 64, "live-store value bins (power of two)")
+		metrics = flag.Duration("metrics", 10*time.Second, "metrics print interval (0 disables)")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		quiet   = flag.Bool("quiet", false, "suppress per-session logs")
+	)
+	flag.Parse()
+
+	pol, err := server.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...interface{}) {}
+	}
+	srv := server.New(server.Config{
+		QueueFrames:   *queue,
+		AcquireBuffer: *acqBuf,
+		IdleTimeout:   *idle,
+		Policy:        pol,
+		Store: core.LiveStoreConfig{
+			TimeBuckets: *buckets,
+			ValueBins:   *bins,
+		},
+		Logf: logf,
+	})
+
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("aims-server listening on %s (policy=%s queue=%d idle=%s)", bound, *policy, *queue, *idle)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+
+	if *metrics > 0 {
+		go func() {
+			t := time.NewTicker(*metrics)
+			defer t.Stop()
+			for range t.C {
+				log.Printf("metrics: %s", srv.Metrics())
+			}
+		}()
+	}
+
+	<-stop
+	log.Printf("shutting down: draining sessions (timeout %s)", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("final metrics: %s", srv.Metrics())
+}

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"aims/internal/compress"
 	"aims/internal/propolyne"
@@ -86,6 +87,15 @@ func (s *System) Acquire(src stream.Source) ([][]float64, stream.AcquireStats) {
 // Channel and time are standard dimensions when the hybrid chooser says
 // so; the value dimension is wavelet-transformed so polynomial measures
 // evaluate sparsely.
+//
+// Concurrency contract (the server's live-session path depends on it):
+// all mutation goes through AppendFrame, which holds the store's write
+// lock for the whole frame, so a concurrent query never observes a frame
+// with only some of its channels appended. Query methods and WriteTo take
+// the read lock and may run concurrently with each other and with the
+// engine's own internal synchronisation. Code that reaches into
+// Engine.Coeffs directly (tests, the block-store builder) is only safe
+// when no AppendFrame is in flight.
 type Store struct {
 	Engine *propolyne.Engine
 
@@ -94,6 +104,11 @@ type Store struct {
 	ValueBins      int
 	TicksPerBucket int
 	Rate           float64
+
+	// mu makes AppendFrame atomic with respect to queries: the engine
+	// synchronises individual Append calls, but one frame is Channels
+	// appends and must become visible as a unit.
+	mu sync.RWMutex
 
 	quant []compress.Quantizer // per channel
 }
@@ -192,6 +207,8 @@ func (st *Store) box(channel int, t0, t1 float64) (propolyne.Box, error) {
 // CountSamples returns how many samples channel recorded in [t0, t1]
 // seconds.
 func (st *Store) CountSamples(channel int, t0, t1 float64) (float64, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	b, err := st.box(channel, t0, t1)
 	if err != nil {
 		return 0, err
@@ -202,6 +219,8 @@ func (st *Store) CountSamples(channel int, t0, t1 float64) (float64, error) {
 // AverageValue returns the mean sensor value of a channel over [t0, t1]
 // seconds, decoded through the channel's quantiser.
 func (st *Store) AverageValue(channel int, t0, t1 float64) (float64, bool, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	b, err := st.box(channel, t0, t1)
 	if err != nil {
 		return 0, false, err
@@ -217,6 +236,8 @@ func (st *Store) AverageValue(channel int, t0, t1 float64) (float64, bool, error
 // VarianceValue returns the population variance of a channel's value over
 // [t0, t1] seconds, in value units.
 func (st *Store) VarianceValue(channel int, t0, t1 float64) (float64, bool, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	b, err := st.box(channel, t0, t1)
 	if err != nil {
 		return 0, false, err
@@ -233,6 +254,8 @@ func (st *Store) VarianceValue(channel int, t0, t1 float64) (float64, bool, erro
 // most budget transformed-domain coefficients, with its guaranteed error
 // bound.
 func (st *Store) ApproximateCount(channel int, t0, t1 float64, budget int) (est, bound float64, err error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	b, err := st.box(channel, t0, t1)
 	if err != nil {
 		return 0, 0, err
@@ -253,6 +276,8 @@ func (st *Store) AppendFrame(tick int, frame []float64) error {
 	if tb >= st.TimeBuckets {
 		tb = st.TimeBuckets - 1
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	for c, v := range frame {
 		bin := st.quant[c].Quantize(v)
 		if err := st.Engine.Append([]int{c, tb, bin}, 1); err != nil {
@@ -267,6 +292,8 @@ func (st *Store) AppendFrame(tick int, frame []float64) error {
 // Buckets with no samples report ok=false via a NaN-free zero and the
 // count slice lets callers distinguish them.
 func (st *Store) ValueTimeSeries(channel int, t0, t1 float64, buckets int) (avgs, counts []float64, err error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	b, err := st.box(channel, t0, t1)
 	if err != nil {
 		return nil, nil, err
@@ -304,6 +331,8 @@ func (st *Store) ValueTimeSeries(channel int, t0, t1 float64, buckets int) (avgs
 // range — a GROUP BY over the value dimension evaluated with shared I/O.
 // The second return value gives each bucket's value-space midpoint.
 func (st *Store) ValueHistogram(channel int, t0, t1 float64, buckets int) ([]float64, []float64, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	b, err := st.box(channel, t0, t1)
 	if err != nil {
 		return nil, nil, err

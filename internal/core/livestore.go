@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"aims/internal/compress"
+	"aims/internal/propolyne"
+	"aims/internal/stream"
+)
+
+// LiveStore is the middle tier's ingest-side store: the quantised
+// (channel, time-bucket, value-bin) count cube of an in-progress session,
+// kept in a form cheap enough to update per frame at device rate —
+// O(channels) integer increments — while staying queryable.
+//
+// Exact COUNT/AVERAGE/VARIANCE range aggregates are answered by direct
+// scans of the count cube (the cube *is* the exact frequency distribution,
+// so no transform is needed for exactness). Approximate and progressive
+// answers go through Seal, which snapshots the cube into a full
+// wavelet-transformed ProPolyne Store; the sealed engine is cached and
+// rebuilt only when appends have advanced the store version.
+//
+// Concurrency: one RWMutex guards the cube. AppendFrame takes the write
+// lock for the whole frame, so a query never observes half a frame; query
+// scans and Seal's snapshot take the read lock. Safe for one or more
+// appenders and any number of concurrent readers.
+type LiveStore struct {
+	cfg   LiveStoreConfig
+	quant []compress.Quantizer
+
+	mu      sync.RWMutex
+	cube    []uint32 // channels × TimeBuckets × ValueBins counts
+	frames  int
+	version uint64
+
+	sealMu        sync.Mutex
+	sealed        *Store
+	sealedVersion uint64
+}
+
+// LiveStoreConfig shapes a live session store.
+type LiveStoreConfig struct {
+	// Rate is the device clock in Hz (default 100).
+	Rate float64
+	// TimeBuckets and ValueBins must be powers of two (defaults 256, 64 —
+	// smaller than the off-line Store defaults because a live store exists
+	// per session).
+	TimeBuckets int
+	ValueBins   int
+	// HorizonTicks is the expected session length in device ticks; frames
+	// beyond it clamp into the final bucket (default 60 s of Rate).
+	HorizonTicks int
+	// MaxDegree is the highest polynomial degree the sealed engine must
+	// answer (default 2).
+	MaxDegree int
+}
+
+func (c LiveStoreConfig) withDefaults() LiveStoreConfig {
+	if c.Rate <= 0 {
+		c.Rate = 100
+	}
+	if c.TimeBuckets <= 0 {
+		c.TimeBuckets = 256
+	}
+	if c.ValueBins <= 0 {
+		c.ValueBins = 64
+	}
+	if c.HorizonTicks <= 0 {
+		c.HorizonTicks = int(60 * c.Rate)
+	}
+	if c.MaxDegree <= 0 {
+		c.MaxDegree = 2
+	}
+	return c
+}
+
+// NewLiveStore creates an empty live store for a session whose channel c
+// produces values in [mins[c], maxs[c]] (the registration-time device
+// spec; out-of-range values clamp into the edge bins).
+func NewLiveStore(mins, maxs []float64, cfg LiveStoreConfig) (*LiveStore, error) {
+	if len(mins) == 0 || len(mins) != len(maxs) {
+		return nil, fmt.Errorf("core: live store needs matching per-channel ranges, got %d/%d", len(mins), len(maxs))
+	}
+	cfg = cfg.withDefaults()
+	for _, n := range []int{cfg.TimeBuckets, cfg.ValueBins} {
+		if n&(n-1) != 0 {
+			return nil, fmt.Errorf("core: live store dims must be powers of two, got %d", n)
+		}
+	}
+	bits := log2(cfg.ValueBins)
+	quant := make([]compress.Quantizer, len(mins))
+	for c := range quant {
+		quant[c] = compress.NewQuantizer(mins[c], maxs[c], bits)
+	}
+	ls := &LiveStore{
+		cfg:   cfg,
+		quant: quant,
+		cube:  make([]uint32, len(mins)*cfg.TimeBuckets*cfg.ValueBins),
+	}
+	return ls, nil
+}
+
+// Channels returns the channel count.
+func (ls *LiveStore) Channels() int { return len(ls.quant) }
+
+// Config returns the effective configuration.
+func (ls *LiveStore) Config() LiveStoreConfig { return ls.cfg }
+
+// TicksPerBucket returns the time-bucket width in device ticks.
+func (ls *LiveStore) TicksPerBucket() int {
+	tpb := (ls.cfg.HorizonTicks + ls.cfg.TimeBuckets - 1) / ls.cfg.TimeBuckets
+	if tpb < 1 {
+		tpb = 1
+	}
+	return tpb
+}
+
+// Frames returns how many frames have been appended.
+func (ls *LiveStore) Frames() int {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	return ls.frames
+}
+
+// Version increments on every append; Seal caches by it.
+func (ls *LiveStore) Version() uint64 {
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	return ls.version
+}
+
+// AppendFrame ingests one frame at the given absolute device tick:
+// one quantise + increment per channel, under the write lock so the frame
+// becomes visible to queries atomically.
+func (ls *LiveStore) AppendFrame(tick int, frame []float64) error {
+	if len(frame) != len(ls.quant) {
+		return fmt.Errorf("core: frame width %d != %d channels", len(frame), len(ls.quant))
+	}
+	if tick < 0 {
+		return fmt.Errorf("core: negative tick %d", tick)
+	}
+	tb := tick / ls.TicksPerBucket()
+	if tb >= ls.cfg.TimeBuckets {
+		tb = ls.cfg.TimeBuckets - 1
+	}
+	vb := ls.cfg.ValueBins
+	ls.mu.Lock()
+	for c, v := range frame {
+		bin := ls.quant[c].Quantize(v)
+		ls.cube[(c*ls.cfg.TimeBuckets+tb)*vb+bin]++
+	}
+	ls.frames++
+	ls.version++
+	ls.mu.Unlock()
+	return nil
+}
+
+// AppendFrames ingests a batch of stream frames, deriving each frame's
+// tick from its timestamp and the device rate.
+func (ls *LiveStore) AppendFrames(frames []stream.Frame) error {
+	for i := range frames {
+		tick := int(frames[i].T*ls.cfg.Rate + 0.5)
+		if err := ls.AppendFrame(tick, frames[i].Values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timeRange converts seconds to clamped bucket indices (mirrors
+// Store.timeRange).
+func (ls *LiveStore) timeRange(t0, t1 float64) (int, int) {
+	tpb := float64(ls.TicksPerBucket())
+	lo := int(t0 * ls.cfg.Rate / tpb)
+	hi := int(t1 * ls.cfg.Rate / tpb)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= ls.cfg.TimeBuckets {
+		hi = ls.cfg.TimeBuckets - 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+func (ls *LiveStore) checkChannel(channel int) error {
+	if channel < 0 || channel >= len(ls.quant) {
+		return fmt.Errorf("core: channel %d out of [0,%d)", channel, len(ls.quant))
+	}
+	return nil
+}
+
+// moments scans the cube for Σ1, Σbin, Σbin² of one channel over a time
+// range — enough for COUNT, AVERAGE and VARIANCE.
+func (ls *LiveStore) moments(channel int, t0, t1 float64) (n, sum, sumSq float64, err error) {
+	if err := ls.checkChannel(channel); err != nil {
+		return 0, 0, 0, err
+	}
+	lo, hi := ls.timeRange(t0, t1)
+	vb := ls.cfg.ValueBins
+	ls.mu.RLock()
+	defer ls.mu.RUnlock()
+	for tb := lo; tb <= hi; tb++ {
+		row := ls.cube[(channel*ls.cfg.TimeBuckets+tb)*vb : (channel*ls.cfg.TimeBuckets+tb+1)*vb]
+		for bin, cnt := range row {
+			if cnt == 0 {
+				continue
+			}
+			fc := float64(cnt)
+			fb := float64(bin)
+			n += fc
+			sum += fc * fb
+			sumSq += fc * fb * fb
+		}
+	}
+	return n, sum, sumSq, nil
+}
+
+// CountSamples returns exactly how many samples channel recorded in
+// [t0, t1] seconds.
+func (ls *LiveStore) CountSamples(channel int, t0, t1 float64) (float64, error) {
+	n, _, _, err := ls.moments(channel, t0, t1)
+	return n, err
+}
+
+// AverageValue returns the exact mean sensor value of a channel over
+// [t0, t1] seconds, decoded through the channel's quantiser. ok=false on
+// an empty range.
+func (ls *LiveStore) AverageValue(channel int, t0, t1 float64) (float64, bool, error) {
+	n, sum, _, err := ls.moments(channel, t0, t1)
+	if err != nil || n == 0 {
+		return 0, false, err
+	}
+	q := ls.quant[channel]
+	return q.Min + sum/n*q.Step(), true, nil
+}
+
+// VarianceValue returns the exact population variance of a channel's value
+// over [t0, t1] seconds, in value units.
+func (ls *LiveStore) VarianceValue(channel int, t0, t1 float64) (float64, bool, error) {
+	n, sum, sumSq, err := ls.moments(channel, t0, t1)
+	if err != nil || n == 0 {
+		return 0, false, err
+	}
+	mean := sum / n
+	step := ls.quant[channel].Step()
+	return (sumSq/n - mean*mean) * step * step, true, nil
+}
+
+// Seal snapshots the count cube into a full wavelet-transformed ProPolyne
+// Store (the paper's off-line query subsystem) for approximate and
+// progressive evaluation. The sealed store is cached and reused until the
+// next append bumps the version. Appends are paused only for the brief
+// cube snapshot; the wavelet transform itself runs outside the lock.
+func (ls *LiveStore) Seal() (*Store, error) {
+	ls.sealMu.Lock()
+	defer ls.sealMu.Unlock()
+
+	ls.mu.RLock()
+	version := ls.version
+	if ls.sealed != nil && ls.sealedVersion == version {
+		st := ls.sealed
+		ls.mu.RUnlock()
+		return st, nil
+	}
+	channels := len(ls.quant)
+	chDim := nextPow2(channels)
+	tb, vb := ls.cfg.TimeBuckets, ls.cfg.ValueBins
+	cube := make([]float64, chDim*tb*vb)
+	for i, v := range ls.cube {
+		cube[i] = float64(v)
+	}
+	ls.mu.RUnlock()
+
+	dims := []int{chDim, tb, vb}
+	bases, err := propolyne.ChooseBases(dims, propolyne.QueryTemplate{
+		RangeFraction: []float64{1 / float64(chDim), 0.25, 1},
+		MaxDegree:     ls.cfg.MaxDegree,
+	}, propolyne.DefaultCostModel)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := propolyne.NewWithBases(cube, dims, bases)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{
+		Engine:         eng,
+		Channels:       channels,
+		TimeBuckets:    tb,
+		ValueBins:      vb,
+		TicksPerBucket: ls.TicksPerBucket(),
+		Rate:           ls.cfg.Rate,
+		quant:          append([]compress.Quantizer(nil), ls.quant...),
+	}
+	ls.sealed = st
+	ls.sealedVersion = version
+	return st, nil
+}
+
+// ApproximateCount returns a budget-limited estimate of CountSamples with
+// its guaranteed error bound, evaluated on the sealed engine.
+func (ls *LiveStore) ApproximateCount(channel int, t0, t1 float64, budget int) (est, bound float64, err error) {
+	st, err := ls.Seal()
+	if err != nil {
+		return 0, 0, err
+	}
+	return st.ApproximateCount(channel, t0, t1, budget)
+}
+
+// ProgressiveCount evaluates CountSamples progressively on the sealed
+// engine: at most maxSteps checkpoints of (estimate, guaranteed bound),
+// the last one exact.
+func (ls *LiveStore) ProgressiveCount(channel int, t0, t1 float64, maxSteps int) ([]propolyne.Step, error) {
+	st, err := ls.Seal()
+	if err != nil {
+		return nil, err
+	}
+	b, err := st.box(channel, t0, t1)
+	if err != nil {
+		return nil, err
+	}
+	steps, _, err := st.Engine.Progressive(propolyne.Query{Lo: b.Lo, Hi: b.Hi}, maxSteps)
+	return steps, err
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"aims/internal/stream"
+)
+
+func liveCfg() LiveStoreConfig {
+	return LiveStoreConfig{Rate: 100, TimeBuckets: 64, ValueBins: 32, HorizonTicks: 1000}
+}
+
+func testFrames(n, channels int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, channels)
+		for c := range row {
+			row[c] = math.Sin(float64(i)/17+float64(c)) * 10
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func newLive(t *testing.T, channels int) *LiveStore {
+	t.Helper()
+	mins := make([]float64, channels)
+	maxs := make([]float64, channels)
+	for c := range mins {
+		mins[c], maxs[c] = -10, 10
+	}
+	ls, err := NewLiveStore(mins, maxs, liveCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+func TestLiveStoreValidation(t *testing.T) {
+	if _, err := NewLiveStore(nil, nil, liveCfg()); err == nil {
+		t.Fatal("empty ranges accepted")
+	}
+	if _, err := NewLiveStore([]float64{0}, []float64{1, 2}, liveCfg()); err == nil {
+		t.Fatal("mismatched ranges accepted")
+	}
+	cfg := liveCfg()
+	cfg.TimeBuckets = 100 // not a power of two
+	if _, err := NewLiveStore([]float64{0}, []float64{1}, cfg); err == nil {
+		t.Fatal("non-power-of-two buckets accepted")
+	}
+	ls := newLive(t, 2)
+	if err := ls.AppendFrame(0, []float64{1}); err == nil {
+		t.Fatal("wrong width accepted")
+	}
+	if err := ls.AppendFrame(-1, []float64{1, 2}); err == nil {
+		t.Fatal("negative tick accepted")
+	}
+	if _, err := ls.CountSamples(5, 0, 1); err == nil {
+		t.Fatal("bad channel accepted")
+	}
+}
+
+func TestLiveStoreExactAggregates(t *testing.T) {
+	const channels = 3
+	ls := newLive(t, channels)
+	frames := testFrames(800, channels)
+	for tick, fr := range frames {
+		if err := ls.AppendFrame(tick, fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ls.Frames() != 800 {
+		t.Fatalf("Frames = %d", ls.Frames())
+	}
+	// Full-range count is exact regardless of quantisation.
+	for c := 0; c < channels; c++ {
+		n, err := ls.CountSamples(c, 0, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 800 {
+			t.Fatalf("channel %d count = %v, want 800", c, n)
+		}
+	}
+	// A time sub-range count matches direct bucket arithmetic: ticks
+	// [0,399] → seconds [0, 3.99].
+	n, err := ls.CountSamples(0, 0, 3.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpb := ls.TicksPerBucket()
+	wantTicks := ((int(3.99*100) / tpb) + 1) * tpb // whole buckets
+	if wantTicks > 800 {
+		wantTicks = 800
+	}
+	if int(n) != wantTicks {
+		t.Fatalf("sub-range count = %v, want %d", n, wantTicks)
+	}
+	// Average within one quantisation step of the raw mean.
+	var raw float64
+	for _, fr := range frames {
+		raw += fr[1]
+	}
+	raw /= float64(len(frames))
+	avg, ok, err := ls.AverageValue(1, 0, 1e9)
+	if err != nil || !ok {
+		t.Fatalf("average: ok=%v err=%v", ok, err)
+	}
+	step := 20.0 / 31 // range/(bins-1)
+	if math.Abs(avg-raw) > step {
+		t.Fatalf("avg %v vs raw %v (step %v)", avg, raw, step)
+	}
+	// Variance positive and near raw variance.
+	va, ok, err := ls.VarianceValue(1, 0, 1e9)
+	if err != nil || !ok {
+		t.Fatalf("variance: ok=%v err=%v", ok, err)
+	}
+	var rawVar float64
+	for _, fr := range frames {
+		rawVar += (fr[1] - raw) * (fr[1] - raw)
+	}
+	rawVar /= float64(len(frames))
+	if va <= 0 || math.Abs(va-rawVar) > rawVar*0.2+step*step {
+		t.Fatalf("variance %v vs raw %v", va, rawVar)
+	}
+	// Empty store/range reports ok=false.
+	empty := newLive(t, 1)
+	if _, ok, _ := empty.AverageValue(0, 0, 1); ok {
+		t.Fatal("empty average reported ok")
+	}
+}
+
+func TestLiveStoreSealMatchesScans(t *testing.T) {
+	const channels = 2
+	ls := newLive(t, channels)
+	for tick, fr := range testFrames(500, channels) {
+		if err := ls.AppendFrame(tick, fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := ls.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < channels; c++ {
+		for _, win := range [][2]float64{{0, 1e9}, {0, 2}, {1, 4}} {
+			want, _ := ls.CountSamples(c, win[0], win[1])
+			got, err := st.CountSamples(c, win[0], win[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+				t.Fatalf("sealed count ch%d %v: %v != %v", c, win, got, want)
+			}
+		}
+		wantAvg, _, _ := ls.AverageValue(c, 0, 1e9)
+		gotAvg, ok, err := st.AverageValue(c, 0, 1e9)
+		if err != nil || !ok {
+			t.Fatalf("sealed avg: ok=%v err=%v", ok, err)
+		}
+		if math.Abs(gotAvg-wantAvg) > 1e-6 {
+			t.Fatalf("sealed avg ch%d: %v != %v", c, gotAvg, wantAvg)
+		}
+	}
+	// Seal is cached until the next append.
+	st2, _ := ls.Seal()
+	if st2 != st {
+		t.Fatal("unchanged store resealed")
+	}
+	if err := ls.AppendFrame(500, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	st3, _ := ls.Seal()
+	if st3 == st {
+		t.Fatal("stale seal reused after append")
+	}
+}
+
+func TestLiveStoreApproximateAndProgressive(t *testing.T) {
+	ls := newLive(t, 2)
+	for tick, fr := range testFrames(600, 2) {
+		if err := ls.AppendFrame(tick, fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exact, _ := ls.CountSamples(0, 0, 3)
+	est, bound, err := ls.ApproximateCount(0, 0, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-exact) > bound+1e-6 {
+		t.Fatalf("approx %v outside bound %v of exact %v", est, bound, exact)
+	}
+	steps, err := ls.ProgressiveCount(0, 0, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no progressive steps")
+	}
+	last := steps[len(steps)-1]
+	if math.Abs(last.Estimate-exact) > 1e-6*math.Max(1, exact) {
+		t.Fatalf("final progressive step %v != exact %v", last.Estimate, exact)
+	}
+	for _, st := range steps {
+		if math.Abs(st.Estimate-exact) > st.ErrorBound+1e-6 {
+			t.Fatalf("step %d: estimate %v outside bound %v", st.Coefficients, st.Estimate, st.ErrorBound)
+		}
+	}
+}
+
+func TestLiveStoreAppendFrames(t *testing.T) {
+	ls := newLive(t, 2)
+	frames := []stream.Frame{
+		{T: 0, Values: []float64{1, 2}},
+		{T: 0.01, Values: []float64{3, 4}},
+		{T: 0.02, Values: []float64{5, 6}},
+	}
+	if err := ls.AppendFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := ls.CountSamples(0, 0, 1e9); n != 3 {
+		t.Fatalf("count = %v", n)
+	}
+}
+
+// TestLiveStoreConcurrentIngestAndQuery is the server path under -race:
+// one appender, many concurrent exact/approximate readers, and the
+// frame-atomicity invariant (every channel of a frame becomes visible
+// together, so per-channel counts always agree).
+func TestLiveStoreConcurrentIngestAndQuery(t *testing.T) {
+	const channels = 4
+	const total = 3000
+	ls := newLive(t, channels)
+	frames := testFrames(total, channels)
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for tick, fr := range frames {
+			if err := ls.AppendFrame(tick, fr); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				counts := make([]float64, channels)
+				for c := 0; c < channels; c++ {
+					n, err := ls.CountSamples(c, 0, 1e9)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					counts[c] = n
+				}
+				// Channel 0 is counted first by AppendFrame; later
+				// channels can never be ahead of it by a full frame.
+				for c := 1; c < channels; c++ {
+					if counts[c] > counts[0] {
+						t.Errorf("channel %d count %v ahead of channel 0 (%v)", c, counts[c], counts[0])
+						return
+					}
+				}
+				if _, _, err := ls.ApproximateCount(1, 0, 5, 8); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n, _ := ls.CountSamples(channels-1, 0, 1e9); n != total {
+		t.Fatalf("final count %v != %d", n, total)
+	}
+}

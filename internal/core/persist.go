@@ -20,6 +20,8 @@ var storeMagic = [8]byte{'A', 'I', 'M', 'S', 'S', 'T', 'O', '1'}
 
 // WriteTo serialises the store (metadata header + engine blob).
 func (st *Store) WriteTo(w io.Writer) (int64, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	var n int64
 	write := func(v interface{}) error {

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the query-latency histogram bucket upper bounds; the
+// last bucket is unbounded.
+var latencyBounds = []time.Duration{
+	50 * time.Microsecond,
+	200 * time.Microsecond,
+	time.Millisecond,
+	5 * time.Millisecond,
+	20 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+}
+
+// metrics is the server's atomic counter block. All fields are updated
+// lock-free from session goroutines.
+type metrics struct {
+	sessionsActive  atomic.Int64
+	sessionsTotal   atomic.Uint64
+	framesIngested  atomic.Uint64
+	batchesIngested atomic.Uint64
+	framesShed      atomic.Uint64
+	batchesShed     atomic.Uint64
+	appendErrors    atomic.Uint64
+	queries         atomic.Uint64
+	evictions       atomic.Uint64
+
+	latencyCounts [8]atomic.Uint64 // len(latencyBounds)+1
+	latencySumNS  atomic.Int64
+	latencyMaxNS  atomic.Int64
+}
+
+func (m *metrics) observeQuery(d time.Duration) {
+	m.queries.Add(1)
+	i := 0
+	for i < len(latencyBounds) && d > latencyBounds[i] {
+		i++
+	}
+	m.latencyCounts[i].Add(1)
+	m.latencySumNS.Add(int64(d))
+	for {
+		cur := m.latencyMaxNS.Load()
+		if int64(d) <= cur || m.latencyMaxNS.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Snapshot is one consistent-enough read of the server's counters,
+// suitable for JSON logging.
+type Snapshot struct {
+	SessionsActive  int64  `json:"sessions_active"`
+	SessionsTotal   uint64 `json:"sessions_total"`
+	FramesIngested  uint64 `json:"frames_ingested"`
+	BatchesIngested uint64 `json:"batches_ingested"`
+	FramesShed      uint64 `json:"frames_shed"`
+	BatchesShed     uint64 `json:"batches_shed"`
+	AppendErrors    uint64 `json:"append_errors"`
+	Queries         uint64 `json:"queries"`
+	Evictions       uint64 `json:"evictions"`
+	QueueDepth      int    `json:"queue_depth"` // frames waiting across all sessions
+
+	// QueryLatency histogram: counts per bucket of latencyBounds plus the
+	// overflow bucket, with mean and max.
+	LatencyCounts []uint64      `json:"latency_counts"`
+	LatencyMean   time.Duration `json:"latency_mean_ns"`
+	LatencyMax    time.Duration `json:"latency_max_ns"`
+}
+
+func (m *metrics) snapshot() Snapshot {
+	s := Snapshot{
+		SessionsActive:  m.sessionsActive.Load(),
+		SessionsTotal:   m.sessionsTotal.Load(),
+		FramesIngested:  m.framesIngested.Load(),
+		BatchesIngested: m.batchesIngested.Load(),
+		FramesShed:      m.framesShed.Load(),
+		BatchesShed:     m.batchesShed.Load(),
+		AppendErrors:    m.appendErrors.Load(),
+		Queries:         m.queries.Load(),
+		Evictions:       m.evictions.Load(),
+		LatencyCounts:   make([]uint64, len(m.latencyCounts)),
+		LatencyMax:      time.Duration(m.latencyMaxNS.Load()),
+	}
+	for i := range m.latencyCounts {
+		s.LatencyCounts[i] = m.latencyCounts[i].Load()
+	}
+	if s.Queries > 0 {
+		s.LatencyMean = time.Duration(m.latencySumNS.Load() / int64(s.Queries))
+	}
+	return s
+}
+
+// String renders the snapshot as one log line.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sessions=%d/%d frames=%d batches=%d shed=%d/%d queue=%d queries=%d evictions=%d",
+		s.SessionsActive, s.SessionsTotal, s.FramesIngested, s.BatchesIngested,
+		s.BatchesShed, s.FramesShed, s.QueueDepth, s.Queries, s.Evictions)
+	if s.Queries > 0 {
+		fmt.Fprintf(&b, " qlat(mean=%s max=%s hist=", s.LatencyMean.Round(time.Microsecond), s.LatencyMax.Round(time.Microsecond))
+		for i, c := range s.LatencyCounts {
+			if i > 0 {
+				b.WriteByte('/')
+			}
+			fmt.Fprintf(&b, "%d", c)
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}

@@ -1,0 +1,224 @@
+// Package server implements the AIMS middle tier of the paper's Fig. 2
+// three-tier architecture: a concurrent TCP server immersive client
+// devices register with, stream frame batches to, and query while the
+// session is live. Each connection is one session. Ingest runs through the
+// double-buffered acquisition pipeline of internal/stream into a
+// core.LiveStore; exact/approximate/progressive range aggregates are
+// answered against that live store (core/propolyne). Per-session ingest
+// queues are bounded, with a selectable backpressure policy — block the
+// device (lossless) or shed whole batches with an explicit wire error —
+// plus idle-session eviction, graceful shutdown that drains in-flight
+// batches, and an atomic metrics block.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"aims/internal/core"
+)
+
+// Policy selects what happens when a session's ingest queue is full.
+type Policy int
+
+const (
+	// PolicyBlock applies backpressure: the reader stops consuming the
+	// socket until the queue drains, so acquisition is lossless and the
+	// device's TCP window absorbs the stall.
+	PolicyBlock Policy = iota
+	// PolicyShed drops whole batches that do not fit, acknowledging each
+	// with wire.CodeShed so the device knows exactly what was lost.
+	PolicyShed
+)
+
+// ParsePolicy maps the flag spelling to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return PolicyBlock, nil
+	case "shed":
+		return PolicyShed, nil
+	}
+	return 0, fmt.Errorf("server: unknown backpressure policy %q (want block|shed)", s)
+}
+
+// Config shapes a Server.
+type Config struct {
+	// QueueFrames bounds each session's ingest queue (default 8192).
+	QueueFrames int
+	// AcquireBuffer is the double-buffering batch size of the acquisition
+	// pipeline (default 256 frames).
+	AcquireBuffer int
+	// IdleTimeout evicts sessions with no traffic (default 30 s).
+	IdleTimeout time.Duration
+	// FlushLatency bounds how long a partially filled acquisition buffer
+	// may hide tail frames from queries (default 2 ms).
+	FlushLatency time.Duration
+	// Policy is the backpressure policy (default PolicyBlock).
+	Policy Policy
+	// Store templates each session's live store; Rate and HorizonTicks are
+	// overridden by the session's registration.
+	Store core.LiveStoreConfig
+	// Logf receives server lifecycle logs (nil discards them).
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueFrames <= 0 {
+		c.QueueFrames = 8192
+	}
+	if c.AcquireBuffer <= 0 {
+		c.AcquireBuffer = 256
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return c
+}
+
+// Server is one AIMS middle-tier instance.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*session
+	nextID   uint64
+	closed   bool
+
+	wg      sync.WaitGroup // live session handlers
+	serveWg sync.WaitGroup // accept loops
+	metrics metrics
+}
+
+// New creates a server.
+func New(cfg Config) *Server {
+	return &Server{cfg: cfg.withDefaults(), sessions: make(map[uint64]*session)}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in the
+// background. It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.serveWg.Add(1)
+	go func() {
+		defer s.serveWg.Done()
+		s.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Serve accepts sessions on ln until the listener fails or Shutdown runs.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting sessions, wakes every session reader, drains
+// their in-flight batches and waits for all handlers to finish or the
+// context to expire.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for _, sess := range s.sessions {
+		// An expired read deadline unblocks the session reader; it then
+		// drains its queue and closes.
+		sess.conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		s.serveWg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown incomplete: %w", ctx.Err())
+	}
+}
+
+// Metrics returns a point-in-time snapshot of the server's counters.
+func (s *Server) Metrics() Snapshot {
+	snap := s.metrics.snapshot()
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		snap.QueueDepth += len(sess.in)
+	}
+	s.mu.Unlock()
+	return snap
+}
+
+// SessionCount returns the number of live sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+func (s *Server) register(sess *session) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	sess.id = s.nextID
+	s.sessions[sess.id] = sess
+	s.metrics.sessionsActive.Add(1)
+	s.metrics.sessionsTotal.Add(1)
+	return sess.id
+}
+
+func (s *Server) unregister(sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[sess.id]; ok {
+		delete(s.sessions, sess.id)
+		s.metrics.sessionsActive.Add(-1)
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}

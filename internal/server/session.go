@@ -1,0 +1,337 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"aims/internal/core"
+	"aims/internal/stream"
+	"aims/internal/wire"
+)
+
+// session is one registered device connection: its live store, bounded
+// ingest queue and accounting. The connection's reader goroutine owns all
+// writes to the socket, so responses are naturally ordered; a second
+// goroutine (the acquisition consumer) drains the queue into the store.
+type session struct {
+	id    uint64
+	srv   *Server
+	conn  net.Conn
+	bw    *bufio.Writer
+	br    *bufio.Reader
+	store *core.LiveStore
+	rate  float64
+
+	in        chan stream.Frame
+	enqueued  uint64        // frames pushed to the queue (reader goroutine only)
+	shedB     uint64        // batches shed (reader goroutine only)
+	shedF     uint64        // frames shed (reader goroutine only)
+	stored    atomic.Uint64 // frames appended to the store
+	badAppend atomic.Uint64
+
+	closeRequested bool
+}
+
+// chanSource adapts the session queue into a stream.TimedSource so ingest
+// runs through the paper's double-buffered acquisition pipeline with
+// bounded batching latency.
+type chanSource struct{ ch <-chan stream.Frame }
+
+func (c chanSource) Next() (stream.Frame, bool) {
+	f, ok := <-c.ch
+	return f, ok
+}
+
+func (c chanSource) NextTimeout(d time.Duration) (stream.Frame, bool, bool) {
+	select {
+	case f, ok := <-c.ch:
+		return f, ok, false
+	default:
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case f, ok := <-c.ch:
+		return f, ok, false
+	case <-t.C:
+		return stream.Frame{}, false, true
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	sess := &session{
+		srv:  s,
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+		br:   bufio.NewReaderSize(conn, 64<<10),
+	}
+	defer conn.Close()
+
+	if !sess.handshake() {
+		return
+	}
+	s.register(sess)
+	defer s.unregister(sess)
+	w := wire.Welcome{SessionID: sess.id, Code: wire.CodeOK}
+	if wire.WriteMessage(sess.bw, wire.MsgWelcome, w.Encode()) != nil || sess.bw.Flush() != nil {
+		return
+	}
+	s.cfg.Logf("session %d: registered %d channels at %.1f Hz", sess.id, sess.store.Channels(), sess.rate)
+
+	// The acquisition consumer: double-buffered batches out of the queue
+	// into the live store.
+	sess.in = make(chan stream.Frame, s.cfg.QueueFrames)
+	ingestDone := make(chan stream.AcquireStats, 1)
+	go func() {
+		stats := stream.AcquireFlushing(chanSource{sess.in}, s.cfg.AcquireBuffer, s.cfg.FlushLatency, sess.storeBatch)
+		ingestDone <- stats
+	}()
+
+	sess.readLoop()
+
+	// Drain: no more enqueues; the consumer stores everything still queued.
+	close(sess.in)
+	<-ingestDone
+
+	if sess.closeRequested {
+		ack := wire.CloseAck{Stored: sess.stored.Load() - sess.badAppend.Load(), Shed: sess.shedF}
+		if wire.WriteMessage(sess.bw, wire.MsgCloseAck, ack.Encode()) == nil {
+			sess.bw.Flush()
+		}
+	}
+	s.cfg.Logf("session %d: closed (stored=%d shed=%d)", sess.id, sess.stored.Load(), sess.shedF)
+}
+
+// handshake reads and validates the Hello and builds the live store. It
+// reports whether the session may proceed (the caller registers the
+// session and sends the Welcome).
+func (sess *session) handshake() bool {
+	srv := sess.srv
+	sess.conn.SetReadDeadline(time.Now().Add(srv.cfg.IdleTimeout))
+	typ, payload, err := wire.ReadMessage(sess.br)
+	if err != nil {
+		return false
+	}
+	if typ != wire.MsgHello {
+		sess.sendError(wire.CodeNotRegistered, "first message must be hello")
+		return false
+	}
+	h, err := wire.DecodeHello(payload)
+	if err != nil {
+		sess.sendError(wire.CodeBadVersion, err.Error())
+		return false
+	}
+	cfg := srv.cfg.Store
+	cfg.Rate = h.Rate
+	cfg.HorizonTicks = int(h.HorizonTicks)
+	store, err := core.NewLiveStore(h.Mins, h.Maxs, cfg)
+	if err != nil {
+		sess.sendError(wire.CodeBadMessage, err.Error())
+		return false
+	}
+	sess.store = store
+	sess.rate = h.Rate
+	return true
+}
+
+func (sess *session) sendError(code wire.Code, text string) {
+	msg := wire.ErrMsg{Code: code, Text: text}
+	if wire.WriteMessage(sess.bw, wire.MsgError, msg.Encode()) == nil {
+		sess.bw.Flush()
+	}
+}
+
+// storeBatch is the acquisition pipeline's store callback: it appends one
+// double-buffered batch into the live store.
+func (sess *session) storeBatch(batch []stream.Frame) {
+	var ok uint64
+	for i := range batch {
+		tick := int(batch[i].T*sess.rate + 0.5)
+		if err := sess.store.AppendFrame(tick, batch[i].Values); err != nil {
+			sess.badAppend.Add(1)
+			sess.srv.metrics.appendErrors.Add(1)
+			continue
+		}
+		ok++
+	}
+	sess.stored.Add(uint64(len(batch))) // processed, including bad appends
+	sess.srv.metrics.framesIngested.Add(ok)
+}
+
+// readLoop processes messages until the client closes, errs, idles out or
+// the server shuts down.
+func (sess *session) readLoop() {
+	srv := sess.srv
+	for {
+		sess.conn.SetReadDeadline(time.Now().Add(srv.cfg.IdleTimeout))
+		typ, payload, err := wire.ReadMessage(sess.br)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if srv.isClosed() {
+					sess.sendError(wire.CodeShuttingDown, "server shutting down")
+				} else {
+					srv.metrics.evictions.Add(1)
+					sess.sendError(wire.CodeIdleEvicted, "session idle")
+				}
+			}
+			return
+		}
+		switch typ {
+		case wire.MsgBatch:
+			if !sess.handleBatch(payload) {
+				return
+			}
+		case wire.MsgFlush:
+			if !sess.handleFlush() {
+				return
+			}
+		case wire.MsgQuery:
+			if !sess.handleQuery(payload) {
+				return
+			}
+		case wire.MsgClose:
+			sess.closeRequested = true
+			return
+		default:
+			sess.sendError(wire.CodeBadMessage, "unexpected message type")
+			return
+		}
+	}
+}
+
+// flushIfIdle pushes buffered responses out when no further client input
+// is already buffered — batching acks under load without ever letting the
+// client block on a response we are sitting on.
+func (sess *session) flushIfIdle() bool {
+	if sess.br.Buffered() == 0 {
+		return sess.bw.Flush() == nil
+	}
+	return true
+}
+
+func (sess *session) handleBatch(payload []byte) bool {
+	srv := sess.srv
+	b, err := wire.DecodeBatch(payload, sess.store.Channels())
+	if err != nil {
+		sess.sendError(wire.CodeBadMessage, err.Error())
+		return false
+	}
+	ack := wire.BatchAck{Seq: b.Seq, Code: wire.CodeOK, Stored: uint32(len(b.Frames))}
+	shed := false
+	if srv.cfg.Policy == PolicyShed && len(sess.in)+len(b.Frames) > cap(sess.in) {
+		shed = true
+	}
+	if shed {
+		ack.Code = wire.CodeShed
+		sess.shedB++
+		sess.shedF += uint64(len(b.Frames))
+		srv.metrics.batchesShed.Add(1)
+		srv.metrics.framesShed.Add(uint64(len(b.Frames)))
+	} else {
+		// Under PolicyBlock a full queue blocks here: the reader stops
+		// draining the socket and the device feels the backpressure.
+		for i := range b.Frames {
+			sess.in <- b.Frames[i]
+		}
+		sess.enqueued += uint64(len(b.Frames))
+		srv.metrics.batchesIngested.Add(1)
+	}
+	if wire.WriteMessage(sess.bw, wire.MsgBatchAck, ack.Encode()) != nil {
+		return false
+	}
+	return sess.flushIfIdle()
+}
+
+// handleFlush answers the client's drain barrier: every frame enqueued so
+// far is stored before the ack goes out.
+func (sess *session) handleFlush() bool {
+	target := sess.enqueued
+	deadline := time.Now().Add(sess.srv.cfg.IdleTimeout)
+	for sess.stored.Load() < target {
+		if time.Now().After(deadline) {
+			sess.sendError(wire.CodeInternal, "flush barrier timed out")
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	ack := wire.FlushAck{Stored: sess.stored.Load() - sess.badAppend.Load()}
+	if wire.WriteMessage(sess.bw, wire.MsgFlushAck, ack.Encode()) != nil {
+		return false
+	}
+	return sess.bw.Flush() == nil
+}
+
+func (sess *session) handleQuery(payload []byte) bool {
+	srv := sess.srv
+	q, err := wire.DecodeQuery(payload)
+	if err != nil {
+		sess.sendError(wire.CodeBadMessage, err.Error())
+		return false
+	}
+	t0 := time.Now()
+	results := sess.evaluate(q)
+	srv.metrics.observeQuery(time.Since(t0))
+	for _, r := range results {
+		if wire.WriteMessage(sess.bw, wire.MsgResult, r.Encode()) != nil {
+			return false
+		}
+	}
+	return sess.bw.Flush() == nil
+}
+
+// evaluate answers one query against the live store. Errors become a
+// CodeBadQuery result rather than tearing the session down.
+func (sess *session) evaluate(q wire.Query) []wire.Result {
+	ch := int(q.Channel)
+	bad := func() []wire.Result {
+		return []wire.Result{{Kind: q.Kind, Final: true, Code: wire.CodeBadQuery}}
+	}
+	switch q.Kind {
+	case wire.QueryCount:
+		v, err := sess.store.CountSamples(ch, q.T0, q.T1)
+		if err != nil {
+			return bad()
+		}
+		return []wire.Result{{Kind: q.Kind, Final: true, OK: true, Value: v}}
+	case wire.QueryAverage:
+		v, ok, err := sess.store.AverageValue(ch, q.T0, q.T1)
+		if err != nil {
+			return bad()
+		}
+		return []wire.Result{{Kind: q.Kind, Final: true, OK: ok, Value: v}}
+	case wire.QueryVariance:
+		v, ok, err := sess.store.VarianceValue(ch, q.T0, q.T1)
+		if err != nil {
+			return bad()
+		}
+		return []wire.Result{{Kind: q.Kind, Final: true, OK: ok, Value: v}}
+	case wire.QueryApproxCount:
+		est, bound, err := sess.store.ApproximateCount(ch, q.T0, q.T1, int(q.Arg))
+		if err != nil {
+			return bad()
+		}
+		return []wire.Result{{Kind: q.Kind, Final: true, OK: true, Value: est, Bound: bound, Coefficients: q.Arg}}
+	case wire.QueryProgressiveCount:
+		steps, err := sess.store.ProgressiveCount(ch, q.T0, q.T1, int(q.Arg))
+		if err != nil || len(steps) == 0 {
+			return bad()
+		}
+		out := make([]wire.Result, len(steps))
+		for i, st := range steps {
+			out[i] = wire.Result{
+				Kind:         q.Kind,
+				Final:        i == len(steps)-1,
+				OK:           true,
+				Value:        st.Estimate,
+				Bound:        st.ErrorBound,
+				Coefficients: uint32(st.Coefficients),
+			}
+		}
+		return out
+	}
+	return bad()
+}

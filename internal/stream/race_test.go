@@ -1,0 +1,255 @@
+package stream
+
+// Race-focused tests for the double-buffered acquisition pipeline: run
+// with -race. The single-threaded behaviour is covered in stream_test.go;
+// these exercise concurrent producers/consumers, early stop, and source
+// exhaustion at awkward boundaries.
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// jitterSource yields n frames with occasional producer-side delays, so
+// buffer handoffs race with a consumer that is itself jittery.
+type jitterSource struct {
+	n   int
+	pos int
+	rng *rand.Rand
+}
+
+func (s *jitterSource) Next() (Frame, bool) {
+	if s.pos >= s.n {
+		return Frame{}, false
+	}
+	if s.rng.Intn(64) == 0 {
+		time.Sleep(time.Duration(s.rng.Intn(100)) * time.Microsecond)
+	}
+	f := Frame{T: float64(s.pos) / 100, Values: []float64{float64(s.pos)}}
+	s.pos++
+	return f, true
+}
+
+// stoppableSource ends the stream when another goroutine sets the flag —
+// the early-stop shape of a device being unplugged mid-acquisition.
+type stoppableSource struct {
+	stopped atomic.Bool
+	pos     int
+}
+
+func (s *stoppableSource) Next() (Frame, bool) {
+	if s.stopped.Load() {
+		return Frame{}, false
+	}
+	f := Frame{T: float64(s.pos) / 100, Values: []float64{float64(s.pos)}}
+	s.pos++
+	return f, true
+}
+
+func TestAcquireConcurrentProducerConsumer(t *testing.T) {
+	const n = 20000
+	src := &jitterSource{n: n, rng: rand.New(rand.NewSource(7))}
+	var stored atomic.Int64
+	var lastSeen atomic.Int64
+	lastSeen.Store(-1)
+	rng := rand.New(rand.NewSource(8))
+	jitter := make([]bool, 1024)
+	for i := range jitter {
+		jitter[i] = rng.Intn(16) == 0
+	}
+	var batchIdx atomic.Int64
+	stats := Acquire(src, 64, func(batch []Frame) {
+		if jitter[int(batchIdx.Add(1))%len(jitter)] {
+			time.Sleep(50 * time.Microsecond)
+		}
+		for _, f := range batch {
+			v := int64(f.Values[0])
+			if prev := lastSeen.Load(); v != prev+1 {
+				t.Errorf("order break: %d after %d", v, prev)
+				return
+			}
+			lastSeen.Store(v)
+		}
+		stored.Add(int64(len(batch)))
+	})
+	if stats.Produced != n || stats.Stored != n || stats.Dropped != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stored.Load() != n {
+		t.Fatalf("consumer saw %d frames", stored.Load())
+	}
+}
+
+func TestAcquireManyPipelinesConcurrently(t *testing.T) {
+	const pipelines = 8
+	const n = 5000
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < pipelines; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			src := &jitterSource{n: n, rng: rand.New(rand.NewSource(int64(p)))}
+			stats := Acquire(src, 32+p, func(batch []Frame) {
+				total.Add(int64(len(batch)))
+			})
+			if stats.Stored != n {
+				t.Errorf("pipeline %d stored %d", p, stats.Stored)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if total.Load() != pipelines*n {
+		t.Fatalf("total %d != %d", total.Load(), pipelines*n)
+	}
+}
+
+func TestAcquireEarlyStop(t *testing.T) {
+	src := &stoppableSource{}
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		src.stopped.Store(true)
+	}()
+	var stored atomic.Int64
+	stats := Acquire(src, 64, func(batch []Frame) {
+		stored.Add(int64(len(batch)))
+	})
+	// Everything produced before the stop must be stored: the final
+	// partial buffer flushes, nothing deadlocks, nothing is lost.
+	if stats.Stored != stats.Produced || stats.Dropped != 0 {
+		t.Fatalf("early stop lost frames: %+v", stats)
+	}
+	if stored.Load() != int64(stats.Stored) {
+		t.Fatalf("consumer saw %d, stats say %d", stored.Load(), stats.Stored)
+	}
+}
+
+func TestAcquireRealtimeAccountingUnderRace(t *testing.T) {
+	const n = 30000
+	src := &jitterSource{n: n, rng: rand.New(rand.NewSource(9))}
+	rng := rand.New(rand.NewSource(10))
+	delays := make([]int, 256)
+	for i := range delays {
+		delays[i] = rng.Intn(120)
+	}
+	var batches atomic.Int64
+	stats := AcquireRealtime(src, 32, func(batch []Frame) {
+		time.Sleep(time.Duration(delays[int(batches.Add(1))%len(delays)]) * time.Microsecond)
+	})
+	if stats.Produced != n {
+		t.Fatalf("Produced = %d", stats.Produced)
+	}
+	if stats.Stored+stats.Dropped != stats.Produced {
+		t.Fatalf("accounting broken: %d + %d != %d", stats.Stored, stats.Dropped, stats.Produced)
+	}
+}
+
+func TestAcquireExhaustionAtBufferBoundaries(t *testing.T) {
+	// Source lengths straddling buffer multiples: the final flush must
+	// deliver exactly the remainder, even with a slow consumer holding
+	// both buffers near the end.
+	for _, n := range []int{0, 1, 31, 32, 33, 63, 64, 65, 96} {
+		src := NewSliceSource(frames(n, 2), 100)
+		var stored int64
+		stats := Acquire(src, 32, func(batch []Frame) {
+			time.Sleep(100 * time.Microsecond)
+			atomic.AddInt64(&stored, int64(len(batch)))
+		})
+		if stats.Stored != n || atomic.LoadInt64(&stored) != int64(n) {
+			t.Fatalf("n=%d: stats=%+v stored=%d", n, stats, stored)
+		}
+	}
+}
+
+// timedChanSource is the server's live-feed shape: frames arrive over a
+// channel, possibly with gaps.
+type timedChanSource struct{ ch chan Frame }
+
+func (s *timedChanSource) Next() (Frame, bool) {
+	f, ok := <-s.ch
+	return f, ok
+}
+
+func (s *timedChanSource) NextTimeout(d time.Duration) (Frame, bool, bool) {
+	select {
+	case f, ok := <-s.ch:
+		return f, ok, false
+	case <-time.After(d):
+		return Frame{}, false, true
+	}
+}
+
+func TestAcquireFlushingDeliversPartialBuffers(t *testing.T) {
+	src := &timedChanSource{ch: make(chan Frame, 16)}
+	delivered := make(chan int, 64)
+	done := make(chan AcquireStats, 1)
+	go func() {
+		done <- AcquireFlushing(src, 64, time.Millisecond, func(batch []Frame) {
+			delivered <- len(batch)
+		})
+	}()
+	// 10 frames — far less than one 64-frame buffer — must still reach
+	// the consumer once the source goes quiet.
+	for i := 0; i < 10; i++ {
+		src.ch <- Frame{T: float64(i) / 100, Values: []float64{float64(i)}}
+	}
+	select {
+	case n := <-delivered:
+		if n == 0 {
+			t.Fatal("empty flush")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("partial buffer never flushed")
+	}
+	close(src.ch)
+	stats := <-done
+	if stats.Produced != 10 || stats.Stored != 10 || stats.Dropped != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestAcquireFlushingLosslessUnderConcurrentFeed(t *testing.T) {
+	const n = 20000
+	src := &timedChanSource{ch: make(chan Frame, 128)}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < n; i++ {
+			if rng.Intn(512) == 0 {
+				time.Sleep(300 * time.Microsecond) // bursty device
+			}
+			src.ch <- Frame{T: float64(i) / 100, Values: []float64{float64(i)}}
+		}
+		close(src.ch)
+	}()
+	var stored atomic.Int64
+	var last atomic.Int64
+	last.Store(-1)
+	stats := AcquireFlushing(src, 64, 200*time.Microsecond, func(batch []Frame) {
+		for _, f := range batch {
+			v := int64(f.Values[0])
+			if prev := last.Load(); v != prev+1 {
+				t.Errorf("order break: %d after %d", v, prev)
+				return
+			}
+			last.Store(v)
+		}
+		stored.Add(int64(len(batch)))
+	})
+	wg.Wait()
+	if stats.Produced != n || stats.Stored != n || stats.Dropped != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stored.Load() != n {
+		t.Fatalf("consumer saw %d", stored.Load())
+	}
+	// The bursty gaps must have forced at least one partial flush.
+	if stats.Flushes <= n/64 {
+		t.Fatalf("no partial flushes happened (flushes=%d)", stats.Flushes)
+	}
+}

@@ -9,6 +9,7 @@ package stream
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"aims/internal/vec"
 )
@@ -147,6 +148,82 @@ func Acquire(src Source, bufFrames int, store func(batch []Frame)) AcquireStats 
 // loss, which experiment E11 uses to find the sustainable rate.
 func AcquireRealtime(src Source, bufFrames int, store func(batch []Frame)) AcquireStats {
 	return acquire(src, bufFrames, store, false)
+}
+
+// TimedSource is a Source that can bound its wait for the next frame —
+// what a live network feed (as opposed to a replayed recording) looks
+// like to the acquisition pipeline.
+type TimedSource interface {
+	Source
+	// NextTimeout waits at most d for a frame: (frame, true, false) on
+	// delivery, (_, false, true) when the wait timed out but the stream is
+	// still open, and (_, false, false) at end of stream.
+	NextTimeout(d time.Duration) (f Frame, ok bool, timedOut bool)
+}
+
+// AcquireFlushing runs the lossless double-buffered pipeline with bounded
+// batching latency: when the source stays quiet for maxLatency while a
+// partially filled buffer exists, that partial buffer is handed to the
+// consumer instead of waiting to fill — so a live session's tail frames
+// become queryable within maxLatency rather than at session end. The
+// producer still applies backpressure when both buffers are in flight.
+func AcquireFlushing(src TimedSource, bufFrames int, maxLatency time.Duration, store func(batch []Frame)) AcquireStats {
+	if bufFrames <= 0 {
+		bufFrames = 256
+	}
+	if maxLatency <= 0 {
+		maxLatency = 2 * time.Millisecond
+	}
+	var stats AcquireStats
+	free := make(chan []Frame, 2)
+	full := make(chan []Frame, 2)
+	free <- make([]Frame, 0, bufFrames)
+	free <- make([]Frame, 0, bufFrames)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for batch := range full {
+			store(batch)
+			mu.Lock()
+			stats.Stored += len(batch)
+			stats.Flushes++
+			mu.Unlock()
+			free <- batch[:0]
+		}
+	}()
+
+	cur := <-free
+	for {
+		f, ok, timedOut := src.NextTimeout(maxLatency)
+		if timedOut {
+			if cur != nil && len(cur) > 0 {
+				full <- cur
+				cur = nil
+			}
+			continue
+		}
+		if !ok {
+			break
+		}
+		stats.Produced++
+		if cur == nil {
+			cur = <-free
+		}
+		cur = append(cur, f)
+		if len(cur) == cap(cur) {
+			full <- cur
+			cur = nil
+		}
+	}
+	if cur != nil && len(cur) > 0 {
+		full <- cur
+	}
+	close(full)
+	wg.Wait()
+	return stats
 }
 
 func acquire(src Source, bufFrames int, store func(batch []Frame), block bool) AcquireStats {

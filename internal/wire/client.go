@@ -1,0 +1,277 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"aims/internal/stream"
+)
+
+// Client is the device side of the protocol: one registered session on one
+// connection. It pipelines up to Window unacknowledged batches (closed-loop
+// flow control) and is not safe for concurrent use — one goroutine per
+// client, like one thread per physical device.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+
+	// Window is the max number of in-flight (unacked) batches; <= 0 means 1.
+	Window int
+
+	session     uint64
+	width       int
+	seq         uint64
+	outstanding int
+	shedBatches uint64
+	shedFrames  uint64
+}
+
+// Dial connects to an AIMS server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+		br:   bufio.NewReaderSize(conn, 64<<10),
+	}
+}
+
+// SessionID returns the server-assigned session ID (0 before Hello).
+func (c *Client) SessionID() uint64 { return c.session }
+
+// ShedBatches returns how many of this client's batches the server shed.
+func (c *Client) ShedBatches() uint64 { return c.shedBatches }
+
+// ShedFrames returns how many frames those shed batches carried.
+func (c *Client) ShedFrames() uint64 { return c.shedFrames }
+
+// Hello registers the session and blocks for the server's Welcome.
+func (c *Client) Hello(h Hello) (Welcome, error) {
+	p, err := h.Encode()
+	if err != nil {
+		return Welcome{}, err
+	}
+	if err := WriteMessage(c.bw, MsgHello, p); err != nil {
+		return Welcome{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Welcome{}, err
+	}
+	typ, payload, err := c.read()
+	if err != nil {
+		return Welcome{}, err
+	}
+	if typ != MsgWelcome {
+		return Welcome{}, fmt.Errorf("wire: expected welcome, got type %d", typ)
+	}
+	w, err := DecodeWelcome(payload)
+	if err != nil {
+		return Welcome{}, err
+	}
+	if w.Code != CodeOK {
+		return w, fmt.Errorf("wire: registration rejected: %s", w.Code)
+	}
+	c.session = w.SessionID
+	c.width = h.Channels()
+	return w, nil
+}
+
+// read returns the next message, converting MsgError into a Go error.
+func (c *Client) read() (byte, []byte, error) {
+	typ, payload, err := ReadMessage(c.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	if typ == MsgError {
+		if em, derr := DecodeErr(payload); derr == nil {
+			return 0, nil, em
+		}
+		return 0, nil, fmt.Errorf("wire: undecodable server error")
+	}
+	return typ, payload, nil
+}
+
+// readAck consumes one BatchAck, updating shed accounting.
+func (c *Client) readAck() error {
+	typ, payload, err := c.read()
+	if err != nil {
+		return err
+	}
+	if typ != MsgBatchAck {
+		return fmt.Errorf("wire: expected batch ack, got type %d", typ)
+	}
+	a, err := DecodeBatchAck(payload)
+	if err != nil {
+		return err
+	}
+	c.outstanding--
+	if a.Code == CodeShed {
+		c.shedBatches++
+		c.shedFrames += uint64(a.Stored)
+	}
+	return nil
+}
+
+// drainAcks blocks until at most n batches remain unacknowledged.
+func (c *Client) drainAcks(n int) error {
+	if c.outstanding > n {
+		// Acks are behind buffered writes: push them out first.
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+	}
+	for c.outstanding > n {
+		if err := c.readAck(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendBatch streams one batch, blocking on acknowledgements when the
+// pipeline window is full.
+func (c *Client) SendBatch(frames []stream.Frame) error {
+	if c.session == 0 {
+		return fmt.Errorf("wire: SendBatch before Hello")
+	}
+	win := c.Window
+	if win <= 0 {
+		win = 1
+	}
+	if err := c.drainAcks(win - 1); err != nil {
+		return err
+	}
+	c.seq++
+	p, err := EncodeBatch(c.seq, frames, c.width)
+	if err != nil {
+		return err
+	}
+	if err := WriteMessage(c.bw, MsgBatch, p); err != nil {
+		return err
+	}
+	c.outstanding++
+	return nil
+}
+
+// Flush is a drain barrier: it blocks until every frame this client has
+// sent is either stored in the live store or (under the shed policy)
+// explicitly dropped, and returns the stored total.
+func (c *Client) Flush() (uint64, error) {
+	if err := c.drainAcks(0); err != nil {
+		return 0, err
+	}
+	if err := WriteMessage(c.bw, MsgFlush, nil); err != nil {
+		return 0, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+	typ, payload, err := c.read()
+	if err != nil {
+		return 0, err
+	}
+	if typ != MsgFlushAck {
+		return 0, fmt.Errorf("wire: expected flush ack, got type %d", typ)
+	}
+	a, err := DecodeFlushAck(payload)
+	return a.Stored, err
+}
+
+// Query evaluates one non-progressive aggregate and returns its single
+// result. Pending batch acks are drained first so responses stay ordered.
+func (c *Client) Query(q Query) (Result, error) {
+	if q.Kind == QueryProgressiveCount {
+		steps, err := c.QueryProgressive(q)
+		if err != nil {
+			return Result{}, err
+		}
+		return steps[len(steps)-1], nil
+	}
+	steps, err := c.runQuery(q)
+	if err != nil {
+		return Result{}, err
+	}
+	return steps[len(steps)-1], nil
+}
+
+// QueryProgressive evaluates a progressive aggregate and returns every
+// refinement step, the exact answer last.
+func (c *Client) QueryProgressive(q Query) ([]Result, error) {
+	q.Kind = QueryProgressiveCount
+	return c.runQuery(q)
+}
+
+func (c *Client) runQuery(q Query) ([]Result, error) {
+	if c.session == 0 {
+		return nil, fmt.Errorf("wire: Query before Hello")
+	}
+	if err := c.drainAcks(0); err != nil {
+		return nil, err
+	}
+	if err := WriteMessage(c.bw, MsgQuery, q.Encode()); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	var steps []Result
+	for {
+		typ, payload, err := c.read()
+		if err != nil {
+			return nil, err
+		}
+		if typ != MsgResult {
+			return nil, fmt.Errorf("wire: expected result, got type %d", typ)
+		}
+		r, err := DecodeResult(payload)
+		if err != nil {
+			return nil, err
+		}
+		if r.Code != CodeOK {
+			return nil, fmt.Errorf("wire: query failed: %s", r.Code)
+		}
+		steps = append(steps, r)
+		if r.Final {
+			return steps, nil
+		}
+	}
+}
+
+// Close drains outstanding acks, ends the session, waits for the server's
+// final accounting, and closes the connection.
+func (c *Client) Close() (CloseAck, error) {
+	defer c.conn.Close()
+	if c.session == 0 {
+		return CloseAck{}, nil
+	}
+	if err := c.drainAcks(0); err != nil {
+		return CloseAck{}, err
+	}
+	if err := WriteMessage(c.bw, MsgClose, nil); err != nil {
+		return CloseAck{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return CloseAck{}, err
+	}
+	typ, payload, err := c.read()
+	if err != nil {
+		return CloseAck{}, err
+	}
+	if typ != MsgCloseAck {
+		return CloseAck{}, fmt.Errorf("wire: expected close ack, got type %d", typ)
+	}
+	return DecodeCloseAck(payload)
+}
+
+// Abort closes the connection without the drain handshake.
+func (c *Client) Abort() error { return c.conn.Close() }

@@ -1,0 +1,532 @@
+// Package wire defines the binary protocol of the AIMS middle tier: the
+// compact, length-prefixed frame/batch encoding an immersive client device
+// uses to register its sensor rig, stream frame batches, and issue
+// exact/approximate/progressive range-aggregate queries against a live
+// session (the client ↔ middle-tier edge of the paper's Fig. 2
+// three-tier architecture).
+//
+// Every message on the connection is
+//
+//	uint32 payload length | uint8 message type | payload
+//
+// in little-endian byte order. The first message of a connection must be
+// Hello, which carries the protocol magic and version; everything after
+// that is implicitly versioned by the handshake. Frame payloads reuse
+// stream.Frame verbatim: a batch is a sequence of (T, values...) float64
+// records of a width fixed at registration.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"aims/internal/stream"
+)
+
+// Magic opens every Hello payload ("AIMW").
+const Magic uint32 = 0x41494D57
+
+// Version is the protocol version this package speaks.
+const Version uint8 = 1
+
+// MaxPayload bounds a single message (guards the length prefix against
+// garbage and hostile peers).
+const MaxPayload = 1 << 24
+
+// MaxChannels bounds a device registration.
+const MaxChannels = 4096
+
+// Message types.
+const (
+	MsgHello    byte = 1  // client → server: register a device/session
+	MsgWelcome  byte = 2  // server → client: session accepted
+	MsgBatch    byte = 3  // client → server: one frame batch
+	MsgBatchAck byte = 4  // server → client: batch accepted or shed
+	MsgQuery    byte = 5  // client → server: range-aggregate query
+	MsgResult   byte = 6  // server → client: one query answer/step
+	MsgClose    byte = 7  // client → server: end session (server drains)
+	MsgCloseAck byte = 8  // server → client: final session accounting
+	MsgError    byte = 9  // server → client: terminal error, conn closes
+	MsgFlush    byte = 10 // client → server: barrier — drain my queue
+	MsgFlushAck byte = 11 // server → client: barrier reached
+)
+
+// Code is the shared error/ack vocabulary of the protocol.
+type Code uint16
+
+const (
+	CodeOK            Code = 0
+	CodeShed          Code = 1 // batch dropped under the shed backpressure policy
+	CodeBadMessage    Code = 2
+	CodeBadVersion    Code = 3
+	CodeNotRegistered Code = 4
+	CodeBadQuery      Code = 5
+	CodeShuttingDown  Code = 6
+	CodeInternal      Code = 7
+	CodeIdleEvicted   Code = 8
+)
+
+// String names a code for logs and error text.
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeShed:
+		return "shed"
+	case CodeBadMessage:
+		return "bad-message"
+	case CodeBadVersion:
+		return "bad-version"
+	case CodeNotRegistered:
+		return "not-registered"
+	case CodeBadQuery:
+		return "bad-query"
+	case CodeShuttingDown:
+		return "shutting-down"
+	case CodeInternal:
+		return "internal"
+	case CodeIdleEvicted:
+		return "idle-evicted"
+	}
+	return fmt.Sprintf("code(%d)", uint16(c))
+}
+
+// QueryKind selects the aggregate a Query evaluates.
+type QueryKind uint8
+
+const (
+	QueryCount            QueryKind = 1 // exact COUNT over [T0,T1]
+	QueryAverage          QueryKind = 2 // exact AVERAGE (value units)
+	QueryVariance         QueryKind = 3 // exact VARIANCE (value units²)
+	QueryApproxCount      QueryKind = 4 // approximate COUNT, Arg = coefficient budget
+	QueryProgressiveCount QueryKind = 5 // progressive COUNT, Arg = max steps
+)
+
+// WriteMessage frames one message onto w.
+func WriteMessage(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("wire: payload %d exceeds max %d", len(payload), MaxPayload)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadMessage reads one framed message from r.
+func ReadMessage(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("wire: payload length %d exceeds max %d", n, MaxPayload)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// buf is a little-endian append-only encoder / cursor decoder.
+type buf struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (e *buf) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *buf) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *buf) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *buf) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *buf) f64(v float64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+func (e *buf) str(s string) {
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *buf) fail() {
+	if e.err == nil {
+		e.err = fmt.Errorf("wire: truncated payload at offset %d", e.pos)
+	}
+}
+func (e *buf) rdU8() uint8 {
+	if e.err != nil || e.pos+1 > len(e.b) {
+		e.fail()
+		return 0
+	}
+	v := e.b[e.pos]
+	e.pos++
+	return v
+}
+func (e *buf) rdU16() uint16 {
+	if e.err != nil || e.pos+2 > len(e.b) {
+		e.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(e.b[e.pos:])
+	e.pos += 2
+	return v
+}
+func (e *buf) rdU32() uint32 {
+	if e.err != nil || e.pos+4 > len(e.b) {
+		e.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(e.b[e.pos:])
+	e.pos += 4
+	return v
+}
+func (e *buf) rdU64() uint64 {
+	if e.err != nil || e.pos+8 > len(e.b) {
+		e.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(e.b[e.pos:])
+	e.pos += 8
+	return v
+}
+func (e *buf) rdF64() float64 { return math.Float64frombits(e.rdU64()) }
+func (e *buf) rdStr() string {
+	n := int(e.rdU16())
+	if e.err != nil || e.pos+n > len(e.b) {
+		e.fail()
+		return ""
+	}
+	s := string(e.b[e.pos : e.pos+n])
+	e.pos += n
+	return s
+}
+func (e *buf) done() error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.pos != len(e.b) {
+		return fmt.Errorf("wire: %d trailing bytes", len(e.b)-e.pos)
+	}
+	return nil
+}
+
+// Hello registers a device/session: its clock, expected session length in
+// device ticks (0 lets the server choose), and the per-channel value
+// ranges the store's quantisers should span.
+type Hello struct {
+	Rate         float64
+	HorizonTicks uint32
+	Name         string
+	Mins, Maxs   []float64 // len == channel count
+}
+
+// Channels returns the registered channel count.
+func (h Hello) Channels() int { return len(h.Mins) }
+
+// Encode serialises the Hello payload.
+func (h Hello) Encode() ([]byte, error) {
+	if len(h.Mins) != len(h.Maxs) {
+		return nil, fmt.Errorf("wire: hello mins %d != maxs %d", len(h.Mins), len(h.Maxs))
+	}
+	if len(h.Mins) == 0 || len(h.Mins) > MaxChannels {
+		return nil, fmt.Errorf("wire: hello channel count %d out of [1,%d]", len(h.Mins), MaxChannels)
+	}
+	var e buf
+	e.u32(Magic)
+	e.u8(Version)
+	e.f64(h.Rate)
+	e.u32(h.HorizonTicks)
+	e.str(h.Name)
+	e.u16(uint16(len(h.Mins)))
+	for i := range h.Mins {
+		e.f64(h.Mins[i])
+		e.f64(h.Maxs[i])
+	}
+	return e.b, nil
+}
+
+// DecodeHello parses a Hello payload, checking magic and version.
+func DecodeHello(p []byte) (Hello, error) {
+	d := buf{b: p}
+	if m := d.rdU32(); d.err == nil && m != Magic {
+		return Hello{}, fmt.Errorf("wire: bad magic %#x", m)
+	}
+	if v := d.rdU8(); d.err == nil && v != Version {
+		return Hello{}, fmt.Errorf("wire: version %d, want %d", v, Version)
+	}
+	var h Hello
+	h.Rate = d.rdF64()
+	h.HorizonTicks = d.rdU32()
+	h.Name = d.rdStr()
+	n := int(d.rdU16())
+	if d.err == nil && (n == 0 || n > MaxChannels) {
+		return Hello{}, fmt.Errorf("wire: hello channel count %d out of [1,%d]", n, MaxChannels)
+	}
+	if d.err == nil {
+		h.Mins = make([]float64, n)
+		h.Maxs = make([]float64, n)
+		for i := 0; i < n; i++ {
+			h.Mins[i] = d.rdF64()
+			h.Maxs[i] = d.rdF64()
+		}
+	}
+	if h.Rate <= 0 && d.err == nil {
+		return Hello{}, fmt.Errorf("wire: hello rate %v must be positive", h.Rate)
+	}
+	return h, d.done()
+}
+
+// Welcome acknowledges a Hello.
+type Welcome struct {
+	SessionID uint64
+	Code      Code
+}
+
+// Encode serialises the Welcome payload.
+func (w Welcome) Encode() []byte {
+	var e buf
+	e.u64(w.SessionID)
+	e.u16(uint16(w.Code))
+	return e.b
+}
+
+// DecodeWelcome parses a Welcome payload.
+func DecodeWelcome(p []byte) (Welcome, error) {
+	d := buf{b: p}
+	w := Welcome{SessionID: d.rdU64(), Code: Code(d.rdU16())}
+	return w, d.done()
+}
+
+// Batch carries consecutive frames of a session. Width must match the
+// registered channel count.
+type Batch struct {
+	Seq    uint64
+	Frames []stream.Frame
+}
+
+// EncodeBatch serialises a batch of frames of the given width.
+func EncodeBatch(seq uint64, frames []stream.Frame, width int) ([]byte, error) {
+	var e buf
+	e.u64(seq)
+	e.u32(uint32(len(frames)))
+	e.u16(uint16(width))
+	for i := range frames {
+		if len(frames[i].Values) != width {
+			return nil, fmt.Errorf("wire: frame %d width %d != %d", i, len(frames[i].Values), width)
+		}
+		e.f64(frames[i].T)
+		for _, v := range frames[i].Values {
+			e.f64(v)
+		}
+	}
+	return e.b, nil
+}
+
+// DecodeBatch parses a batch payload, enforcing the expected frame width
+// (pass width < 0 to accept any width).
+func DecodeBatch(p []byte, width int) (Batch, error) {
+	d := buf{b: p}
+	var b Batch
+	b.Seq = d.rdU64()
+	count := int(d.rdU32())
+	w := int(d.rdU16())
+	if d.err == nil && width >= 0 && w != width {
+		return Batch{}, fmt.Errorf("wire: batch width %d != registered %d", w, width)
+	}
+	if d.err == nil && count*(w+1)*8 != len(p)-d.pos {
+		return Batch{}, fmt.Errorf("wire: batch size %d != %d frames × width %d", len(p)-d.pos, count, w)
+	}
+	if d.err == nil {
+		b.Frames = make([]stream.Frame, count)
+		// One flat allocation for all values keeps decode cheap on the
+		// ingest hot path.
+		flat := make([]float64, count*w)
+		for i := 0; i < count; i++ {
+			b.Frames[i].T = d.rdF64()
+			vals := flat[i*w : (i+1)*w : (i+1)*w]
+			for j := 0; j < w; j++ {
+				vals[j] = d.rdF64()
+			}
+			b.Frames[i].Values = vals
+		}
+	}
+	return b, d.done()
+}
+
+// BatchAck acknowledges one batch: CodeOK with the accepted frame count,
+// or CodeShed when the backpressure policy dropped it.
+type BatchAck struct {
+	Seq    uint64
+	Code   Code
+	Stored uint32
+}
+
+// Encode serialises the BatchAck payload.
+func (a BatchAck) Encode() []byte {
+	var e buf
+	e.u64(a.Seq)
+	e.u16(uint16(a.Code))
+	e.u32(a.Stored)
+	return e.b
+}
+
+// DecodeBatchAck parses a BatchAck payload.
+func DecodeBatchAck(p []byte) (BatchAck, error) {
+	d := buf{b: p}
+	a := BatchAck{Seq: d.rdU64(), Code: Code(d.rdU16()), Stored: d.rdU32()}
+	return a, d.done()
+}
+
+// Query is one range-aggregate request over the live session: aggregate
+// Kind over Channel for session time [T0, T1] seconds. Arg carries the
+// coefficient budget (approximate) or max step count (progressive).
+type Query struct {
+	Kind    QueryKind
+	Channel uint16
+	T0, T1  float64
+	Arg     uint32
+}
+
+// Encode serialises the Query payload.
+func (q Query) Encode() []byte {
+	var e buf
+	e.u8(uint8(q.Kind))
+	e.u16(q.Channel)
+	e.f64(q.T0)
+	e.f64(q.T1)
+	e.u32(q.Arg)
+	return e.b
+}
+
+// DecodeQuery parses a Query payload.
+func DecodeQuery(p []byte) (Query, error) {
+	d := buf{b: p}
+	q := Query{
+		Kind:    QueryKind(d.rdU8()),
+		Channel: d.rdU16(),
+		T0:      d.rdF64(),
+		T1:      d.rdF64(),
+		Arg:     d.rdU32(),
+	}
+	return q, d.done()
+}
+
+// Result is one query answer. Progressive queries emit a Result per
+// refinement step with Final set on the last; all other kinds emit exactly
+// one Final result. OK=false mirrors the engine's "empty range" signal
+// (e.g. AVERAGE over zero samples). Bound is the guaranteed error bound of
+// approximate/progressive estimates; Coefficients the transformed-domain
+// coefficients spent.
+type Result struct {
+	Kind         QueryKind
+	Final        bool
+	OK           bool
+	Code         Code
+	Value        float64
+	Bound        float64
+	Coefficients uint32
+}
+
+// Encode serialises the Result payload.
+func (r Result) Encode() []byte {
+	var e buf
+	e.u8(uint8(r.Kind))
+	var flags uint8
+	if r.Final {
+		flags |= 1
+	}
+	if r.OK {
+		flags |= 2
+	}
+	e.u8(flags)
+	e.u16(uint16(r.Code))
+	e.f64(r.Value)
+	e.f64(r.Bound)
+	e.u32(r.Coefficients)
+	return e.b
+}
+
+// DecodeResult parses a Result payload.
+func DecodeResult(p []byte) (Result, error) {
+	d := buf{b: p}
+	r := Result{Kind: QueryKind(d.rdU8())}
+	flags := d.rdU8()
+	r.Final = flags&1 != 0
+	r.OK = flags&2 != 0
+	r.Code = Code(d.rdU16())
+	r.Value = d.rdF64()
+	r.Bound = d.rdF64()
+	r.Coefficients = d.rdU32()
+	return r, d.done()
+}
+
+// CloseAck is the final accounting of a drained session.
+type CloseAck struct {
+	Stored uint64 // frames persisted into the live store
+	Shed   uint64 // frames lost to the shed backpressure policy
+}
+
+// Encode serialises the CloseAck payload.
+func (c CloseAck) Encode() []byte {
+	var e buf
+	e.u64(c.Stored)
+	e.u64(c.Shed)
+	return e.b
+}
+
+// DecodeCloseAck parses a CloseAck payload.
+func DecodeCloseAck(p []byte) (CloseAck, error) {
+	d := buf{b: p}
+	c := CloseAck{Stored: d.rdU64(), Shed: d.rdU64()}
+	return c, d.done()
+}
+
+// FlushAck answers a Flush barrier with the frames stored so far.
+type FlushAck struct {
+	Stored uint64
+}
+
+// EncodeFlushAck serialises the FlushAck payload.
+func (f FlushAck) Encode() []byte {
+	var e buf
+	e.u64(f.Stored)
+	return e.b
+}
+
+// DecodeFlushAck parses a FlushAck payload.
+func DecodeFlushAck(p []byte) (FlushAck, error) {
+	d := buf{b: p}
+	f := FlushAck{Stored: d.rdU64()}
+	return f, d.done()
+}
+
+// ErrMsg is a terminal server-side error; the connection closes after it.
+type ErrMsg struct {
+	Code Code
+	Text string
+}
+
+// Error implements error.
+func (e ErrMsg) Error() string { return fmt.Sprintf("wire: server error %s: %s", e.Code, e.Text) }
+
+// Encode serialises the ErrMsg payload.
+func (e ErrMsg) Encode() []byte {
+	var b buf
+	b.u16(uint16(e.Code))
+	b.str(e.Text)
+	return b.b
+}
+
+// DecodeErr parses an ErrMsg payload.
+func DecodeErr(p []byte) (ErrMsg, error) {
+	d := buf{b: p}
+	m := ErrMsg{Code: Code(d.rdU16()), Text: d.rdStr()}
+	return m, d.done()
+}
