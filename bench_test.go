@@ -9,10 +9,12 @@
 package aims
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
 
+	"aims/internal/core"
 	"aims/internal/experiments"
 	"aims/internal/propolyne"
 	"aims/internal/sensors"
@@ -108,6 +110,13 @@ func BenchmarkE11AcquisitionPipeline(b *testing.B) {
 func BenchmarkE12ProgressiveBlockIO(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.RunE12(io.Discard)
+	}
+}
+
+func BenchmarkE13LiveSeal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE13(io.Discard)
+		b.ReportMetric(r.Speedup[1], "speedup-1pct")
 	}
 }
 
@@ -278,5 +287,112 @@ func BenchmarkDeviceFrame(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dev.Frame(i)
+	}
+}
+
+// --- Live-ingest seal path (E13's substrate) ---
+
+// benchLiveStore fills a 4-channel default 256×64-per-channel cube with
+// 8192 frames and returns the store plus the next free tick.
+func benchLiveStore(b *testing.B, threshold int) (*core.LiveStore, *rand.Rand, int) {
+	b.Helper()
+	const channels, frames = 4, 8192
+	mins := make([]float64, channels)
+	maxs := make([]float64, channels)
+	for c := range mins {
+		mins[c], maxs[c] = -10, 10
+	}
+	ls, err := core.NewLiveStore(mins, maxs, core.LiveStoreConfig{
+		Rate:               100,
+		HorizonTicks:       4 * frames,
+		SealDeltaThreshold: threshold,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	fr := make([]float64, channels)
+	for i := 0; i < frames; i++ {
+		for c := range fr {
+			fr[c] = rng.Float64()*20 - 10
+		}
+		if err := ls.AppendFrame(i, fr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ls, rng, frames
+}
+
+// benchSealLoop appends delta frames (off the clock) then times the seal.
+func benchSealLoop(b *testing.B, ls *core.LiveStore, rng *rand.Rand, tick, delta int) {
+	fr := make([]float64, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < delta; j++ {
+			for c := range fr {
+				fr[c] = rng.Float64()*20 - 10
+			}
+			if err := ls.AppendFrame(tick, fr); err != nil {
+				b.Fatal(err)
+			}
+			tick++
+		}
+		b.StartTimer()
+		if _, err := ls.Seal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveStoreSealCold rebuilds the whole engine on every seal
+// (incremental sealing disabled): the pre-delta-log behaviour.
+func BenchmarkLiveStoreSealCold(b *testing.B) {
+	ls, rng, tick := benchLiveStore(b, -1)
+	benchSealLoop(b, ls, rng, tick, 1)
+}
+
+// BenchmarkLiveStoreSealIncremental replays only the delta log recorded
+// since the previous seal; sub-benchmarks vary the delta size (frames
+// appended between seals) on the same 8192-frame session.
+func BenchmarkLiveStoreSealIncremental(b *testing.B) {
+	for _, delta := range []int{16, 82, 512} {
+		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
+			ls, rng, tick := benchLiveStore(b, 0)
+			if _, err := ls.Seal(); err != nil { // first seal: full build, starts tracking
+				b.Fatal(err)
+			}
+			benchSealLoop(b, ls, rng, tick, delta)
+		})
+	}
+}
+
+// BenchmarkTransformNDParallel runs the multi-dimensional transform with
+// the per-line fan-out forced to 1 (serial), 4, and GOMAXPROCS workers.
+func BenchmarkTransformNDParallel(b *testing.B) {
+	dims := wavelet.Dims{8, 64, 64}
+	rng := rand.New(rand.NewSource(9))
+	src := make([]float64, dims.Size())
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	filters := []wavelet.Filter{wavelet.D6, wavelet.D6, wavelet.D6}
+	for _, workers := range []int{1, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := wavelet.TransformWorkers
+			wavelet.TransformWorkers = workers
+			defer func() { wavelet.TransformWorkers = prev }()
+			work := make([]float64, len(src))
+			b.SetBytes(int64(len(src) * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(work, src)
+				wavelet.TransformND(work, dims, filters)
+			}
+		})
 	}
 }

@@ -17,22 +17,35 @@ import (
 // Exact COUNT/AVERAGE/VARIANCE range aggregates are answered by direct
 // scans of the count cube (the cube *is* the exact frequency distribution,
 // so no transform is needed for exactness). Approximate and progressive
-// answers go through Seal, which snapshots the cube into a full
-// wavelet-transformed ProPolyne Store; the sealed engine is cached and
-// rebuilt only when appends have advanced the store version.
+// answers go through Seal, which materialises the cube as a full
+// wavelet-transformed ProPolyne Store. The sealed engine is cached and —
+// because the wavelet transform of a point mass is sparse (§3.1.1) —
+// brought up to date incrementally: appends since the last seal are
+// recorded in a compact delta log and replayed through the engine's
+// batched sparse append, so the live-query hot path costs O(delta), not
+// O(cube). A full rebuild happens only on the first seal and when the
+// delta log overflows its threshold.
 //
-// Concurrency: one RWMutex guards the cube. AppendFrame takes the write
-// lock for the whole frame, so a query never observes half a frame; query
-// scans and Seal's snapshot take the read lock. Safe for one or more
-// appenders and any number of concurrent readers.
+// Concurrency: one RWMutex guards the cube, the delta log and the seal
+// cache fields. AppendFrame takes the write lock for the whole frame, so
+// a query never observes half a frame; query scans take the read lock.
+// Safe for one or more appenders and any number of concurrent readers.
 type LiveStore struct {
-	cfg   LiveStoreConfig
-	quant []compress.Quantizer
+	cfg        LiveStoreConfig
+	quant      []compress.Quantizer
+	deltaLimit int // max delta-log entries; 0 disables incremental sealing
 
 	mu      sync.RWMutex
 	cube    []uint32 // channels × TimeBuckets × ValueBins counts
 	frames  int
 	version uint64
+	// delta logs the flat cube indices incremented since the last full
+	// seal snapshot; track gates logging (it starts at the first seal so
+	// an unqueried session never pays for it) and overflow marks a log
+	// that outgrew deltaLimit and was dropped.
+	delta    []uint32
+	track    bool
+	overflow bool
 
 	sealMu        sync.Mutex
 	sealed        *Store
@@ -54,6 +67,13 @@ type LiveStoreConfig struct {
 	// MaxDegree is the highest polynomial degree the sealed engine must
 	// answer (default 2).
 	MaxDegree int
+	// SealDeltaThreshold caps the delta log driving the incremental seal,
+	// in per-channel cell increments. Past it the next Seal falls back to
+	// a full rebuild (incremental replay would cost more than the
+	// transform). 0 derives a default of cube-cells/16 (min 1024);
+	// negative disables incremental sealing entirely, so every Seal after
+	// an append rebuilds from scratch.
+	SealDeltaThreshold int
 }
 
 func (c LiveStoreConfig) withDefaults() LiveStoreConfig {
@@ -97,6 +117,17 @@ func NewLiveStore(mins, maxs []float64, cfg LiveStoreConfig) (*LiveStore, error)
 		cfg:   cfg,
 		quant: quant,
 		cube:  make([]uint32, len(mins)*cfg.TimeBuckets*cfg.ValueBins),
+	}
+	switch {
+	case cfg.SealDeltaThreshold > 0:
+		ls.deltaLimit = cfg.SealDeltaThreshold
+	case cfg.SealDeltaThreshold == 0:
+		ls.deltaLimit = len(ls.cube) / 16
+		if ls.deltaLimit < 1024 {
+			ls.deltaLimit = 1024
+		}
+	default: // negative: incremental sealing disabled
+		ls.deltaLimit = 0
 	}
 	return ls, nil
 }
@@ -148,7 +179,9 @@ func (ls *LiveStore) AppendFrame(tick int, frame []float64) error {
 	ls.mu.Lock()
 	for c, v := range frame {
 		bin := ls.quant[c].Quantize(v)
-		ls.cube[(c*ls.cfg.TimeBuckets+tb)*vb+bin]++
+		idx := (c*ls.cfg.TimeBuckets+tb)*vb + bin
+		ls.cube[idx]++
+		ls.recordDelta(idx)
 	}
 	ls.frames++
 	ls.version++
@@ -156,16 +189,65 @@ func (ls *LiveStore) AppendFrame(tick int, frame []float64) error {
 	return nil
 }
 
-// AppendFrames ingests a batch of stream frames, deriving each frame's
-// tick from its timestamp and the device rate.
-func (ls *LiveStore) AppendFrames(frames []stream.Frame) error {
-	for i := range frames {
-		tick := int(frames[i].T*ls.cfg.Rate + 0.5)
-		if err := ls.AppendFrame(tick, frames[i].Values); err != nil {
-			return err
-		}
+// recordDelta logs one cube-cell increment for the incremental seal.
+// Callers must hold ls.mu for writing.
+func (ls *LiveStore) recordDelta(idx int) {
+	if !ls.track || ls.overflow {
+		return
 	}
-	return nil
+	if len(ls.delta) >= ls.deltaLimit {
+		// Past the threshold an incremental replay would cost more than a
+		// transform; drop the log and let the next Seal rebuild.
+		ls.overflow = true
+		ls.delta = nil
+		return
+	}
+	ls.delta = append(ls.delta, uint32(idx))
+}
+
+// AppendFrames ingests a batch of stream frames under a single write-lock
+// acquisition (the server's ingest path appends whole double-buffered
+// batches), deriving each frame's tick from its timestamp and the device
+// rate. Frames that fail validation — wrong width, negative tick — are
+// skipped rather than aborting the batch. It returns how many frames were
+// stored; err reports the first skip reason and is nil when all landed.
+func (ls *LiveStore) AppendFrames(frames []stream.Frame) (int, error) {
+	tpb := ls.TicksPerBucket()
+	tbuckets := ls.cfg.TimeBuckets
+	vb := ls.cfg.ValueBins
+	stored := 0
+	var firstErr error
+	ls.mu.Lock()
+	for i := range frames {
+		if len(frames[i].Values) != len(ls.quant) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: frame width %d != %d channels", len(frames[i].Values), len(ls.quant))
+			}
+			continue
+		}
+		tick := int(frames[i].T*ls.cfg.Rate + 0.5)
+		if tick < 0 {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: negative tick %d", tick)
+			}
+			continue
+		}
+		tb := tick / tpb
+		if tb >= tbuckets {
+			tb = tbuckets - 1
+		}
+		for c, v := range frames[i].Values {
+			bin := ls.quant[c].Quantize(v)
+			idx := (c*tbuckets+tb)*vb + bin
+			ls.cube[idx]++
+			ls.recordDelta(idx)
+		}
+		ls.frames++
+		ls.version++
+		stored++
+	}
+	ls.mu.Unlock()
+	return stored, firstErr
 }
 
 // timeRange converts seconds to clamped bucket indices (mirrors
@@ -250,22 +332,49 @@ func (ls *LiveStore) VarianceValue(channel int, t0, t1 float64) (float64, bool, 
 	return (sumSq/n - mean*mean) * step * step, true, nil
 }
 
-// Seal snapshots the count cube into a full wavelet-transformed ProPolyne
+// Seal materialises the count cube as a full wavelet-transformed ProPolyne
 // Store (the paper's off-line query subsystem) for approximate and
-// progressive evaluation. The sealed store is cached and reused until the
-// next append bumps the version. Appends are paused only for the brief
-// cube snapshot; the wavelet transform itself runs outside the lock.
+// progressive evaluation. The sealed store is cached; when appends have
+// advanced the version, Seal replays the delta log through the engine's
+// batched sparse append — O(delta since last seal) — instead of
+// retransforming the cube, falling back to a full rebuild on the first
+// seal, after a delta-log overflow, or when incremental sealing is
+// disabled. Because the cached engine is updated in place, a *Store
+// returned by an earlier Seal observes later seals' data too (its engine
+// lock keeps each batch atomic). Appends are paused only for the brief
+// cube snapshot / log hand-off; transform and replay run outside the
+// cube lock.
 func (ls *LiveStore) Seal() (*Store, error) {
 	ls.sealMu.Lock()
 	defer ls.sealMu.Unlock()
 
-	ls.mu.RLock()
+	ls.mu.Lock()
 	version := ls.version
 	if ls.sealed != nil && ls.sealedVersion == version {
 		st := ls.sealed
-		ls.mu.RUnlock()
+		ls.mu.Unlock()
 		return st, nil
 	}
+	if ls.sealed != nil && ls.track && !ls.overflow {
+		// Incremental path: steal the delta log; appends from here on
+		// accumulate a fresh log for the next seal.
+		log := ls.delta
+		ls.delta = nil
+		ls.mu.Unlock()
+		if err := ls.replayDelta(log); err != nil {
+			ls.mu.Lock()
+			ls.overflow = true // engine state unknown: force a rebuild next
+			ls.mu.Unlock()
+			return nil, err
+		}
+		ls.mu.Lock()
+		ls.sealedVersion = version
+		st := ls.sealed
+		ls.mu.Unlock()
+		return st, nil
+	}
+	// Full rebuild: snapshot the cube and restart delta tracking from the
+	// snapshot point.
 	channels := len(ls.quant)
 	chDim := nextPow2(channels)
 	tb, vb := ls.cfg.TimeBuckets, ls.cfg.ValueBins
@@ -273,7 +382,12 @@ func (ls *LiveStore) Seal() (*Store, error) {
 	for i, v := range ls.cube {
 		cube[i] = float64(v)
 	}
-	ls.mu.RUnlock()
+	if ls.deltaLimit > 0 {
+		ls.track = true
+		ls.overflow = false
+		ls.delta = ls.delta[:0]
+	}
+	ls.mu.Unlock()
 
 	dims := []int{chDim, tb, vb}
 	bases, err := propolyne.ChooseBases(dims, propolyne.QueryTemplate{
@@ -296,9 +410,57 @@ func (ls *LiveStore) Seal() (*Store, error) {
 		Rate:           ls.cfg.Rate,
 		quant:          append([]compress.Quantizer(nil), ls.quant...),
 	}
+	ls.mu.Lock()
 	ls.sealed = st
 	ls.sealedVersion = version
+	ls.mu.Unlock()
 	return st, nil
+}
+
+// replayDelta groups the logged cube-cell increments by cell and applies
+// them to the cached sealed engine as one batched sparse append. Callers
+// hold sealMu, which is what protects ls.sealed here.
+func (ls *LiveStore) replayDelta(log []uint32) error {
+	if len(log) == 0 {
+		return nil
+	}
+	eng := ls.sealed.Engine
+	vb := ls.cfg.ValueBins
+	chStride := ls.cfg.TimeBuckets * vb
+	var tuples []propolyne.Tuple
+	if eng.HasWaveletDims() {
+		// Each distinct cell costs a sparse tensor-product scatter, so
+		// collapse duplicate increments into one weighted tuple first.
+		counts := make(map[uint32]float64, len(log))
+		for _, idx := range log {
+			counts[idx]++
+		}
+		tuples = make([]propolyne.Tuple, 0, len(counts))
+		idxs := make([]int, 3*len(counts))
+		for idx, w := range counts {
+			i := int(idx)
+			rem := i % chStride
+			ix := idxs[:3:3]
+			idxs = idxs[3:]
+			ix[0], ix[1], ix[2] = i/chStride, rem/vb, rem%vb
+			tuples = append(tuples, propolyne.Tuple{Index: ix, Weight: w})
+		}
+	} else {
+		// Pure-relational engine: every increment lands on exactly one
+		// coefficient, so dedup would cost more than it saves — stream the
+		// raw log as unit-weight tuples.
+		tuples = make([]propolyne.Tuple, len(log))
+		idxs := make([]int, 3*len(log))
+		for k, idx := range log {
+			i := int(idx)
+			rem := i % chStride
+			ix := idxs[:3:3]
+			idxs = idxs[3:]
+			ix[0], ix[1], ix[2] = i/chStride, rem/vb, rem%vb
+			tuples[k] = propolyne.Tuple{Index: ix, Weight: 1}
+		}
+	}
+	return eng.AppendBatch(tuples)
 }
 
 // ApproximateCount returns a budget-limited estimate of CountSamples with

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner per
-// experiment in DESIGN.md's per-experiment index (T1, E1–E12). Each runner
+// experiment in DESIGN.md's per-experiment index (T1, E1–E13). Each runner
 // regenerates the corresponding quantitative claim of the paper and prints
 // a paper-style table; cmd/aims-bench and the repository-root benchmarks
 // are thin wrappers around these runners.

@@ -530,3 +530,62 @@ func TestCovarianceMatrixSymmetricPSDish(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendBatchMatchesSequentialAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	sizes := []int{16, 32}
+	rel := randomRelation(rng, sizes, 80)
+	batched, err := New(rel.Cube(), sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneByOne, err := New(rel.Cube(), sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate indices and non-unit weights, so the per-dimension vector
+	// cache and the delta accumulation both get exercised.
+	tuples := make([]Tuple, 0, 60)
+	for i := 0; i < 60; i++ {
+		tp := []int{rng.Intn(16) % 4, rng.Intn(32) % 8} // heavy collisions
+		w := float64(1 + rng.Intn(3))
+		tuples = append(tuples, Tuple{Index: tp, Weight: w})
+		if err := oneByOne.Append(tp, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batched.AppendBatch(tuples); err != nil {
+		t.Fatal(err)
+	}
+	for i := range batched.Coeffs {
+		if math.Abs(batched.Coeffs[i]-oneByOne.Coeffs[i]) > 1e-8 {
+			t.Fatalf("coefficient %d diverged: %v vs %v", i, batched.Coeffs[i], oneByOne.Coeffs[i])
+		}
+	}
+}
+
+func TestAppendBatchValidationIsAtomic(t *testing.T) {
+	e, err := New(make([]float64, 256), []int{16, 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), e.Coeffs...)
+	batch := []Tuple{
+		{Index: []int{1, 1}, Weight: 1},
+		{Index: []int{1, 99}, Weight: 1}, // out of domain
+	}
+	if err := e.AppendBatch(batch); err == nil {
+		t.Fatal("out-of-domain tuple accepted")
+	}
+	if err := e.AppendBatch([]Tuple{{Index: []int{1}, Weight: 1}}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	for i := range before {
+		if e.Coeffs[i] != before[i] {
+			t.Fatal("failed batch mutated the engine")
+		}
+	}
+	if err := e.AppendBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}

@@ -31,6 +31,10 @@ type metrics struct {
 	appendErrors    atomic.Uint64
 	queries         atomic.Uint64
 	evictions       atomic.Uint64
+	// queueDepth is the frames-waiting gauge across all sessions,
+	// incremented at enqueue and decremented at dequeue so Metrics never
+	// has to walk the session map.
+	queueDepth atomic.Int64
 
 	latencyCounts [8]atomic.Uint64 // len(latencyBounds)+1
 	latencySumNS  atomic.Int64
@@ -85,6 +89,7 @@ func (m *metrics) snapshot() Snapshot {
 		AppendErrors:    m.appendErrors.Load(),
 		Queries:         m.queries.Load(),
 		Evictions:       m.evictions.Load(),
+		QueueDepth:      int(m.queueDepth.Load()),
 		LatencyCounts:   make([]uint64, len(m.latencyCounts)),
 		LatencyMax:      time.Duration(m.latencyMaxNS.Load()),
 	}

@@ -1,0 +1,76 @@
+package server
+
+import "sync"
+
+// registryShards is the session-map shard count (power of two). Session
+// IDs are assigned sequentially, so masking the low bits spreads
+// consecutive registrations round-robin across shards and register/
+// unregister/lookup contention stays flat at tens of thousands of
+// sessions instead of serialising on one mutex.
+const registryShards = 64
+
+// registry is the server's sharded session map.
+type registry struct {
+	shards [registryShards]registryShard
+}
+
+type registryShard struct {
+	mu sync.Mutex
+	m  map[uint64]*session
+}
+
+func newRegistry() *registry {
+	r := &registry{}
+	for i := range r.shards {
+		r.shards[i].m = make(map[uint64]*session)
+	}
+	return r
+}
+
+func (r *registry) shard(id uint64) *registryShard {
+	return &r.shards[id&(registryShards-1)]
+}
+
+func (r *registry) put(id uint64, sess *session) {
+	sh := r.shard(id)
+	sh.mu.Lock()
+	sh.m[id] = sess
+	sh.mu.Unlock()
+}
+
+// remove deletes the session and reports whether it was present (a
+// session can be unregistered at most once).
+func (r *registry) remove(id uint64) bool {
+	sh := r.shard(id)
+	sh.mu.Lock()
+	_, ok := sh.m[id]
+	if ok {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+func (r *registry) len() int {
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// forEach calls fn on every registered session, holding only one shard
+// lock at a time.
+func (r *registry) forEach(fn func(*session)) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, sess := range sh.m {
+			fn(sess)
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aims/internal/core"
@@ -87,11 +88,12 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 
-	mu       sync.Mutex
-	ln       net.Listener
-	sessions map[uint64]*session
-	nextID   uint64
-	closed   bool
+	mu     sync.Mutex // guards ln and closed only
+	ln     net.Listener
+	closed bool
+
+	nextID   atomic.Uint64
+	sessions *registry // sharded: registration/lookup stays flat at scale
 
 	wg      sync.WaitGroup // live session handlers
 	serveWg sync.WaitGroup // accept loops
@@ -100,7 +102,7 @@ type Server struct {
 
 // New creates a server.
 func New(cfg Config) *Server {
-	return &Server{cfg: cfg.withDefaults(), sessions: make(map[uint64]*session)}
+	return &Server{cfg: cfg.withDefaults(), sessions: newRegistry()}
 }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves in the
@@ -155,12 +157,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
-	for _, sess := range s.sessions {
+	s.mu.Unlock()
+	s.sessions.forEach(func(sess *session) {
 		// An expired read deadline unblocks the session reader; it then
 		// drains its queue and closes.
 		sess.conn.SetReadDeadline(time.Now())
-	}
-	s.mu.Unlock()
+	})
 	if ln != nil {
 		ln.Close()
 	}
@@ -180,39 +182,33 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // Metrics returns a point-in-time snapshot of the server's counters.
+// QueueDepth is an atomic gauge maintained at enqueue/dequeue, so the
+// snapshot is O(1) regardless of how many sessions are live.
 func (s *Server) Metrics() Snapshot {
-	snap := s.metrics.snapshot()
-	s.mu.Lock()
-	for _, sess := range s.sessions {
-		snap.QueueDepth += len(sess.in)
-	}
-	s.mu.Unlock()
-	return snap
+	return s.metrics.snapshot()
 }
 
 // SessionCount returns the number of live sessions.
 func (s *Server) SessionCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
+	return s.sessions.len()
 }
 
 func (s *Server) register(sess *session) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextID++
-	sess.id = s.nextID
-	s.sessions[sess.id] = sess
+	id := s.nextID.Add(1)
+	sess.id = id
+	s.sessions.put(id, sess)
 	s.metrics.sessionsActive.Add(1)
 	s.metrics.sessionsTotal.Add(1)
-	return sess.id
+	if s.isClosed() {
+		// Shutdown's deadline sweep may have run before this registration;
+		// apply it here so the new reader wakes immediately.
+		sess.conn.SetReadDeadline(time.Now())
+	}
+	return id
 }
 
 func (s *Server) unregister(sess *session) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.sessions[sess.id]; ok {
-		delete(s.sessions, sess.id)
+	if s.sessions.remove(sess.id) {
 		s.metrics.sessionsActive.Add(-1)
 	}
 }

@@ -400,3 +400,87 @@ func TestServerServeAfterShutdown(t *testing.T) {
 		t.Fatal("Serve after Shutdown succeeded")
 	}
 }
+
+// TestRegistrySharding unit-tests the sharded session map directly:
+// round-robin distribution, single-removal semantics and forEach
+// coverage, plus concurrent register/unregister churn under -race.
+func TestRegistrySharding(t *testing.T) {
+	r := newRegistry()
+	const n = 500
+	for id := uint64(1); id <= n; id++ {
+		r.put(id, &session{id: id})
+	}
+	if got := r.len(); got != n {
+		t.Fatalf("len = %d, want %d", got, n)
+	}
+	// Sequential IDs land round-robin: every shard holds some sessions.
+	for i := range r.shards {
+		if len(r.shards[i].m) == 0 {
+			t.Fatalf("shard %d empty after %d sequential registrations", i, n)
+		}
+	}
+	seen := 0
+	r.forEach(func(*session) { seen++ })
+	if seen != n {
+		t.Fatalf("forEach visited %d, want %d", seen, n)
+	}
+	if !r.remove(7) {
+		t.Fatal("first remove reported absent")
+	}
+	if r.remove(7) {
+		t.Fatal("second remove reported present")
+	}
+	if got := r.len(); got != n-1 {
+		t.Fatalf("len after remove = %d", got)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(10000 + g*1000)
+			for i := uint64(0); i < 200; i++ {
+				r.put(base+i, &session{id: base + i})
+				r.len()
+				r.remove(base + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.len(); got != n-1 {
+		t.Fatalf("len after churn = %d, want %d", got, n-1)
+	}
+}
+
+// TestQueueDepthGauge checks the O(1) metrics gauge: after a flush
+// barrier everything enqueued has been drained, so the gauge must read
+// zero — and it must never have required walking sessions to compute.
+func TestQueueDepthGauge(t *testing.T) {
+	srv, addr := startServer(t, Config{Store: testStoreCfg(), FlushLatency: time.Millisecond})
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mins, maxs := ranges(2)
+	if _, err := c.Hello(wire.Hello{Rate: 100, HorizonTicks: 1000, Mins: mins, Maxs: maxs}); err != nil {
+		t.Fatal(err)
+	}
+	all := clientFrames(0, 400, 2)
+	for off := 0; off < len(all); off += 100 {
+		if err := c.SendBatch(all[off : off+100]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stored, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != 400 {
+		t.Fatalf("flush barrier stored = %d, want 400", stored)
+	}
+	if d := srv.Metrics().QueueDepth; d != 0 {
+		t.Fatalf("queue depth after flush barrier = %d, want 0", d)
+	}
+}

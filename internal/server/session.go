@@ -37,17 +37,27 @@ type session struct {
 
 // chanSource adapts the session queue into a stream.TimedSource so ingest
 // runs through the paper's double-buffered acquisition pipeline with
-// bounded batching latency.
-type chanSource struct{ ch <-chan stream.Frame }
+// bounded batching latency. Every successful receive decrements the
+// server-wide queue-depth gauge its enqueue incremented.
+type chanSource struct {
+	ch    <-chan stream.Frame
+	depth *atomic.Int64
+}
 
 func (c chanSource) Next() (stream.Frame, bool) {
 	f, ok := <-c.ch
+	if ok {
+		c.depth.Add(-1)
+	}
 	return f, ok
 }
 
 func (c chanSource) NextTimeout(d time.Duration) (stream.Frame, bool, bool) {
 	select {
 	case f, ok := <-c.ch:
+		if ok {
+			c.depth.Add(-1)
+		}
 		return f, ok, false
 	default:
 	}
@@ -55,6 +65,9 @@ func (c chanSource) NextTimeout(d time.Duration) (stream.Frame, bool, bool) {
 	defer t.Stop()
 	select {
 	case f, ok := <-c.ch:
+		if ok {
+			c.depth.Add(-1)
+		}
 		return f, ok, false
 	case <-t.C:
 		return stream.Frame{}, false, true
@@ -86,7 +99,8 @@ func (s *Server) handleConn(conn net.Conn) {
 	sess.in = make(chan stream.Frame, s.cfg.QueueFrames)
 	ingestDone := make(chan stream.AcquireStats, 1)
 	go func() {
-		stats := stream.AcquireFlushing(chanSource{sess.in}, s.cfg.AcquireBuffer, s.cfg.FlushLatency, sess.storeBatch)
+		src := chanSource{ch: sess.in, depth: &s.metrics.queueDepth}
+		stats := stream.AcquireFlushing(src, s.cfg.AcquireBuffer, s.cfg.FlushLatency, sess.storeBatch)
 		ingestDone <- stats
 	}()
 
@@ -145,20 +159,16 @@ func (sess *session) sendError(code wire.Code, text string) {
 }
 
 // storeBatch is the acquisition pipeline's store callback: it appends one
-// double-buffered batch into the live store.
+// double-buffered batch into the live store under a single write-lock
+// acquisition (invalid frames are skipped inside AppendFrames).
 func (sess *session) storeBatch(batch []stream.Frame) {
-	var ok uint64
-	for i := range batch {
-		tick := int(batch[i].T*sess.rate + 0.5)
-		if err := sess.store.AppendFrame(tick, batch[i].Values); err != nil {
-			sess.badAppend.Add(1)
-			sess.srv.metrics.appendErrors.Add(1)
-			continue
-		}
-		ok++
+	stored, _ := sess.store.AppendFrames(batch)
+	if bad := uint64(len(batch) - stored); bad > 0 {
+		sess.badAppend.Add(bad)
+		sess.srv.metrics.appendErrors.Add(bad)
 	}
 	sess.stored.Add(uint64(len(batch))) // processed, including bad appends
-	sess.srv.metrics.framesIngested.Add(ok)
+	sess.srv.metrics.framesIngested.Add(uint64(stored))
 }
 
 // readLoop processes messages until the client closes, errs, idles out or
@@ -233,9 +243,11 @@ func (sess *session) handleBatch(payload []byte) bool {
 		srv.metrics.framesShed.Add(uint64(len(b.Frames)))
 	} else {
 		// Under PolicyBlock a full queue blocks here: the reader stops
-		// draining the socket and the device feels the backpressure.
+		// draining the socket and the device feels the backpressure. The
+		// depth gauge moves per frame so it stays honest mid-stall.
 		for i := range b.Frames {
 			sess.in <- b.Frames[i]
+			srv.metrics.queueDepth.Add(1)
 		}
 		sess.enqueued += uint64(len(b.Frames))
 		srv.metrics.batchesIngested.Add(1)

@@ -1,6 +1,10 @@
 package wavelet
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
 
 // Dims describes the shape of a dense multidimensional array stored in
 // row-major (last dimension fastest) order. Every extent must be a power of
@@ -70,9 +74,26 @@ func InverseAxis(data []float64, dims Dims, axis int, f Filter, levels int) {
 	})
 }
 
+// TransformWorkers overrides the per-axis worker count of applyAxis:
+// 0 (the default) uses GOMAXPROCS, 1 forces the serial path, higher
+// values force that much fan-out even on a single-core box (tests use
+// this to exercise the parallel path deterministically). Set it once at
+// startup; it is read without synchronisation.
+var TransformWorkers int
+
+// parallelMinCells is the smallest data size worth fanning out over a
+// worker pool; below it goroutine start-up dominates the transform work.
+const parallelMinCells = 1 << 12
+
 // applyAxis gathers every 1-D line along the axis, applies fn, and scatters
 // the result back. It returns fn's result from the first line (all lines
 // share the same length, so Analyze returns the same level count for each).
+//
+// The per-line transforms are independent — lines along an axis are
+// disjoint index sets — so applyAxis fans them across a worker pool when
+// more than one CPU is available (see TransformWorkers). The parallel
+// split is by line, never within a line, so results are bit-identical to
+// the serial path.
 func applyAxis(data []float64, dims Dims, axis int, fn func([]float64) int) int {
 	if axis < 0 || axis >= len(dims) {
 		panic(fmt.Sprintf("wavelet: axis %d out of range for %d dims", axis, len(dims)))
@@ -80,11 +101,6 @@ func applyAxis(data []float64, dims Dims, axis int, fn func([]float64) int) int 
 	if len(data) != dims.Size() {
 		panic(fmt.Sprintf("wavelet: data length %d != dims size %d", len(data), dims.Size()))
 	}
-	n := dims[axis]
-	st := dims.Strides()
-	stride := st[axis]
-	line := make([]float64, n)
-
 	// Enumerate all line starts: iterate over the flattened space of the
 	// other dimensions.
 	outer := 1
@@ -93,8 +109,51 @@ func applyAxis(data []float64, dims Dims, axis int, fn func([]float64) int) int 
 			outer *= d
 		}
 	}
+	workers := TransformWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > outer {
+		workers = outer
+	}
+	if workers <= 1 || len(data) < parallelMinCells {
+		return axisLines(data, dims, axis, fn, 0, outer)
+	}
+	var wg sync.WaitGroup
 	result := 0
-	for o := 0; o < outer; o++ {
+	chunk := (outer + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > outer {
+			hi = outer
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			r := axisLines(data, dims, axis, fn, lo, hi)
+			if lo == 0 {
+				result = r
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return result
+}
+
+// axisLines runs fn over the half-open line range [lo, hi) of the axis
+// (line indices in the flattened space of the other dimensions) with its
+// own gather buffer, and returns fn's result from line 0 if covered.
+func axisLines(data []float64, dims Dims, axis int, fn func([]float64) int, lo, hi int) int {
+	n := dims[axis]
+	st := dims.Strides()
+	stride := st[axis]
+	line := make([]float64, n)
+	result := 0
+	for o := lo; o < hi; o++ {
 		// Decode o into a start offset, skipping the transformed axis.
 		rem := o
 		start := 0

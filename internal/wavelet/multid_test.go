@@ -262,3 +262,45 @@ func TestSparseOps(t *testing.T) {
 		t.Fatalf("Dense = %v", d)
 	}
 }
+
+// TestParallelTransformBitIdentical forces the worker-pool path (this may
+// be a single-core box, where applyAxis would otherwise always go serial)
+// and checks it produces exactly the serial transform: the per-line
+// splits are disjoint, so not even the floating-point op order changes.
+func TestParallelTransformBitIdentical(t *testing.T) {
+	defer func() { TransformWorkers = 0 }()
+	rng := rand.New(rand.NewSource(21))
+	dims := Dims{8, 32, 32}
+	orig := make([]float64, dims.Size())
+	for i := range orig {
+		orig[i] = rng.NormFloat64()
+	}
+	filters := []Filter{Haar, D4, D6}
+
+	TransformWorkers = 1
+	serial := append([]float64(nil), orig...)
+	serialLevels := TransformND(serial, dims, filters)
+
+	for _, workers := range []int{2, 3, 8} {
+		TransformWorkers = workers
+		par := append([]float64(nil), orig...)
+		parLevels := TransformND(par, dims, filters)
+		for a := range serialLevels {
+			if serialLevels[a] != parLevels[a] {
+				t.Fatalf("workers=%d: levels %v != %v", workers, parLevels, serialLevels)
+			}
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: coefficient %d: %v != %v (not bit-identical)", workers, i, par[i], serial[i])
+			}
+		}
+		// Round trip under the parallel inverse too.
+		InverseND(par, dims, filters, parLevels)
+		for i := range orig {
+			if diff := par[i] - orig[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("workers=%d: inverse diverged at %d by %v", workers, i, diff)
+			}
+		}
+	}
+}
