@@ -9,12 +9,16 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +33,8 @@ type sessionResult struct {
 	stored    uint64
 	shedB     uint64
 	shedF     uint64
+	bytesIn   uint64
+	bytesOut  uint64
 	latencies []time.Duration
 	err       error
 }
@@ -45,6 +51,8 @@ func main() {
 		queue      = flag.Int("queue", 8192, "in-process server queue depth (frames)")
 		rate       = flag.Float64("rate", sensors.DefaultClock, "device clock (Hz) stamped on frames")
 		verbose    = flag.Bool("v", false, "per-session output")
+		scrape     = flag.Duration("scrape", 0, "scrape /metrics every interval and print key series (0 disables)")
+		scrapeURL  = flag.String("scrape-url", "", "admin /metrics URL for -scrape (default: in-process admin plane on the loopback server)")
 	)
 	flag.Parse()
 
@@ -70,6 +78,30 @@ func main() {
 		}
 		target = bound.String()
 		fmt.Printf("in-process server on %s (policy=%s queue=%d)\n", target, *policy, *queue)
+	}
+
+	// Client-side observability: poll the admin /metrics endpoint while the
+	// load runs and print the headline series. With a loopback server we
+	// stand up its admin plane on an ephemeral port; against a remote
+	// server the operator points -scrape-url at its -admin listener.
+	var stopScrape func()
+	if *scrape > 0 {
+		url := *scrapeURL
+		if url == "" {
+			if srv == nil {
+				fmt.Fprintln(os.Stderr, "-scrape against a remote server needs -scrape-url (its -admin address)")
+				os.Exit(2)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			go http.Serve(ln, srv.AdminHandler())
+			url = fmt.Sprintf("http://%s/metrics", ln.Addr())
+			fmt.Printf("admin plane on %s\n", url)
+		}
+		stopScrape = startScraper(url, *scrape)
 	}
 
 	// Pregenerate one synthetic glove recording all sessions replay: the
@@ -117,8 +149,11 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	if stopScrape != nil {
+		stopScrape()
+	}
 
-	var stored, shedB, shedF uint64
+	var stored, shedB, shedF, bytesIn, bytesOut uint64
 	var lats []time.Duration
 	failed := 0
 	for s, r := range results {
@@ -130,6 +165,8 @@ func main() {
 		stored += r.stored
 		shedB += r.shedB
 		shedF += r.shedF
+		bytesIn += r.bytesIn
+		bytesOut += r.bytesOut
 		lats = append(lats, r.latencies...)
 		if *verbose {
 			fmt.Printf("  session %2d: stored=%d shed=%d/%d queries=%d\n", s, r.stored, r.shedB, r.shedF, len(r.latencies))
@@ -141,6 +178,8 @@ func main() {
 		wall.Round(time.Millisecond), sent, stored, shedB, shedF)
 	fmt.Printf("throughput: %.0f frames/s aggregate (%.0f per session)\n",
 		float64(sent)/wall.Seconds(), float64(sent)/wall.Seconds()/float64(*sessions))
+	fmt.Printf("wire: %.1f MiB sent, %.1f MiB received (client side)\n",
+		float64(bytesOut)/(1<<20), float64(bytesIn)/(1<<20))
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		pct := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
@@ -226,5 +265,85 @@ func runSession(id int, target string, rate float64, frames, batchSize, window, 
 	res.stored = ack.Stored
 	res.shedB = c.ShedBatches()
 	res.shedF = ack.Shed
+	res.bytesIn = c.BytesIn()
+	res.bytesOut = c.BytesOut()
 	return res
+}
+
+// scrapeSeries are the headline series the -scrape ticker prints; anything
+// else in the exposition is ignored.
+var scrapeSeries = []string{
+	"aims_sessions_active",
+	"aims_ingest_frames_total",
+	"aims_shed_frames_total",
+	"aims_queue_depth",
+	"aims_query_seconds_count",
+}
+
+// startScraper polls the Prometheus text endpoint at url every interval
+// and prints the scrapeSeries values on one line. The returned func stops
+// the ticker and prints one final scrape.
+func startScraper(url string, interval time.Duration) func() {
+	client := &http.Client{Timeout: 2 * time.Second}
+	once := func() {
+		vals, err := scrapeMetrics(client, url)
+		if err != nil {
+			fmt.Printf("scrape: %v\n", err)
+			return
+		}
+		parts := make([]string, 0, len(scrapeSeries))
+		for _, name := range scrapeSeries {
+			if v, ok := vals[name]; ok {
+				parts = append(parts, fmt.Sprintf("%s=%s", strings.TrimPrefix(name, "aims_"), v))
+			}
+		}
+		fmt.Printf("scrape: %s\n", strings.Join(parts, " "))
+	}
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				once()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-stopped
+		once()
+	}
+}
+
+// scrapeMetrics fetches one Prometheus text exposition and returns the
+// unlabeled sample values keyed by series name.
+func scrapeMetrics(client *http.Client, url string) (map[string]string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	vals := make(map[string]string)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			continue
+		}
+		vals[line[:sp]] = line[sp+1:]
+	}
+	return vals, sc.Err()
 }

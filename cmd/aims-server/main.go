@@ -3,10 +3,13 @@
 // query while their session is live (the paper's Fig. 2 three-tier
 // architecture, tier two).
 //
-//	aims-server -addr :7009 -policy block -metrics 10s
+//	aims-server -addr :7009 -policy block -metrics 10s -admin :6060
 //
-// Stop it with SIGINT/SIGTERM; shutdown drains every session's in-flight
-// batches before exiting.
+// The -admin listener serves the observability plane: /metrics
+// (Prometheus text), /healthz (readiness, reports draining), /sessions
+// (per-session JSON), /tracez (slowest sampled pipeline traces) and
+// /debug/pprof. Stop the server with SIGINT/SIGTERM; shutdown drains
+// every session's in-flight batches before exiting.
 package main
 
 import (
@@ -14,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +40,8 @@ func main() {
 		metrics = flag.Duration("metrics", 10*time.Second, "metrics print interval (0 disables)")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		quiet   = flag.Bool("quiet", false, "suppress per-session logs")
+		admin   = flag.String("admin", "", "admin plane listen address, e.g. :6060 (empty disables)")
+		tsample = flag.Int("trace-sample", 0, "trace one in N batches/queries (0 = default 256, negative disables)")
 	)
 	flag.Parse()
 
@@ -52,6 +59,7 @@ func main() {
 		AcquireBuffer: *acqBuf,
 		IdleTimeout:   *idle,
 		Policy:        pol,
+		TraceSample:   *tsample,
 		Store: core.LiveStoreConfig{
 			TimeBuckets: *buckets,
 			ValueBins:   *bins,
@@ -65,6 +73,25 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("aims-server listening on %s (policy=%s queue=%d idle=%s)", bound, *policy, *queue, *idle)
+
+	// The admin plane lives on its own listener so scrapes and profiles
+	// never contend with the wire protocol, and stays up through the drain
+	// so /healthz can report the draining state.
+	var adminSrv *http.Server
+	if *admin != "" {
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		adminSrv = &http.Server{Handler: srv.AdminHandler()}
+		go func() {
+			if err := adminSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("admin: %v", err)
+			}
+		}()
+		log.Printf("admin plane on http://%s (/metrics /healthz /sessions /tracez /debug/pprof)", ln.Addr())
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
@@ -86,6 +113,9 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 		os.Exit(1)
+	}
+	if adminSrv != nil {
+		adminSrv.Close()
 	}
 	log.Printf("final metrics: %s", srv.Metrics())
 }

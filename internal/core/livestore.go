@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"aims/internal/compress"
 	"aims/internal/propolyne"
@@ -74,6 +75,12 @@ type LiveStoreConfig struct {
 	// negative disables incremental sealing entirely, so every Seal after
 	// an append rebuilds from scratch.
 	SealDeltaThreshold int
+	// SealObserver, when non-nil, receives every materialising Seal's wall
+	// time, whether it took the incremental delta-replay path, and the
+	// delta-log entries replayed (0 on rebuilds). Cache hits — a Seal with
+	// no appends since the last — are not reported. The middle tier hooks
+	// this into its stage-level metrics.
+	SealObserver func(d time.Duration, incremental bool, deltaEntries int)
 }
 
 func (c LiveStoreConfig) withDefaults() LiveStoreConfig {
@@ -348,6 +355,7 @@ func (ls *LiveStore) Seal() (*Store, error) {
 	ls.sealMu.Lock()
 	defer ls.sealMu.Unlock()
 
+	t0 := time.Now()
 	ls.mu.Lock()
 	version := ls.version
 	if ls.sealed != nil && ls.sealedVersion == version {
@@ -371,6 +379,9 @@ func (ls *LiveStore) Seal() (*Store, error) {
 		ls.sealedVersion = version
 		st := ls.sealed
 		ls.mu.Unlock()
+		if ls.cfg.SealObserver != nil {
+			ls.cfg.SealObserver(time.Since(t0), true, len(log))
+		}
 		return st, nil
 	}
 	// Full rebuild: snapshot the cube and restart delta tracking from the
@@ -414,6 +425,9 @@ func (ls *LiveStore) Seal() (*Store, error) {
 	ls.sealed = st
 	ls.sealedVersion = version
 	ls.mu.Unlock()
+	if ls.cfg.SealObserver != nil {
+		ls.cfg.SealObserver(time.Since(t0), false, 0)
+	}
 	return st, nil
 }
 

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"aims/internal/core"
+	"aims/internal/server"
+	"aims/internal/stream"
+	"aims/internal/wire"
+)
+
+// E14Result reports obs_overhead: ingest throughput and query latency of
+// the middle tier with the observability plane at its default 1/256 trace
+// sampling versus tracing compiled out (nil tracer; the metric counters
+// stay on in both modes, as they do in production).
+type E14Result struct {
+	Sessions int
+	Frames   int // per session
+
+	BaseFPS   float64 // tracer disabled
+	TracedFPS float64 // default sampling
+	// OverheadPct is (BaseFPS-TracedFPS)/BaseFPS×100; negative values are
+	// run-to-run noise.
+	OverheadPct float64
+
+	BaseQueryUS   float64
+	TracedQueryUS float64
+}
+
+// RunE14 measures the observability tax: the tracer's unsampled hot path
+// costs one atomic add per batch (the sampling tick) and one atomic load
+// per acquisition flush (the marker check), so default-rate tracing should
+// be indistinguishable from tracing disabled. Each mode drives the same
+// loopback load twice and keeps the faster run, interleaved to spread
+// machine noise across both modes.
+func RunE14(w io.Writer) E14Result {
+	const (
+		sessions = 4
+		frames   = 32768
+		batch    = 256
+		reps     = 4
+	)
+	res := E14Result{Sessions: sessions, Frames: frames}
+
+	res.BaseFPS, res.BaseQueryUS = 0, math.Inf(1)
+	res.TracedFPS, res.TracedQueryUS = 0, math.Inf(1)
+	for r := 0; r < reps; r++ {
+		fps, qus := e14Run(-1, sessions, frames, batch)
+		if fps > res.BaseFPS {
+			res.BaseFPS = fps
+		}
+		res.BaseQueryUS = math.Min(res.BaseQueryUS, qus)
+		fps, qus = e14Run(0, sessions, frames, batch) // 0 → default 1/256
+		if fps > res.TracedFPS {
+			res.TracedFPS = fps
+		}
+		res.TracedQueryUS = math.Min(res.TracedQueryUS, qus)
+	}
+	res.OverheadPct = (res.BaseFPS - res.TracedFPS) / res.BaseFPS * 100
+
+	tb := &Table{
+		Title:   "E14 obs_overhead: instrumentation tax at default trace sampling",
+		Columns: []string{"tracer", "frames/s", "query µs"},
+	}
+	tb.AddRow("off", res.BaseFPS, res.BaseQueryUS)
+	tb.AddRow("1/256", res.TracedFPS, res.TracedQueryUS)
+	tb.Note("%d sessions × %d frames, batch=%d, best of %d runs each", sessions, frames, batch, reps)
+	tb.Note("throughput overhead %.2f%% (target <2%%; negative = noise)", res.OverheadPct)
+	tb.Render(w)
+	return res
+}
+
+// e14Run drives one loopback load at the given trace sampling and returns
+// aggregate frames/s and mean query latency in µs.
+func e14Run(traceSample, sessions, frames, batch int) (fps, queryUS float64) {
+	srv := server.New(server.Config{
+		QueueFrames: 8192,
+		TraceSample: traceSample,
+		Store:       core.LiveStoreConfig{TimeBuckets: 256, ValueBins: 64},
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	// One pregenerated batch all sessions replay, so synthesis never
+	// bottlenecks the measurement.
+	channels := 8
+	buf := make([]stream.Frame, batch)
+	vals := make([]float64, channels)
+	for c := range vals {
+		vals[c] = float64(c)
+	}
+	mins := make([]float64, channels)
+	maxs := make([]float64, channels)
+	for c := range mins {
+		mins[c], maxs[c] = -1, float64(channels)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var queryNS int64
+	var queries int
+	start := time.Now()
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c, err := wire.Dial(addr.String())
+			if err != nil {
+				panic(err)
+			}
+			_, err = c.Hello(wire.Hello{
+				Rate: 100, HorizonTicks: uint32(frames),
+				Name: fmt.Sprintf("e14-%d", s), Mins: mins, Maxs: maxs,
+			})
+			if err != nil {
+				panic(err)
+			}
+			local := make([]stream.Frame, batch)
+			copy(local, buf)
+			var localNS int64
+			localQ := 0
+			for tick := 0; tick < frames; tick += batch {
+				for i := range local {
+					local[i] = stream.Frame{T: float64(tick+i) / 100, Values: vals}
+				}
+				if err := c.SendBatch(local); err != nil {
+					panic(err)
+				}
+				if (tick/batch)%16 == 15 {
+					t0 := time.Now()
+					if _, err := c.Query(wire.Query{Kind: wire.QueryAverage, Channel: 0, T0: 0, T1: float64(tick) / 100}); err != nil {
+						panic(err)
+					}
+					localNS += time.Since(t0).Nanoseconds()
+					localQ++
+				}
+			}
+			if _, err := c.Close(); err != nil {
+				panic(err)
+			}
+			mu.Lock()
+			queryNS += localNS
+			queries += localQ
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	fps = float64(sessions*frames) / wall.Seconds()
+	if queries > 0 {
+		queryUS = float64(queryNS) / float64(queries) / 1e3
+	}
+	return fps, queryUS
+}

@@ -209,6 +209,23 @@ func TestRunE13IncrementalSealFaster(t *testing.T) {
 	}
 }
 
+func TestRunE14ObsOverheadSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy")
+	}
+	res := RunE14(io.Discard)
+	if res.BaseFPS <= 0 || res.TracedFPS <= 0 {
+		t.Fatalf("throughput base=%v traced=%v", res.BaseFPS, res.TracedFPS)
+	}
+	// The real claim is <2% overhead (EXPERIMENTS.md records it); under CI
+	// scheduling noise assert only that tracing costs nowhere near the
+	// pipeline, i.e. traced throughput stays within 30% of baseline.
+	if res.TracedFPS < 0.7*res.BaseFPS {
+		t.Fatalf("traced %.0f fps vs base %.0f fps: overhead %.1f%%",
+			res.TracedFPS, res.BaseFPS, res.OverheadPct)
+	}
+}
+
 func TestAllRunnersRegistered(t *testing.T) {
 	ids := map[string]bool{}
 	for _, r := range All() {
@@ -221,7 +238,7 @@ func TestAllRunnersRegistered(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"T1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
-		"E9", "E10", "E11", "E12", "A1", "A2", "A3", "A4", "A5"} {
+		"E9", "E10", "E11", "E12", "E13", "E14", "A1", "A2", "A3", "A4", "A5"} {
 		if !ids[want] {
 			t.Fatalf("missing runner %s", want)
 		}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceSample is the default sampling period: one in every N
+// pipeline entries (batches, queries) is traced, keeping tracing overhead
+// unmeasurable on the hot path.
+const DefaultTraceSample = 256
+
+// DefaultTraceBuffer is the default completed-trace ring capacity.
+const DefaultTraceBuffer = 128
+
+// Tracer records sampled pipeline traces into a bounded ring. A nil
+// *Tracer is the compiled-out no-op: Sample returns nil and every *Trace
+// method is nil-safe, so instrumented code needs no branches beyond the
+// ones it already has.
+type Tracer struct {
+	every  uint64
+	tick   atomic.Uint64
+	nextID atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*Trace // completed traces, overwritten oldest-first
+	pos  int
+}
+
+// NewTracer creates a tracer sampling one in sampleEvery pipeline entries
+// (<= 0 uses DefaultTraceSample) into a ring of bufferSize completed
+// traces (<= 0 uses DefaultTraceBuffer).
+func NewTracer(sampleEvery, bufferSize int) *Tracer {
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultTraceSample
+	}
+	if bufferSize <= 0 {
+		bufferSize = DefaultTraceBuffer
+	}
+	return &Tracer{every: uint64(sampleEvery), ring: make([]*Trace, 0, bufferSize)}
+}
+
+// SampleEvery returns the sampling period (0 for a nil tracer).
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.every)
+}
+
+// Sample starts a new trace of the given kind if this entry is the
+// sampled one of the current period, and returns nil otherwise (or when
+// the tracer itself is nil/disabled). The returned trace is safe to stamp
+// from multiple goroutines.
+func (t *Tracer) Sample(kind string) *Trace {
+	if t == nil {
+		return nil
+	}
+	if t.every > 1 && t.tick.Add(1)%t.every != 1 {
+		return nil
+	}
+	return &Trace{
+		tracer: t,
+		id:     t.nextID.Add(1),
+		kind:   kind,
+		start:  time.Now(),
+	}
+}
+
+// Trace is one sampled pipeline entry's span timeline. All methods are
+// nil-safe so unsampled paths pay only the nil check.
+type Trace struct {
+	tracer *Tracer
+	id     uint64
+	kind   string
+	start  time.Time
+
+	mu    sync.Mutex
+	spans []Span
+	total time.Duration
+	done  bool
+}
+
+// Span is one stage crossing within a trace, with offsets relative to the
+// trace start.
+type Span struct {
+	Name       string `json:"name"`
+	OffsetNS   int64  `json:"offset_ns"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// Span records a completed stage [start, end].
+func (tr *Trace) Span(name string, start, end time.Time) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, Span{
+		Name:       name,
+		OffsetNS:   start.Sub(tr.start).Nanoseconds(),
+		DurationNS: end.Sub(start).Nanoseconds(),
+	})
+	tr.mu.Unlock()
+}
+
+// Annotate records an instantaneous event at now.
+func (tr *Trace) Annotate(name string) {
+	if tr == nil {
+		return
+	}
+	now := time.Now()
+	tr.Span(name, now, now)
+}
+
+// Finish seals the trace and publishes it to the tracer's ring. Calling
+// Finish more than once is a no-op.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.done {
+		tr.mu.Unlock()
+		return
+	}
+	tr.done = true
+	tr.total = time.Since(tr.start)
+	tr.mu.Unlock()
+
+	t := tr.tracer
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.pos] = tr
+		t.pos = (t.pos + 1) % cap(t.ring)
+	}
+	t.mu.Unlock()
+}
+
+// TraceSnapshot is the JSON form of a completed trace (what /tracez
+// serves).
+type TraceSnapshot struct {
+	ID      uint64    `json:"id"`
+	Kind    string    `json:"kind"`
+	Start   time.Time `json:"start"`
+	TotalNS int64     `json:"total_ns"`
+	Spans   []Span    `json:"spans"`
+}
+
+// Slowest returns up to n completed traces ordered by total duration,
+// slowest first.
+func (t *Tracer) Slowest(n int) []TraceSnapshot {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	all := append([]*Trace(nil), t.ring...)
+	t.mu.Unlock()
+	out := make([]TraceSnapshot, 0, len(all))
+	for _, tr := range all {
+		tr.mu.Lock()
+		out = append(out, TraceSnapshot{
+			ID:      tr.id,
+			Kind:    tr.kind,
+			Start:   tr.start,
+			TotalNS: tr.total.Nanoseconds(),
+			Spans:   append([]Span(nil), tr.spans...),
+		})
+		tr.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalNS > out[j].TotalNS })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+
+	"aims/internal/obs"
+	"aims/internal/wavelet"
+)
+
+// SessionInfo is one live session's record on the /sessions admin
+// endpoint.
+type SessionInfo struct {
+	ID             uint64  `json:"id"`
+	Name           string  `json:"name"`
+	Channels       int     `json:"channels"`
+	Rate           float64 `json:"rate_hz"`
+	FramesStored   uint64  `json:"frames_stored"`
+	FramesEnqueued uint64  `json:"frames_enqueued"`
+	QueueLen       int     `json:"queue_len"`
+	ShedBatches    uint64  `json:"shed_batches"`
+	ShedFrames     uint64  `json:"shed_frames"`
+	AppendErrors   uint64  `json:"append_errors"`
+}
+
+// Sessions snapshots every live session, sorted by ID. Counters are
+// point-in-time atomic reads; QueueLen is the instantaneous ingest-queue
+// length.
+func (s *Server) Sessions() []SessionInfo {
+	var out []SessionInfo
+	s.sessions.forEach(func(sess *session) {
+		info := SessionInfo{
+			ID:             sess.id,
+			Name:           sess.name,
+			Channels:       sess.store.Channels(),
+			Rate:           sess.rate,
+			FramesStored:   sess.stored.Load(),
+			FramesEnqueued: sess.enqueued.Load(),
+			ShedBatches:    sess.shedB.Load(),
+			ShedFrames:     sess.shedF.Load(),
+			AppendErrors:   sess.badAppend.Load(),
+		}
+		if sess.in != nil {
+			info.QueueLen = len(sess.in)
+		}
+		out = append(out, info)
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AdminHandler assembles the server's admin HTTP plane:
+//
+//	/metrics  Prometheus text exposition (server registry + process-wide
+//	          wavelet transform instruments)
+//	/healthz  readiness: 200 "ok" while serving, 503 "draining" once
+//	          shutdown has begun
+//	/sessions per-session JSON from the sharded registry
+//	/tracez   slowest sampled pipeline traces as JSON (?n= to bound)
+//	/debug/pprof/...  the standard Go profiler endpoints
+//
+// The handler is independent of the wire listener, so it keeps answering
+// (and reporting the draining state) while Shutdown drains sessions.
+func (s *Server) AdminHandler() http.Handler {
+	proc := obs.NewRegistry()
+	proc.CounterFunc("aims_wavelet_lines_total",
+		"1-D wavelet lines transformed (process-wide).",
+		func() float64 { return float64(wavelet.ReadTransformStats().Lines) })
+	proc.CounterFunc("aims_wavelet_parallel_runs_total",
+		"Axis transforms fanned across the worker pool.",
+		func() float64 { return float64(wavelet.ReadTransformStats().ParallelRuns) })
+	proc.CounterFunc("aims_wavelet_serial_runs_total",
+		"Axis transforms run on the serial path.",
+		func() float64 { return float64(wavelet.ReadTransformStats().SerialRuns) })
+	proc.CounterFunc("aims_wavelet_worker_busy_seconds_total",
+		"Summed wall time transform workers spent busy.",
+		func() float64 { return wavelet.ReadTransformStats().WorkerBusy.Seconds() })
+	proc.GaugeFunc("aims_wavelet_worker_utilisation",
+		"Busy/capacity ratio of the transform worker pool.",
+		func() float64 { return wavelet.ReadTransformStats().Utilisation() })
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.metrics.reg.WritePrometheus(w)
+		proc.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.isClosed() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		sessions := s.Sessions()
+		if sessions == nil {
+			sessions = []SessionInfo{}
+		}
+		json.NewEncoder(w).Encode(struct {
+			Count    int           `json:"count"`
+			Sessions []SessionInfo `json:"sessions"`
+		}{len(sessions), sessions})
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		n := 10
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		traces := s.tracer.Slowest(n)
+		if traces == nil {
+			traces = []obs.TraceSnapshot{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			SampleEvery int                 `json:"sample_every"`
+			Traces      []obs.TraceSnapshot `json:"traces"`
+		}{s.tracer.SampleEvery(), traces})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -5,10 +5,15 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"aims/internal/obs"
+	"aims/internal/wire"
 )
 
 // latencyBounds are the query-latency histogram bucket upper bounds; the
-// last bucket is unbounded.
+// histogram's bucket array is derived from this slice (len+1 for the
+// unbounded tail), so editing the bounds can never silently truncate the
+// counts.
 var latencyBounds = []time.Duration{
 	50 * time.Microsecond,
 	200 * time.Microsecond,
@@ -19,41 +24,144 @@ var latencyBounds = []time.Duration{
 	500 * time.Millisecond,
 }
 
-// metrics is the server's atomic counter block. All fields are updated
+// stageBounds bucket the per-stage ingest timings (decode, queue wait,
+// append), which sit well below query latencies.
+var stageBounds = []float64{
+	10e-6, 50e-6, 200e-6, 1e-3, 5e-3, 20e-3, 100e-3, 500e-3,
+}
+
+// sealBounds bucket seal wall times: incremental seals are sub-millisecond,
+// rebuilds can run to seconds.
+var sealBounds = []float64{
+	200e-6, 1e-3, 5e-3, 20e-3, 100e-3, 500e-3, 2,
+}
+
+// deltaBounds bucket the delta-log depth replayed by incremental seals.
+var deltaBounds = []float64{64, 256, 1024, 4096, 16384, 65536}
+
+func secondsBounds(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}
+
+// metrics is the server's instrument block, registered in a per-server
+// obs.Registry (exposed on the admin plane as /metrics). All updates are
 // lock-free from session goroutines.
 type metrics struct {
-	sessionsActive  atomic.Int64
-	sessionsTotal   atomic.Uint64
-	framesIngested  atomic.Uint64
-	batchesIngested atomic.Uint64
-	framesShed      atomic.Uint64
-	batchesShed     atomic.Uint64
-	appendErrors    atomic.Uint64
-	queries         atomic.Uint64
-	evictions       atomic.Uint64
+	reg *obs.Registry
+
+	sessionsActive  *obs.Gauge
+	sessionsTotal   *obs.Counter
+	framesIngested  *obs.Counter
+	batchesIngested *obs.Counter
+	framesShed      *obs.Counter
+	batchesShed     *obs.Counter
+	appendErrors    *obs.Counter
+	evictions       *obs.Counter
 	// queueDepth is the frames-waiting gauge across all sessions,
 	// incremented at enqueue and decremented at dequeue so Metrics never
 	// has to walk the session map.
-	queueDepth atomic.Int64
+	queueDepth *obs.Gauge
 
-	latencyCounts [8]atomic.Uint64 // len(latencyBounds)+1
-	latencySumNS  atomic.Int64
-	latencyMaxNS  atomic.Int64
+	queryLatency *obs.Histogram
+	latencyMaxNS atomic.Int64
+
+	// Stage-level ingest pipeline instruments.
+	decodeSeconds    *obs.Histogram
+	queueWaitSeconds *obs.Histogram
+	appendSeconds    *obs.Histogram
+
+	// Seal instruments, split by path, plus the delta-log depth each
+	// incremental seal replayed.
+	sealIncrSeconds    *obs.Histogram
+	sealRebuildSeconds *obs.Histogram
+	sealDeltaEntries   *obs.Histogram
+
+	// Wire-protocol bytes, per direction and message type (header
+	// included). Indexed by the wire message type byte; nil entries are
+	// types that never flow in that direction.
+	bytesIn  [16]*obs.Counter
+	bytesOut [16]*obs.Counter
+}
+
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:             reg,
+		sessionsActive:  reg.Gauge("aims_sessions_active", "Live registered sessions."),
+		sessionsTotal:   reg.Counter("aims_sessions_total", "Sessions registered since start."),
+		framesIngested:  reg.Counter("aims_ingest_frames_total", "Frames appended into live stores."),
+		batchesIngested: reg.Counter("aims_ingest_batches_total", "Wire batches accepted for ingest."),
+		framesShed:      reg.Counter("aims_shed_frames_total", "Frames dropped by the shed backpressure policy."),
+		batchesShed:     reg.Counter("aims_shed_batches_total", "Batches dropped by the shed backpressure policy."),
+		appendErrors:    reg.Counter("aims_append_errors_total", "Frames rejected by live-store validation."),
+		evictions:       reg.Counter("aims_evictions_total", "Sessions evicted for idling."),
+		queueDepth:      reg.Gauge("aims_queue_depth", "Frames waiting in session ingest queues."),
+		queryLatency: reg.Histogram("aims_query_seconds",
+			"Query evaluation latency.", secondsBounds(latencyBounds)),
+		decodeSeconds: reg.Histogram("aims_ingest_decode_seconds",
+			"Wire batch decode time.", stageBounds),
+		queueWaitSeconds: reg.Histogram("aims_ingest_queue_wait_seconds",
+			"Sampled enqueue-to-append wait of an ingest batch.", stageBounds),
+		appendSeconds: reg.Histogram("aims_ingest_append_seconds",
+			"LiveStore append time per acquisition batch.", stageBounds),
+		sealIncrSeconds: reg.HistogramWith("aims_seal_seconds", `mode="incremental"`,
+			"Seal wall time by path.", sealBounds),
+		sealRebuildSeconds: reg.HistogramWith("aims_seal_seconds", `mode="rebuild"`,
+			"Seal wall time by path.", sealBounds),
+		sealDeltaEntries: reg.Histogram("aims_seal_delta_entries",
+			"Delta-log entries replayed per incremental seal.", deltaBounds),
+	}
+	reg.GaugeFunc("aims_query_latency_max_seconds", "Slowest query so far.",
+		func() float64 { return time.Duration(m.latencyMaxNS.Load()).Seconds() })
+	const bytesHelp = "Wire bytes by direction and message type, headers included."
+	for _, typ := range []byte{wire.MsgHello, wire.MsgBatch, wire.MsgQuery, wire.MsgFlush, wire.MsgClose} {
+		m.bytesIn[typ] = reg.CounterWith("aims_wire_bytes_total",
+			fmt.Sprintf(`dir="in",type=%q`, wire.TypeName(typ)), bytesHelp)
+	}
+	for _, typ := range []byte{wire.MsgWelcome, wire.MsgBatchAck, wire.MsgResult,
+		wire.MsgCloseAck, wire.MsgError, wire.MsgFlushAck} {
+		m.bytesOut[typ] = reg.CounterWith("aims_wire_bytes_total",
+			fmt.Sprintf(`dir="out",type=%q`, wire.TypeName(typ)), bytesHelp)
+	}
+	return m
 }
 
 func (m *metrics) observeQuery(d time.Duration) {
-	m.queries.Add(1)
-	i := 0
-	for i < len(latencyBounds) && d > latencyBounds[i] {
-		i++
-	}
-	m.latencyCounts[i].Add(1)
-	m.latencySumNS.Add(int64(d))
+	m.queryLatency.Observe(d.Seconds())
 	for {
 		cur := m.latencyMaxNS.Load()
 		if int64(d) <= cur || m.latencyMaxNS.CompareAndSwap(cur, int64(d)) {
 			return
 		}
+	}
+}
+
+// observeSeal is the LiveStore seal hook: wall time split by path, and
+// delta-log depth for incremental seals.
+func (m *metrics) observeSeal(d time.Duration, incremental bool, deltaEntries int) {
+	if incremental {
+		m.sealIncrSeconds.Observe(d.Seconds())
+		m.sealDeltaEntries.Observe(float64(deltaEntries))
+	} else {
+		m.sealRebuildSeconds.Observe(d.Seconds())
+	}
+}
+
+// countIn/countOut account one wire message's bytes (5-byte header plus
+// payload) to its direction/type series.
+func (m *metrics) countIn(typ byte, payloadLen int) {
+	if int(typ) < len(m.bytesIn) && m.bytesIn[typ] != nil {
+		m.bytesIn[typ].Add(uint64(wire.MessageSize(payloadLen)))
+	}
+}
+
+func (m *metrics) countOut(typ byte, payloadLen int) {
+	if int(typ) < len(m.bytesOut) && m.bytesOut[typ] != nil {
+		m.bytesOut[typ].Add(uint64(wire.MessageSize(payloadLen)))
 	}
 }
 
@@ -80,24 +188,21 @@ type Snapshot struct {
 
 func (m *metrics) snapshot() Snapshot {
 	s := Snapshot{
-		SessionsActive:  m.sessionsActive.Load(),
-		SessionsTotal:   m.sessionsTotal.Load(),
-		FramesIngested:  m.framesIngested.Load(),
-		BatchesIngested: m.batchesIngested.Load(),
-		FramesShed:      m.framesShed.Load(),
-		BatchesShed:     m.batchesShed.Load(),
-		AppendErrors:    m.appendErrors.Load(),
-		Queries:         m.queries.Load(),
-		Evictions:       m.evictions.Load(),
-		QueueDepth:      int(m.queueDepth.Load()),
-		LatencyCounts:   make([]uint64, len(m.latencyCounts)),
+		SessionsActive:  m.sessionsActive.Value(),
+		SessionsTotal:   m.sessionsTotal.Value(),
+		FramesIngested:  m.framesIngested.Value(),
+		BatchesIngested: m.batchesIngested.Value(),
+		FramesShed:      m.framesShed.Value(),
+		BatchesShed:     m.batchesShed.Value(),
+		AppendErrors:    m.appendErrors.Value(),
+		Queries:         m.queryLatency.Count(),
+		Evictions:       m.evictions.Value(),
+		QueueDepth:      int(m.queueDepth.Value()),
+		LatencyCounts:   m.queryLatency.BucketCounts(),
 		LatencyMax:      time.Duration(m.latencyMaxNS.Load()),
 	}
-	for i := range m.latencyCounts {
-		s.LatencyCounts[i] = m.latencyCounts[i].Load()
-	}
 	if s.Queries > 0 {
-		s.LatencyMean = time.Duration(m.latencySumNS.Load() / int64(s.Queries))
+		s.LatencyMean = time.Duration(m.queryLatency.Sum() / float64(s.Queries) * float64(time.Second))
 	}
 	return s
 }

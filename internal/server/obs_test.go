@@ -1,0 +1,378 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aims/internal/wire"
+)
+
+// checkExposition asserts the Prometheus text rules the admin plane
+// promises scrapers: every sample line is preceded by exactly one HELP and
+// one TYPE comment for its base metric name, and no series (name + label
+// set) appears twice.
+func checkExposition(t *testing.T, text string) {
+	t.Helper()
+	headerRe := regexp.MustCompile(`^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? [^ ]+$`)
+	helps := map[string]int{}
+	types := map[string]int{}
+	series := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			m := headerRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed comment line: %q", line)
+			}
+			if m[1] == "HELP" {
+				helps[m[2]]++
+			} else {
+				types[m[2]]++
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		base := m[1]
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed := strings.TrimSuffix(base, suf); trimmed != base && types[trimmed] > 0 {
+				base = trimmed
+				break
+			}
+		}
+		if helps[base] == 0 || types[base] == 0 {
+			t.Errorf("sample %q has no preceding HELP/TYPE for %q", line, base)
+		}
+		key := m[1] + m[2]
+		if series[key] {
+			t.Errorf("duplicate series %q", key)
+		}
+		series[key] = true
+	}
+	for name, n := range helps {
+		if n != 1 {
+			t.Errorf("HELP for %q appears %d times", name, n)
+		}
+	}
+	for name, n := range types {
+		if n != 1 {
+			t.Errorf("TYPE for %q appears %d times", name, n)
+		}
+	}
+}
+
+// TestMetricsGolden pins the full exposition of a fresh server registry to
+// testdata/metrics.golden: every instrument the server registers appears,
+// well-formed, at its zero value. Run with UPDATE_GOLDEN=1 to regenerate
+// after intentionally adding or renaming instruments.
+func TestMetricsGolden(t *testing.T) {
+	m := newMetrics()
+	var buf bytes.Buffer
+	m.reg.WritePrometheus(&buf)
+	got := buf.String()
+	checkExposition(t, got)
+
+	for _, name := range []string{
+		"aims_sessions_active", "aims_ingest_frames_total", "aims_queue_depth",
+		"aims_query_seconds_bucket", "aims_ingest_decode_seconds",
+		"aims_ingest_queue_wait_seconds", "aims_ingest_append_seconds",
+		`aims_seal_seconds_bucket{mode="incremental"`, `aims_seal_seconds_bucket{mode="rebuild"`,
+		"aims_seal_delta_entries", `aims_wire_bytes_total{dir="in",type="batch"}`,
+		`aims_wire_bytes_total{dir="out",type="result"}`, "aims_query_latency_max_seconds",
+	} {
+		if !strings.Contains(got, name) {
+			t.Errorf("exposition missing %q", name)
+		}
+	}
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from %s; run with UPDATE_GOLDEN=1 if intentional\ngot:\n%s", golden, got)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{
+		SessionsActive: 2, SessionsTotal: 5,
+		FramesIngested: 1000, BatchesIngested: 4,
+		FramesShed: 7, BatchesShed: 1,
+		QueueDepth: 3, Evictions: 1,
+	}
+	want := "sessions=2/5 frames=1000 batches=4 shed=1/7 queue=3 queries=0 evictions=1"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+
+	s.Queries = 2
+	s.LatencyCounts = []uint64{1, 1, 0, 0, 0, 0, 0, 0}
+	s.LatencyMean = 100 * time.Microsecond
+	s.LatencyMax = 150 * time.Microsecond
+	got := s.String()
+	if !strings.Contains(got, "qlat(mean=100µs max=150µs hist=1/1/0/0/0/0/0/0)") {
+		t.Errorf("String() with queries = %q", got)
+	}
+	if len(s.LatencyCounts) != len(latencyBounds)+1 {
+		t.Fatalf("test fixture has %d buckets, latencyBounds wants %d",
+			len(s.LatencyCounts), len(latencyBounds)+1)
+	}
+}
+
+// TestSnapshotBucketsMatchBounds guards the satellite fix: the live
+// histogram's bucket count must follow latencyBounds, never a hard-coded
+// array length.
+func TestSnapshotBucketsMatchBounds(t *testing.T) {
+	m := newMetrics()
+	m.observeQuery(time.Millisecond)
+	s := m.snapshot()
+	if len(s.LatencyCounts) != len(latencyBounds)+1 {
+		t.Fatalf("snapshot has %d latency buckets, want len(latencyBounds)+1 = %d",
+			len(s.LatencyCounts), len(latencyBounds)+1)
+	}
+}
+
+// TestAdminEndpoints exercises the full admin plane against a live server:
+// metrics exposition, per-session JSON, trace capture with spans, health
+// transitions on drain, and pprof availability.
+func TestAdminEndpoints(t *testing.T) {
+	srv, addr := startServer(t, Config{
+		QueueFrames: 1024,
+		Store:       testStoreCfg(),
+		TraceSample: 1, // trace everything so /tracez is deterministic
+	})
+	h := srv.AdminHandler()
+
+	get := func(path string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	if rec := get("/healthz"); rec.Code != 200 || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("/healthz = %d %q", rec.Code, rec.Body.String())
+	}
+
+	// Drive one real session: a batch and a query, so instruments and
+	// traces have data.
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mins, maxs := ranges(2)
+	if _, err := c.Hello(wire.Hello{Rate: 100, HorizonTicks: 256, Name: "admin-test", Mins: mins, Maxs: maxs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendBatch(clientFrames(0, 64, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(wire.Query{Kind: wire.QueryAverage, Channel: 0, T0: 0, T1: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := get("/sessions")
+	if rec.Code != 200 {
+		t.Fatalf("/sessions = %d", rec.Code)
+	}
+	var sess struct {
+		Count    int           `json:"count"`
+		Sessions []SessionInfo `json:"sessions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &sess); err != nil {
+		t.Fatalf("/sessions JSON: %v", err)
+	}
+	if sess.Count != 1 || len(sess.Sessions) != 1 {
+		t.Fatalf("/sessions count = %d, want 1", sess.Count)
+	}
+	if got := sess.Sessions[0]; got.Name != "admin-test" || got.FramesStored != 64 || got.Channels != 2 {
+		t.Errorf("/sessions entry = %+v", got)
+	}
+
+	rec = get("/metrics")
+	if rec.Code != 200 {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	body := rec.Body.String()
+	checkExposition(t, body)
+	for _, want := range []string{
+		"aims_ingest_frames_total 64",
+		"aims_query_seconds_count 1",
+		`aims_wire_bytes_total{dir="in",type="batch"}`,
+		"aims_wavelet_lines_total", // process-wide bridge metrics present
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Acceptance: /tracez returns at least one multi-span trace.
+	rec = get("/tracez?n=50")
+	if rec.Code != 200 {
+		t.Fatalf("/tracez = %d", rec.Code)
+	}
+	var tz struct {
+		SampleEvery int `json:"sample_every"`
+		Traces      []struct {
+			Kind  string `json:"kind"`
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &tz); err != nil {
+		t.Fatalf("/tracez JSON: %v", err)
+	}
+	if tz.SampleEvery != 1 {
+		t.Errorf("/tracez sample_every = %d, want 1", tz.SampleEvery)
+	}
+	multi := 0
+	kinds := map[string]bool{}
+	for _, tr := range tz.Traces {
+		kinds[tr.Kind] = true
+		if len(tr.Spans) >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatalf("/tracez has no multi-span trace: %s", rec.Body.String())
+	}
+	if !kinds["query"] {
+		t.Errorf("/tracez kinds = %v, want a query trace", kinds)
+	}
+
+	if rec := get("/debug/pprof/cmdline"); rec.Code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", rec.Code)
+	}
+
+	if _, err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if rec := get("/healthz"); rec.Code != 503 || !strings.Contains(rec.Body.String(), "draining") {
+		t.Errorf("/healthz after shutdown = %d %q, want 503 draining", rec.Code, rec.Body.String())
+	}
+}
+
+// TestObsStressRace hammers the registry from many writers (concurrent
+// ingesting sessions) while scrapers read the exposition, then asserts the
+// queue-depth gauge has drained to exactly zero. Run under -race this
+// doubles as the satellite data-race check on the instrument layer.
+func TestObsStressRace(t *testing.T) {
+	srv, addr := startServer(t, Config{
+		QueueFrames: 4096,
+		Store:       testStoreCfg(),
+		TraceSample: 4,
+	})
+
+	const clients = 8
+	const batches = 25
+	const perBatch = 32
+
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			var buf bytes.Buffer
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf.Reset()
+				srv.Registry().WritePrometheus(&buf)
+				_ = srv.Metrics().String()
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := wire.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			mins, maxs := ranges(2)
+			if _, err := c.Hello(wire.Hello{Rate: 100, HorizonTicks: uint32(batches * perBatch),
+				Name: fmt.Sprintf("stress-%d", id), Mins: mins, Maxs: maxs}); err != nil {
+				errs <- err
+				c.Abort()
+				return
+			}
+			for b := 0; b < batches; b++ {
+				if err := c.SendBatch(clientFrames(id, perBatch, 2)); err != nil {
+					errs <- err
+					c.Abort()
+					return
+				}
+			}
+			if _, err := c.Query(wire.Query{Kind: wire.QueryAverage, Channel: 0, T0: 0, T1: 1}); err != nil {
+				errs <- err
+				c.Abort()
+				return
+			}
+			if _, err := c.Close(); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every session closed cleanly (Close drains the ingest queue), so the
+	// gauge must be exactly zero — any drift means a missed decrement.
+	m := srv.Metrics()
+	if m.QueueDepth != 0 {
+		t.Fatalf("queue depth after drain = %d, want exactly 0", m.QueueDepth)
+	}
+	if want := uint64(clients * batches * perBatch); m.FramesIngested != want {
+		t.Fatalf("frames ingested = %d, want %d", m.FramesIngested, want)
+	}
+}

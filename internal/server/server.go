@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"aims/internal/core"
+	"aims/internal/obs"
 )
 
 // Policy selects what happens when a session's ingest queue is full.
@@ -64,6 +65,13 @@ type Config struct {
 	// Store templates each session's live store; Rate and HorizonTicks are
 	// overridden by the session's registration.
 	Store core.LiveStoreConfig
+	// TraceSample samples one in N ingest batches and queries into the
+	// pipeline tracer (default obs.DefaultTraceSample; negative disables
+	// tracing entirely — the compiled-out no-op path).
+	TraceSample int
+	// TraceBuffer bounds the completed-trace ring served by /tracez
+	// (default obs.DefaultTraceBuffer).
+	TraceBuffer int
 	// Logf receives server lifecycle logs (nil discards them).
 	Logf func(format string, args ...interface{})
 }
@@ -97,13 +105,32 @@ type Server struct {
 
 	wg      sync.WaitGroup // live session handlers
 	serveWg sync.WaitGroup // accept loops
-	metrics metrics
+	metrics *metrics
+	tracer  *obs.Tracer // nil when tracing is disabled
 }
 
 // New creates a server.
 func New(cfg Config) *Server {
-	return &Server{cfg: cfg.withDefaults(), sessions: newRegistry()}
+	cfg = cfg.withDefaults()
+	m := newMetrics()
+	if cfg.Store.SealObserver == nil {
+		// Surface every session store's seal timings on this server's
+		// instruments unless the caller installed its own observer.
+		cfg.Store.SealObserver = m.observeSeal
+	}
+	var tracer *obs.Tracer
+	if cfg.TraceSample >= 0 {
+		tracer = obs.NewTracer(cfg.TraceSample, cfg.TraceBuffer)
+	}
+	return &Server{cfg: cfg, sessions: newRegistry(), metrics: m, tracer: tracer}
 }
+
+// Registry exposes the server's metrics registry (what the admin plane
+// serves as /metrics).
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
+
+// Tracer exposes the pipeline tracer; nil when tracing is disabled.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves in the
 // background. It returns the bound address.
@@ -198,7 +225,7 @@ func (s *Server) register(sess *session) uint64 {
 	sess.id = id
 	s.sessions.put(id, sess)
 	s.metrics.sessionsActive.Add(1)
-	s.metrics.sessionsTotal.Add(1)
+	s.metrics.sessionsTotal.Inc()
 	if s.isClosed() {
 		// Shutdown's deadline sweep may have run before this registration;
 		// apply it here so the new reader wakes immediately.

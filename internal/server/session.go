@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"errors"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"aims/internal/core"
+	"aims/internal/obs"
 	"aims/internal/stream"
 	"aims/internal/wire"
 )
@@ -24,15 +26,33 @@ type session struct {
 	br    *bufio.Reader
 	store *core.LiveStore
 	rate  float64
+	name  string // registration name from the Hello
 
 	in        chan stream.Frame
-	enqueued  uint64        // frames pushed to the queue (reader goroutine only)
-	shedB     uint64        // batches shed (reader goroutine only)
-	shedF     uint64        // frames shed (reader goroutine only)
+	enqueued  atomic.Uint64 // frames pushed to the queue (written by the reader goroutine)
+	shedB     atomic.Uint64 // batches shed (written by the reader goroutine)
+	shedF     atomic.Uint64 // frames shed (written by the reader goroutine)
 	stored    atomic.Uint64 // frames appended to the store
 	badAppend atomic.Uint64
 
+	// Sampled ingest batches carry a marker from the reader to the
+	// acquisition consumer so queue wait and append time can be stamped on
+	// the batch's trace. markerTarget caches the head marker's stored-count
+	// target (0 = none) so the unsampled hot path pays one atomic load.
+	markerMu     sync.Mutex
+	markers      []batchMarker
+	markerTarget atomic.Uint64
+
 	closeRequested bool
+}
+
+// batchMarker correlates one sampled ingest batch with the moment the
+// acquisition consumer finishes storing it: when the session's stored
+// count reaches target, the batch's last frame has been appended.
+type batchMarker struct {
+	target      uint64
+	enqueueDone time.Time
+	tr          *obs.Trace
 }
 
 // chanSource adapts the session queue into a stream.TimedSource so ingest
@@ -41,7 +61,7 @@ type session struct {
 // server-wide queue-depth gauge its enqueue incremented.
 type chanSource struct {
 	ch    <-chan stream.Frame
-	depth *atomic.Int64
+	depth *obs.Gauge
 }
 
 func (c chanSource) Next() (stream.Frame, bool) {
@@ -89,7 +109,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.register(sess)
 	defer s.unregister(sess)
 	w := wire.Welcome{SessionID: sess.id, Code: wire.CodeOK}
-	if wire.WriteMessage(sess.bw, wire.MsgWelcome, w.Encode()) != nil || sess.bw.Flush() != nil {
+	if sess.write(wire.MsgWelcome, w.Encode()) != nil || sess.bw.Flush() != nil {
 		return
 	}
 	s.cfg.Logf("session %d: registered %d channels at %.1f Hz", sess.id, sess.store.Channels(), sess.rate)
@@ -99,7 +119,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	sess.in = make(chan stream.Frame, s.cfg.QueueFrames)
 	ingestDone := make(chan stream.AcquireStats, 1)
 	go func() {
-		src := chanSource{ch: sess.in, depth: &s.metrics.queueDepth}
+		src := chanSource{ch: sess.in, depth: s.metrics.queueDepth}
 		stats := stream.AcquireFlushing(src, s.cfg.AcquireBuffer, s.cfg.FlushLatency, sess.storeBatch)
 		ingestDone <- stats
 	}()
@@ -109,14 +129,25 @@ func (s *Server) handleConn(conn net.Conn) {
 	// Drain: no more enqueues; the consumer stores everything still queued.
 	close(sess.in)
 	<-ingestDone
+	sess.abandonMarkers()
 
 	if sess.closeRequested {
-		ack := wire.CloseAck{Stored: sess.stored.Load() - sess.badAppend.Load(), Shed: sess.shedF}
-		if wire.WriteMessage(sess.bw, wire.MsgCloseAck, ack.Encode()) == nil {
+		ack := wire.CloseAck{Stored: sess.stored.Load() - sess.badAppend.Load(), Shed: sess.shedF.Load()}
+		if sess.write(wire.MsgCloseAck, ack.Encode()) == nil {
 			sess.bw.Flush()
 		}
 	}
-	s.cfg.Logf("session %d: closed (stored=%d shed=%d)", sess.id, sess.stored.Load(), sess.shedF)
+	s.cfg.Logf("session %d: closed (stored=%d shed=%d)", sess.id, sess.stored.Load(), sess.shedF.Load())
+}
+
+// write frames one message onto the session's buffered writer and
+// accounts its bytes to the per-type wire counters.
+func (sess *session) write(typ byte, payload []byte) error {
+	if err := wire.WriteMessage(sess.bw, typ, payload); err != nil {
+		return err
+	}
+	sess.srv.metrics.countOut(typ, len(payload))
+	return nil
 }
 
 // handshake reads and validates the Hello and builds the live store. It
@@ -129,6 +160,7 @@ func (sess *session) handshake() bool {
 	if err != nil {
 		return false
 	}
+	srv.metrics.countIn(typ, len(payload))
 	if typ != wire.MsgHello {
 		sess.sendError(wire.CodeNotRegistered, "first message must be hello")
 		return false
@@ -148,12 +180,13 @@ func (sess *session) handshake() bool {
 	}
 	sess.store = store
 	sess.rate = h.Rate
+	sess.name = h.Name
 	return true
 }
 
 func (sess *session) sendError(code wire.Code, text string) {
 	msg := wire.ErrMsg{Code: code, Text: text}
-	if wire.WriteMessage(sess.bw, wire.MsgError, msg.Encode()) == nil {
+	if sess.write(wire.MsgError, msg.Encode()) == nil {
 		sess.bw.Flush()
 	}
 }
@@ -162,13 +195,75 @@ func (sess *session) sendError(code wire.Code, text string) {
 // double-buffered batch into the live store under a single write-lock
 // acquisition (invalid frames are skipped inside AppendFrames).
 func (sess *session) storeBatch(batch []stream.Frame) {
+	m := sess.srv.metrics
+	t0 := time.Now()
 	stored, _ := sess.store.AppendFrames(batch)
+	end := time.Now()
+	m.appendSeconds.Observe(end.Sub(t0).Seconds())
 	if bad := uint64(len(batch) - stored); bad > 0 {
 		sess.badAppend.Add(bad)
-		sess.srv.metrics.appendErrors.Add(bad)
+		m.appendErrors.Add(bad)
 	}
-	sess.stored.Add(uint64(len(batch))) // processed, including bad appends
-	sess.srv.metrics.framesIngested.Add(uint64(stored))
+	newStored := sess.stored.Add(uint64(len(batch))) // processed, including bad appends
+	m.framesIngested.Add(uint64(stored))
+	if t := sess.markerTarget.Load(); t != 0 && newStored >= t {
+		sess.completeMarkers(newStored, t0, end)
+	}
+}
+
+// completeMarkers finishes the traces of every sampled batch whose last
+// frame this append covered: the queue-wait span runs from enqueue
+// completion to append start, the append span over the storing call.
+func (sess *session) completeMarkers(storedNow uint64, appendStart, appendEnd time.Time) {
+	m := sess.srv.metrics
+	sess.markerMu.Lock()
+	for len(sess.markers) > 0 && sess.markers[0].target <= storedNow {
+		mk := sess.markers[0]
+		sess.markers = sess.markers[1:]
+		m.queueWaitSeconds.Observe(appendStart.Sub(mk.enqueueDone).Seconds())
+		mk.tr.Span("queue-wait", mk.enqueueDone, appendStart)
+		mk.tr.Span("append", appendStart, appendEnd)
+		mk.tr.Finish()
+	}
+	if len(sess.markers) > 0 {
+		sess.markerTarget.Store(sess.markers[0].target)
+	} else {
+		sess.markerTarget.Store(0)
+	}
+	sess.markerMu.Unlock()
+}
+
+// abandonMarkers finishes any sampled traces still waiting on the
+// consumer at session teardown (a push/complete race can orphan at most
+// the last marker; its spans end at the drain instead of the append).
+func (sess *session) abandonMarkers() {
+	sess.markerMu.Lock()
+	for _, mk := range sess.markers {
+		mk.tr.Annotate("session-drain")
+		mk.tr.Finish()
+	}
+	sess.markers = nil
+	sess.markerTarget.Store(0)
+	sess.markerMu.Unlock()
+}
+
+// pushMarker hands a sampled batch's trace to the acquisition consumer.
+// If the consumer already stored past the target (it outran the reader),
+// the trace is finished here with the observed wait.
+func (sess *session) pushMarker(target uint64, enqueueDone time.Time, tr *obs.Trace) {
+	m := sess.srv.metrics
+	sess.markerMu.Lock()
+	if sess.stored.Load() >= target {
+		now := time.Now()
+		m.queueWaitSeconds.Observe(now.Sub(enqueueDone).Seconds())
+		tr.Span("queue-wait", enqueueDone, now)
+		tr.Finish()
+		sess.markerMu.Unlock()
+		return
+	}
+	sess.markers = append(sess.markers, batchMarker{target: target, enqueueDone: enqueueDone, tr: tr})
+	sess.markerTarget.Store(sess.markers[0].target)
+	sess.markerMu.Unlock()
 }
 
 // readLoop processes messages until the client closes, errs, idles out or
@@ -184,12 +279,13 @@ func (sess *session) readLoop() {
 				if srv.isClosed() {
 					sess.sendError(wire.CodeShuttingDown, "server shutting down")
 				} else {
-					srv.metrics.evictions.Add(1)
+					srv.metrics.evictions.Inc()
 					sess.sendError(wire.CodeIdleEvicted, "session idle")
 				}
 			}
 			return
 		}
+		srv.metrics.countIn(typ, len(payload))
 		switch typ {
 		case wire.MsgBatch:
 			if !sess.handleBatch(payload) {
@@ -225,8 +321,14 @@ func (sess *session) flushIfIdle() bool {
 
 func (sess *session) handleBatch(payload []byte) bool {
 	srv := sess.srv
+	tr := srv.tracer.Sample("ingest")
+	t0 := time.Now()
 	b, err := wire.DecodeBatch(payload, sess.store.Channels())
+	t1 := time.Now()
+	srv.metrics.decodeSeconds.Observe(t1.Sub(t0).Seconds())
+	tr.Span("decode", t0, t1)
 	if err != nil {
+		tr.Finish()
 		sess.sendError(wire.CodeBadMessage, err.Error())
 		return false
 	}
@@ -237,10 +339,12 @@ func (sess *session) handleBatch(payload []byte) bool {
 	}
 	if shed {
 		ack.Code = wire.CodeShed
-		sess.shedB++
-		sess.shedF += uint64(len(b.Frames))
-		srv.metrics.batchesShed.Add(1)
+		sess.shedB.Add(1)
+		sess.shedF.Add(uint64(len(b.Frames)))
+		srv.metrics.batchesShed.Inc()
 		srv.metrics.framesShed.Add(uint64(len(b.Frames)))
+		tr.Annotate("shed")
+		tr.Finish()
 	} else {
 		// Under PolicyBlock a full queue blocks here: the reader stops
 		// draining the socket and the device feels the backpressure. The
@@ -249,10 +353,17 @@ func (sess *session) handleBatch(payload []byte) bool {
 			sess.in <- b.Frames[i]
 			srv.metrics.queueDepth.Add(1)
 		}
-		sess.enqueued += uint64(len(b.Frames))
-		srv.metrics.batchesIngested.Add(1)
+		t2 := time.Now()
+		tr.Span("enqueue", t1, t2)
+		target := sess.enqueued.Add(uint64(len(b.Frames)))
+		srv.metrics.batchesIngested.Inc()
+		if tr != nil {
+			// The acquisition consumer closes the trace once the batch's
+			// last frame lands in the store (queue-wait + append spans).
+			sess.pushMarker(target, t2, tr)
+		}
 	}
-	if wire.WriteMessage(sess.bw, wire.MsgBatchAck, ack.Encode()) != nil {
+	if sess.write(wire.MsgBatchAck, ack.Encode()) != nil {
 		return false
 	}
 	return sess.flushIfIdle()
@@ -261,7 +372,7 @@ func (sess *session) handleBatch(payload []byte) bool {
 // handleFlush answers the client's drain barrier: every frame enqueued so
 // far is stored before the ack goes out.
 func (sess *session) handleFlush() bool {
-	target := sess.enqueued
+	target := sess.enqueued.Load()
 	deadline := time.Now().Add(sess.srv.cfg.IdleTimeout)
 	for sess.stored.Load() < target {
 		if time.Now().After(deadline) {
@@ -271,7 +382,7 @@ func (sess *session) handleFlush() bool {
 		time.Sleep(200 * time.Microsecond)
 	}
 	ack := wire.FlushAck{Stored: sess.stored.Load() - sess.badAppend.Load()}
-	if wire.WriteMessage(sess.bw, wire.MsgFlushAck, ack.Encode()) != nil {
+	if sess.write(wire.MsgFlushAck, ack.Encode()) != nil {
 		return false
 	}
 	return sess.bw.Flush() == nil
@@ -279,20 +390,30 @@ func (sess *session) handleFlush() bool {
 
 func (sess *session) handleQuery(payload []byte) bool {
 	srv := sess.srv
+	tr := srv.tracer.Sample("query")
+	t0 := time.Now()
 	q, err := wire.DecodeQuery(payload)
+	t1 := time.Now()
+	tr.Span("decode", t0, t1)
 	if err != nil {
+		tr.Finish()
 		sess.sendError(wire.CodeBadMessage, err.Error())
 		return false
 	}
-	t0 := time.Now()
 	results := sess.evaluate(q)
-	srv.metrics.observeQuery(time.Since(t0))
+	t2 := time.Now()
+	tr.Span("evaluate", t1, t2)
+	srv.metrics.observeQuery(t2.Sub(t1))
 	for _, r := range results {
-		if wire.WriteMessage(sess.bw, wire.MsgResult, r.Encode()) != nil {
+		if sess.write(wire.MsgResult, r.Encode()) != nil {
+			tr.Finish()
 			return false
 		}
 	}
-	return sess.bw.Flush() == nil
+	ok := sess.bw.Flush() == nil
+	tr.Span("respond", t2, time.Now())
+	tr.Finish()
+	return ok
 }
 
 // evaluate answers one query against the live store. Errors become a

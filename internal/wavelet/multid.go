@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Dims describes the shape of a dense multidimensional array stored in
@@ -85,6 +87,56 @@ var TransformWorkers int
 // worker pool; below it goroutine start-up dominates the transform work.
 const parallelMinCells = 1 << 12
 
+// tstats is the process-wide transform accounting read by the
+// observability plane: line counts per path and, for the parallel path,
+// how much of the launched worker capacity was actually busy. A handful
+// of atomic adds per applyAxis call — noise next to the transform itself.
+var tstats struct {
+	lines        atomic.Uint64
+	serialRuns   atomic.Uint64
+	parallelRuns atomic.Uint64
+	busyNS       atomic.Int64
+	capacityNS   atomic.Int64
+}
+
+// TransformStats is a snapshot of the per-process axis-transform
+// accounting (see ReadTransformStats).
+type TransformStats struct {
+	// Lines is the total 1-D lines transformed, either path.
+	Lines uint64
+	// SerialRuns / ParallelRuns count applyAxis invocations per path.
+	SerialRuns   uint64
+	ParallelRuns uint64
+	// WorkerBusy is the summed wall time worker goroutines spent
+	// transforming; WorkerCapacity is the summed wall time of each
+	// parallel run multiplied by its worker count. Their ratio is the
+	// pool utilisation.
+	WorkerBusy     time.Duration
+	WorkerCapacity time.Duration
+}
+
+// Utilisation returns WorkerBusy/WorkerCapacity in [0,1], or 0 before any
+// parallel transform has run. Values well below 1 mean the per-line
+// chunking is leaving workers idle (skewed line lengths or too much
+// fan-out for the data size).
+func (s TransformStats) Utilisation() float64 {
+	if s.WorkerCapacity <= 0 {
+		return 0
+	}
+	return float64(s.WorkerBusy) / float64(s.WorkerCapacity)
+}
+
+// ReadTransformStats snapshots the process-wide transform accounting.
+func ReadTransformStats() TransformStats {
+	return TransformStats{
+		Lines:          tstats.lines.Load(),
+		SerialRuns:     tstats.serialRuns.Load(),
+		ParallelRuns:   tstats.parallelRuns.Load(),
+		WorkerBusy:     time.Duration(tstats.busyNS.Load()),
+		WorkerCapacity: time.Duration(tstats.capacityNS.Load()),
+	}
+}
+
 // applyAxis gathers every 1-D line along the axis, applies fn, and scatters
 // the result back. It returns fn's result from the first line (all lines
 // share the same length, so Analyze returns the same level count for each).
@@ -117,10 +169,16 @@ func applyAxis(data []float64, dims Dims, axis int, fn func([]float64) int) int 
 		workers = outer
 	}
 	if workers <= 1 || len(data) < parallelMinCells {
+		tstats.serialRuns.Add(1)
+		tstats.lines.Add(uint64(outer))
 		return axisLines(data, dims, axis, fn, 0, outer)
 	}
+	tstats.parallelRuns.Add(1)
+	tstats.lines.Add(uint64(outer))
+	start := time.Now()
 	var wg sync.WaitGroup
 	result := 0
+	launched := 0
 	chunk := (outer + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -131,16 +189,20 @@ func applyAxis(data []float64, dims Dims, axis int, fn func([]float64) int) int 
 		if lo >= hi {
 			break
 		}
+		launched++
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			t0 := time.Now()
 			r := axisLines(data, dims, axis, fn, lo, hi)
+			tstats.busyNS.Add(time.Since(t0).Nanoseconds())
 			if lo == 0 {
 				result = r
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	tstats.capacityNS.Add(time.Since(start).Nanoseconds() * int64(launched))
 	return result
 }
 

@@ -304,3 +304,44 @@ func TestParallelTransformBitIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestTransformStatsAccounting checks the process-wide transform
+// accounting the observability plane scrapes: line counts on both paths
+// and a sane busy/capacity utilisation after a forced parallel run.
+// Counters are global, so assertions are on deltas.
+func TestTransformStatsAccounting(t *testing.T) {
+	defer func() { TransformWorkers = 0 }()
+	dims := Dims{8, 32, 32} // 8192 cells, above the parallel floor
+	data := make([]float64, dims.Size())
+	for i := range data {
+		data[i] = float64(i % 7)
+	}
+
+	before := ReadTransformStats()
+	TransformWorkers = 1
+	TransformAxis(data, dims, 0, Haar, -1)
+	mid := ReadTransformStats()
+	if got := mid.SerialRuns - before.SerialRuns; got != 1 {
+		t.Fatalf("serial runs delta = %d, want 1", got)
+	}
+	if got := mid.Lines - before.Lines; got != 32*32 {
+		t.Fatalf("serial lines delta = %d, want %d", got, 32*32)
+	}
+
+	TransformWorkers = 4
+	TransformAxis(data, dims, 0, Haar, -1)
+	after := ReadTransformStats()
+	if got := after.ParallelRuns - mid.ParallelRuns; got != 1 {
+		t.Fatalf("parallel runs delta = %d, want 1", got)
+	}
+	if got := after.Lines - mid.Lines; got != 32*32 {
+		t.Fatalf("parallel lines delta = %d, want %d", got, 32*32)
+	}
+	if after.WorkerBusy <= mid.WorkerBusy || after.WorkerCapacity <= mid.WorkerCapacity {
+		t.Fatalf("busy/capacity did not advance: %v/%v -> %v/%v",
+			mid.WorkerBusy, mid.WorkerCapacity, after.WorkerBusy, after.WorkerCapacity)
+	}
+	if u := after.Utilisation(); u <= 0 || u > 1 {
+		t.Fatalf("utilisation = %v, want (0,1]", u)
+	}
+}

@@ -26,6 +26,8 @@ type Client struct {
 	outstanding int
 	shedBatches uint64
 	shedFrames  uint64
+	bytesOut    uint64
+	bytesIn     uint64
 }
 
 // Dial connects to an AIMS server.
@@ -55,13 +57,30 @@ func (c *Client) ShedBatches() uint64 { return c.shedBatches }
 // ShedFrames returns how many frames those shed batches carried.
 func (c *Client) ShedFrames() uint64 { return c.shedFrames }
 
+// BytesOut returns how many protocol bytes this client has sent, framing
+// headers included.
+func (c *Client) BytesOut() uint64 { return c.bytesOut }
+
+// BytesIn returns how many protocol bytes this client has received,
+// framing headers included.
+func (c *Client) BytesIn() uint64 { return c.bytesIn }
+
+// send frames one message and accounts its bytes.
+func (c *Client) send(typ byte, payload []byte) error {
+	if err := WriteMessage(c.bw, typ, payload); err != nil {
+		return err
+	}
+	c.bytesOut += uint64(MessageSize(len(payload)))
+	return nil
+}
+
 // Hello registers the session and blocks for the server's Welcome.
 func (c *Client) Hello(h Hello) (Welcome, error) {
 	p, err := h.Encode()
 	if err != nil {
 		return Welcome{}, err
 	}
-	if err := WriteMessage(c.bw, MsgHello, p); err != nil {
+	if err := c.send(MsgHello, p); err != nil {
 		return Welcome{}, err
 	}
 	if err := c.bw.Flush(); err != nil {
@@ -92,6 +111,7 @@ func (c *Client) read() (byte, []byte, error) {
 	if err != nil {
 		return 0, nil, err
 	}
+	c.bytesIn += uint64(MessageSize(len(payload)))
 	if typ == MsgError {
 		if em, derr := DecodeErr(payload); derr == nil {
 			return 0, nil, em
@@ -156,7 +176,7 @@ func (c *Client) SendBatch(frames []stream.Frame) error {
 	if err != nil {
 		return err
 	}
-	if err := WriteMessage(c.bw, MsgBatch, p); err != nil {
+	if err := c.send(MsgBatch, p); err != nil {
 		return err
 	}
 	c.outstanding++
@@ -170,7 +190,7 @@ func (c *Client) Flush() (uint64, error) {
 	if err := c.drainAcks(0); err != nil {
 		return 0, err
 	}
-	if err := WriteMessage(c.bw, MsgFlush, nil); err != nil {
+	if err := c.send(MsgFlush, nil); err != nil {
 		return 0, err
 	}
 	if err := c.bw.Flush(); err != nil {
@@ -218,7 +238,7 @@ func (c *Client) runQuery(q Query) ([]Result, error) {
 	if err := c.drainAcks(0); err != nil {
 		return nil, err
 	}
-	if err := WriteMessage(c.bw, MsgQuery, q.Encode()); err != nil {
+	if err := c.send(MsgQuery, q.Encode()); err != nil {
 		return nil, err
 	}
 	if err := c.bw.Flush(); err != nil {
@@ -257,7 +277,7 @@ func (c *Client) Close() (CloseAck, error) {
 	if err := c.drainAcks(0); err != nil {
 		return CloseAck{}, err
 	}
-	if err := WriteMessage(c.bw, MsgClose, nil); err != nil {
+	if err := c.send(MsgClose, nil); err != nil {
 		return CloseAck{}, err
 	}
 	if err := c.bw.Flush(); err != nil {

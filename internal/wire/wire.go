@@ -53,6 +53,44 @@ const (
 	MsgFlushAck byte = 11 // server → client: barrier reached
 )
 
+// TypeName returns the wire-format name of a message type, for metric
+// labels and trace annotations.
+func TypeName(typ byte) string {
+	switch typ {
+	case MsgHello:
+		return "hello"
+	case MsgWelcome:
+		return "welcome"
+	case MsgBatch:
+		return "batch"
+	case MsgBatchAck:
+		return "batch_ack"
+	case MsgQuery:
+		return "query"
+	case MsgResult:
+		return "result"
+	case MsgClose:
+		return "close"
+	case MsgCloseAck:
+		return "close_ack"
+	case MsgError:
+		return "error"
+	case MsgFlush:
+		return "flush"
+	case MsgFlushAck:
+		return "flush_ack"
+	}
+	return fmt.Sprintf("type_%d", typ)
+}
+
+// headerSize is the fixed framing overhead of every message: the uint32
+// length prefix plus the type byte.
+const headerSize = 5
+
+// MessageSize returns the on-the-wire size of a message with the given
+// payload length, framing header included.
+func MessageSize(payloadLen int) int { return headerSize + payloadLen }
+
 // Code is the shared error/ack vocabulary of the protocol.
 type Code uint16
 
@@ -109,7 +147,7 @@ func WriteMessage(w io.Writer, typ byte, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return fmt.Errorf("wire: payload %d exceeds max %d", len(payload), MaxPayload)
 	}
-	var hdr [5]byte
+	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = typ
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -121,7 +159,7 @@ func WriteMessage(w io.Writer, typ byte, payload []byte) error {
 
 // ReadMessage reads one framed message from r.
 func ReadMessage(r io.Reader) (typ byte, payload []byte, err error) {
-	var hdr [5]byte
+	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
