@@ -53,12 +53,20 @@ func main() {
 		verbose    = flag.Bool("v", false, "per-session output")
 		scrape     = flag.Duration("scrape", 0, "scrape /metrics every interval and print key series (0 disables)")
 		scrapeURL  = flag.String("scrape-url", "", "admin /metrics URL for -scrape (default: in-process admin plane on the loopback server)")
+		sessPrefix = flag.String("session-prefix", "aims-load", "session name prefix (names are prefix-N)")
+		pace       = flag.Duration("pace", 0, "sleep between batches (stretches the run, e.g. for crash tests)")
+		verify     = flag.Bool("verify", false, "reconnect to each session by name and report recovered frames instead of loading")
+		verifyMin  = flag.Uint64("verify-min", 1, "minimum recovered frames per session for -verify to pass")
 	)
 	flag.Parse()
 
 	pol, err := server.ParsePolicy(*policy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *verify && *addr == "" {
+		fmt.Fprintln(os.Stderr, "-verify checks a restarted server: it needs -addr")
 		os.Exit(2)
 	}
 
@@ -134,6 +142,10 @@ func main() {
 		maxs[c] += 0.05 * span
 	}
 
+	if *verify {
+		os.Exit(runVerify(target, *sessPrefix, *sessions, *rate, *frames, *verifyMin, mins, maxs))
+	}
+
 	fmt.Printf("driving %d sessions × %d frames (%d channels, batch=%d, window=%d)\n",
 		*sessions, *frames, len(specs), *batch, *window)
 
@@ -144,7 +156,7 @@ func main() {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			results[s] = runSession(s, target, *rate, *frames, *batch, *window, *queryEvery, pregen, mins, maxs)
+			results[s] = runSession(s, target, *sessPrefix, *rate, *frames, *batch, *window, *queryEvery, *pace, pregen, mins, maxs)
 		}(s)
 	}
 	wg.Wait()
@@ -202,7 +214,7 @@ func main() {
 	}
 }
 
-func runSession(id int, target string, rate float64, frames, batchSize, window, queryEvery int, pregen [][]float64, mins, maxs []float64) sessionResult {
+func runSession(id int, target, prefix string, rate float64, frames, batchSize, window, queryEvery int, pace time.Duration, pregen [][]float64, mins, maxs []float64) sessionResult {
 	var res sessionResult
 	c, err := wire.Dial(target)
 	if err != nil {
@@ -213,7 +225,7 @@ func runSession(id int, target string, rate float64, frames, batchSize, window, 
 	_, err = c.Hello(wire.Hello{
 		Rate:         rate,
 		HorizonTicks: uint32(frames),
-		Name:         fmt.Sprintf("aims-load-%d", id),
+		Name:         fmt.Sprintf("%s-%d", prefix, id),
 		Mins:         mins,
 		Maxs:         maxs,
 	})
@@ -241,6 +253,9 @@ func runSession(id int, target string, rate float64, frames, batchSize, window, 
 			return res
 		}
 		batches++
+		if pace > 0 {
+			time.Sleep(pace)
+		}
 		if queryEvery > 0 && batches%queryEvery == 0 {
 			q := wire.Query{
 				Kind:    wire.QueryAverage,
@@ -268,6 +283,51 @@ func runSession(id int, target string, rate float64, frames, batchSize, window, 
 	res.bytesIn = c.BytesIn()
 	res.bytesOut = c.BytesOut()
 	return res
+}
+
+// runVerify reconnects to every session by name after a server restart:
+// each Hello must come back wire.CodeResumed (the server adopted the
+// recovered state) and a count query over the full horizon must find at
+// least minStored frames. Returns the process exit code.
+func runVerify(target, prefix string, sessions int, rate float64, frames int, minStored uint64, mins, maxs []float64) int {
+	failed := 0
+	for s := 0; s < sessions; s++ {
+		name := fmt.Sprintf("%s-%d", prefix, s)
+		c, err := wire.Dial(target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: dial: %v\n", name, err)
+			failed++
+			continue
+		}
+		w, err := c.Hello(wire.Hello{
+			Rate: rate, HorizonTicks: uint32(frames), Name: name, Mins: mins, Maxs: maxs,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: hello: %v\n", name, err)
+			c.Abort()
+			failed++
+			continue
+		}
+		r, err := c.Query(wire.Query{Kind: wire.QueryCount, Channel: 0, T0: 0, T1: float64(frames) / rate})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: count query: %v\n", name, err)
+			c.Abort()
+			failed++
+			continue
+		}
+		recovered := uint64(r.Value + 0.5)
+		resumed := w.Code == wire.CodeResumed
+		fmt.Printf("%s: resumed=%v recovered=%d frames\n", name, resumed, recovered)
+		if !resumed || recovered < minStored {
+			fmt.Fprintf(os.Stderr, "%s: verify failed (resumed=%v recovered=%d < %d)\n", name, resumed, recovered, minStored)
+			failed++
+		}
+		c.Close()
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }
 
 // scrapeSeries are the headline series the -scrape ticker prints; anything

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"aims/internal/core"
+	"aims/internal/journal"
 	"aims/internal/server"
 )
 
@@ -42,10 +43,27 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress per-session logs")
 		admin   = flag.String("admin", "", "admin plane listen address, e.g. :6060 (empty disables)")
 		tsample = flag.Int("trace-sample", 0, "trace one in N batches/queries (0 = default 256, negative disables)")
+
+		dataDir    = flag.String("data-dir", "", "durability directory: per-session WAL + snapshots (empty: memory-only)")
+		fsync      = flag.String("fsync", "batch", "WAL fsync policy: batch|interval|off")
+		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "deferred fsync period for -fsync interval")
+		segBytes   = flag.Int64("segment-bytes", 8<<20, "WAL segment rotation size (bytes)")
+		snapEvery  = flag.Int("snapshot-frames", 65536, "snapshot a session every N frames (negative: only at close)")
+		durability = flag.String("durability", "block", "on journal write failure: block|shed")
 	)
 	flag.Parse()
 
 	pol, err := server.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fpol, err := journal.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	dpol, err := journal.ParseDegradePolicy(*durability)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -64,8 +82,25 @@ func main() {
 			TimeBuckets: *buckets,
 			ValueBins:   *bins,
 		},
+		Journal: journal.Config{
+			Dir:            *dataDir,
+			Fsync:          fpol,
+			FsyncInterval:  *fsyncEvery,
+			SegmentBytes:   *segBytes,
+			SnapshotFrames: *snapEvery,
+			Degrade:        dpol,
+		},
 		Logf: logf,
 	})
+
+	if *dataDir != "" {
+		n, err := srv.RecoverSessions()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		log.Printf("durability on: data-dir=%s fsync=%s recovered=%d sessions", *dataDir, fpol, n)
+	}
 
 	bound, err := srv.Start(*addr)
 	if err != nil {

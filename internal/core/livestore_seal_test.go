@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+type sealRecord struct {
+	incremental bool
+	delta       int
+}
+
+// TestSealFallbackAfterReplayError forces the incremental seal's delta
+// replay to fail (a poisoned log entry pointing outside the cube) and
+// requires the next seal to recover by rebuilding from scratch — reported
+// to the SealObserver as a non-incremental seal — with query answers
+// identical to a store that never took the broken path.
+func TestSealFallbackAfterReplayError(t *testing.T) {
+	var seals []sealRecord
+	cfg := LiveStoreConfig{
+		Rate: 100, TimeBuckets: 32, ValueBins: 32, HorizonTicks: 3200,
+		SealObserver: func(d time.Duration, incremental bool, deltaEntries int) {
+			seals = append(seals, sealRecord{incremental, deltaEntries})
+		},
+	}
+	mins := []float64{-10, -10}
+	maxs := []float64{10, 10}
+	ls, err := NewLiveStore(mins, maxs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := func(i int) []float64 {
+		return []float64{8 * math.Sin(float64(i)*0.11), 8 * math.Cos(float64(i)*0.07)}
+	}
+	for i := 0; i < 400; i++ {
+		if err := ls.AppendFrame(i, frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ls.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seals) != 1 || seals[0].incremental {
+		t.Fatalf("first seal = %+v, want one full rebuild", seals)
+	}
+
+	// More appends populate the delta log; poison it with a flat index
+	// outside the cube so the engine's batched sparse append must reject
+	// the replay.
+	for i := 400; i < 500; i++ {
+		if err := ls.AppendFrame(i, frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ls.mu.Lock()
+	if !ls.track || len(ls.delta) == 0 {
+		ls.mu.Unlock()
+		t.Fatal("delta log not tracking after first seal")
+	}
+	ls.delta = append(ls.delta, uint32(len(ls.cube))+12345)
+	ls.mu.Unlock()
+	if _, err := ls.Seal(); err == nil {
+		t.Fatal("seal with a poisoned delta log succeeded")
+	}
+	if len(seals) != 1 {
+		t.Fatalf("failed seal reported to observer: %+v", seals)
+	}
+
+	// The failed replay left the cached engine in an unknown state; the
+	// next seal must not trust it.
+	st, err := ls.Seal()
+	if err != nil {
+		t.Fatalf("seal after replay failure: %v", err)
+	}
+	if len(seals) != 2 || seals[1].incremental {
+		t.Fatalf("recovery seal = %+v, want a full rebuild", seals)
+	}
+
+	// Answers must match a store that never saw the poisoned path (built
+	// without the observer so it doesn't pollute the seal record).
+	cleanCfg := cfg
+	cleanCfg.SealObserver = nil
+	clean, err := NewLiveStore(mins, maxs, cleanCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := clean.AppendFrame(i, frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cleanSt, err := clean.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ch := 0; ch < 2; ch++ {
+		got, gotBound, err := st.ApproximateCount(ch, 0, 5, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantBound, err := cleanSt.ApproximateCount(ch, 0, 5, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 || math.Abs(gotBound-wantBound) > 1e-9 {
+			t.Fatalf("ch %d: rebuilt store answers %v±%v, clean %v±%v", ch, got, gotBound, want, wantBound)
+		}
+	}
+
+	// And the incremental path works again after the rebuild.
+	for i := 500; i < 520; i++ {
+		if err := ls.AppendFrame(i, frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ls.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seals) != 3 || !seals[2].incremental {
+		t.Fatalf("post-recovery seal = %+v, want incremental", seals)
+	}
+}

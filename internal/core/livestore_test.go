@@ -289,7 +289,7 @@ func TestLiveStoreConcurrentIngestAndQuery(t *testing.T) {
 				default:
 				}
 				counts := make([]float64, channels)
-				for c := 0; c < channels; c++ {
+				for c := 1; c < channels; c++ {
 					n, err := ls.CountSamples(c, 0, 1e9)
 					if err != nil {
 						t.Error(err)
@@ -297,11 +297,20 @@ func TestLiveStoreConcurrentIngestAndQuery(t *testing.T) {
 					}
 					counts[c] = n
 				}
-				// Channel 0 is counted first by AppendFrame; later
-				// channels can never be ahead of it by a full frame.
+				// Channel 0 is counted first by AppendFrame, so at any
+				// instant no channel is ahead of it, and counts only grow:
+				// a channel-0 count read AFTER the others bounds them all.
+				// (Reading it first would race the appender: a frame landing
+				// between the reads legitimately puts later channels ahead
+				// of a stale channel-0 value.)
+				c0, err := ls.CountSamples(0, 0, 1e9)
+				if err != nil {
+					t.Error(err)
+					return
+				}
 				for c := 1; c < channels; c++ {
-					if counts[c] > counts[0] {
-						t.Errorf("channel %d count %v ahead of channel 0 (%v)", c, counts[c], counts[0])
+					if counts[c] > c0 {
+						t.Errorf("channel %d count %v ahead of channel 0 (%v)", c, counts[c], c0)
 						return
 					}
 				}

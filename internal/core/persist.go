@@ -79,12 +79,33 @@ func ReadStore(r io.Reader) (*Store, error) {
 	if channels == 0 || channels > 4096 {
 		return nil, fmt.Errorf("core: implausible channel count %d", channels)
 	}
+	// Every field below sizes an allocation or a divisor somewhere in the
+	// query path, so a corrupt header must be rejected here, not later.
+	for _, d := range []struct {
+		name string
+		v    uint32
+		max  uint32
+	}{
+		{"time buckets", timeBuckets, 1 << 24},
+		{"value bins", valueBins, 1 << 16},
+	} {
+		if d.v == 0 || d.v > d.max || d.v&(d.v-1) != 0 {
+			return nil, fmt.Errorf("core: implausible %s %d", d.name, d.v)
+		}
+	}
+	if ticksPerBucket == 0 || ticksPerBucket > 1<<30 {
+		return nil, fmt.Errorf("core: implausible ticks per bucket %d", ticksPerBucket)
+	}
+	rate := math.Float64frombits(rateBits)
+	if !(rate > 0) || math.IsInf(rate, 0) || rate > 1e9 {
+		return nil, fmt.Errorf("core: implausible rate %v", rate)
+	}
 	st := &Store{
 		Channels:       int(channels),
 		TimeBuckets:    int(timeBuckets),
 		ValueBins:      int(valueBins),
 		TicksPerBucket: int(ticksPerBucket),
-		Rate:           math.Float64frombits(rateBits),
+		Rate:           rate,
 		quant:          make([]compress.Quantizer, channels),
 	}
 	for c := range st.quant {
@@ -98,15 +119,31 @@ func ReadStore(r io.Reader) (*Store, error) {
 		if bits < 1 || bits > 16 {
 			return nil, fmt.Errorf("core: implausible quantiser bits %d", bits)
 		}
+		min := math.Float64frombits(minBits)
+		max := math.Float64frombits(maxBits)
+		if math.IsNaN(min) || math.IsNaN(max) || math.IsInf(min, 0) || math.IsInf(max, 0) || max < min {
+			return nil, fmt.Errorf("core: implausible quantiser range [%v, %v]", min, max)
+		}
 		st.quant[c] = compress.Quantizer{
-			Min:  math.Float64frombits(minBits),
-			Max:  math.Float64frombits(maxBits),
+			Min:  min,
+			Max:  max,
 			Bits: int(bits),
 		}
 	}
 	eng, err := propolyne.ReadEngine(br)
 	if err != nil {
 		return nil, err
+	}
+	// The engine's cube must be the header's cube; a mismatch means the two
+	// sections came from different stores (or one was tampered with).
+	want := []int{nextPow2(st.Channels), st.TimeBuckets, st.ValueBins}
+	if len(eng.Dims) != len(want) {
+		return nil, fmt.Errorf("core: engine has %d dims, want %d", len(eng.Dims), len(want))
+	}
+	for i, n := range want {
+		if eng.Dims[i] != n {
+			return nil, fmt.Errorf("core: engine dims %v do not match store shape %v", []int(eng.Dims), want)
+		}
 	}
 	st.Engine = eng
 	return st, nil

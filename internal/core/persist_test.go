@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"path/filepath"
 	"testing"
@@ -76,6 +77,114 @@ func TestReadStoreRejectsCorruption(t *testing.T) {
 		"empty":     {},
 		"bad magic": append([]byte("WRONGMAG"), good[8:]...),
 		"truncated": good[:len(good)/2],
+	} {
+		if _, err := ReadStore(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestReadStoreEveryTruncation feeds ReadStore every strict prefix of a
+// valid store. Each one must come back as an error — never a panic, and
+// never an allocation driven by a length field the truncation cut short.
+func TestReadStoreEveryTruncation(t *testing.T) {
+	s := New(Config{TimeBuckets: 8, ValueBins: 8})
+	st, err := s.BuildStore(syntheticFrames(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for i := 0; i < len(good); i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("prefix %d/%d panicked: %v", i, len(good), r)
+				}
+			}()
+			if _, err := ReadStore(bytes.NewReader(good[:i])); err == nil {
+				t.Errorf("prefix %d/%d accepted", i, len(good))
+			}
+		}()
+	}
+	// Sanity: the full file still parses.
+	if _, err := ReadStore(bytes.NewReader(good)); err != nil {
+		t.Fatalf("intact store rejected: %v", err)
+	}
+}
+
+// TestReadStoreFlippedHeaderBits flips every bit of the structural header
+// (magic + channel/bucket/bin counts). A single-bit flip there always
+// yields either a non-power-of-two, a zero, or a shape that contradicts
+// the engine section, so every one must be rejected.
+func TestReadStoreFlippedHeaderBits(t *testing.T) {
+	s := New(Config{TimeBuckets: 8, ValueBins: 8})
+	st, err := s.BuildStore(syntheticFrames(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	const structuralEnd = 8 + 4 + 4 + 4 // magic, channels, timeBuckets, valueBins
+	for off := 0; off < structuralEnd; off++ {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), good...)
+			bad[off] ^= 1 << bit
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("flip byte %d bit %d panicked: %v", off, bit, r)
+					}
+				}()
+				if _, err := ReadStore(bytes.NewReader(bad)); err == nil {
+					t.Errorf("flip byte %d bit %d accepted", off, bit)
+				}
+			}()
+		}
+	}
+}
+
+func TestReadStoreRejectsImplausibleHeader(t *testing.T) {
+	s := New(Config{TimeBuckets: 8, ValueBins: 8})
+	st, err := s.BuildStore(syntheticFrames(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	patch := func(off int, v uint32) []byte {
+		b := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(b[off:], v)
+		return b
+	}
+	patch64 := func(off int, v uint64) []byte {
+		b := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint64(b[off:], v)
+		return b
+	}
+	for name, data := range map[string][]byte{
+		"zero time buckets":     patch(12, 0),
+		"non-pow2 time buckets": patch(12, 12),
+		"huge time buckets":     patch(12, 1<<25),
+		"zero value bins":       patch(16, 0),
+		"huge value bins":       patch(16, 1<<20),
+		"zero ticks per bucket": patch(20, 0),
+		"huge ticks per bucket": patch(20, 1<<31),
+		"zero rate":             patch64(24, 0),
+		"negative rate":         patch64(24, math.Float64bits(-100)),
+		"NaN rate":              patch64(24, math.Float64bits(math.NaN())),
+		"inf rate":              patch64(24, math.Float64bits(math.Inf(1))),
+		"NaN quantiser min":     patch64(32, math.Float64bits(math.NaN())),
+		"inverted quantiser":    patch64(40, math.Float64bits(-1e9)),
 	} {
 		if _, err := ReadStore(bytes.NewReader(data)); err == nil {
 			t.Errorf("%s accepted", name)

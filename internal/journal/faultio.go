@@ -1,0 +1,155 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"time"
+)
+
+// FaultPlan injects storage failures underneath the WAL through
+// Config.OpenFile: torn writes at arbitrary byte offsets, silently
+// flipped bits, and delayed or failing fsync. Offsets are cumulative
+// across every file opened through the plan, so a test can aim a fault at
+// a byte that lands mid-record regardless of segment rotation. It exists
+// for recovery tests; production configs never set it.
+type FaultPlan struct {
+	mu        sync.Mutex
+	written   int64
+	tearAt    int64
+	torn      bool
+	flipAt    int64
+	flipMask  byte
+	flipDone  bool
+	syncErr   error
+	syncDelay time.Duration
+	syncs     int
+}
+
+// ErrInjectedTear is returned by a write the plan tore short.
+var ErrInjectedTear = errors.New("journal: injected torn write")
+
+// NewFaultPlan returns a plan with no faults armed.
+func NewFaultPlan() *FaultPlan { return &FaultPlan{tearAt: -1, flipAt: -1} }
+
+// TearAt arms a torn write: the write crossing cumulative byte offset n
+// persists only its prefix up to n and fails; every later write fails too
+// until Heal is called (the disk stays "dead").
+func (p *FaultPlan) TearAt(n int64) {
+	p.mu.Lock()
+	p.tearAt = n
+	p.mu.Unlock()
+}
+
+// Heal clears a tear so writes succeed again.
+func (p *FaultPlan) Heal() {
+	p.mu.Lock()
+	p.tearAt = -1
+	p.torn = false
+	p.mu.Unlock()
+}
+
+// FlipBit arms a silent corruption: the write covering cumulative byte
+// offset n has mask XORed into that byte, and the write still succeeds.
+func (p *FaultPlan) FlipBit(n int64, mask byte) {
+	p.mu.Lock()
+	p.flipAt = n
+	p.flipMask = mask
+	p.flipDone = false
+	p.mu.Unlock()
+}
+
+// FailSync makes every subsequent Sync return err (nil restores success).
+func (p *FaultPlan) FailSync(err error) {
+	p.mu.Lock()
+	p.syncErr = err
+	p.mu.Unlock()
+}
+
+// DelaySync makes every subsequent Sync sleep d first.
+func (p *FaultPlan) DelaySync(d time.Duration) {
+	p.mu.Lock()
+	p.syncDelay = d
+	p.mu.Unlock()
+}
+
+// Syncs reports how many Sync calls reached the plan.
+func (p *FaultPlan) Syncs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.syncs
+}
+
+// Written reports cumulative bytes successfully written through the plan.
+func (p *FaultPlan) Written() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.written
+}
+
+// Open creates a real file wrapped with the plan's faults; assign it to
+// Config.OpenFile.
+func (p *FaultPlan) Open(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, plan: p}, nil
+}
+
+type faultFile struct {
+	f    *os.File
+	plan *FaultPlan
+}
+
+func (ff *faultFile) Write(b []byte) (int, error) {
+	p := ff.plan
+	p.mu.Lock()
+	if p.torn {
+		p.mu.Unlock()
+		return 0, ErrInjectedTear
+	}
+	data := b
+	if !p.flipDone && p.flipAt >= 0 &&
+		p.flipAt >= p.written && p.flipAt < p.written+int64(len(b)) {
+		data = append([]byte(nil), b...)
+		data[p.flipAt-p.written] ^= p.flipMask
+		p.flipDone = true
+	}
+	if p.tearAt >= 0 && p.written+int64(len(b)) > p.tearAt {
+		keep := p.tearAt - p.written
+		if keep < 0 {
+			keep = 0
+		}
+		p.torn = true
+		p.mu.Unlock()
+		n, _ := ff.f.Write(data[:keep])
+		p.mu.Lock()
+		p.written += int64(n)
+		p.mu.Unlock()
+		return n, ErrInjectedTear
+	}
+	p.mu.Unlock()
+	n, err := ff.f.Write(data)
+	p.mu.Lock()
+	p.written += int64(n)
+	p.mu.Unlock()
+	return n, err
+}
+
+func (ff *faultFile) Sync() error {
+	p := ff.plan
+	p.mu.Lock()
+	p.syncs++
+	delay, serr := p.syncDelay, p.syncErr
+	p.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if serr != nil {
+		return serr
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }

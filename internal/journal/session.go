@@ -1,0 +1,155 @@
+package journal
+
+import (
+	"sync/atomic"
+	"time"
+
+	"aims/internal/core"
+	"aims/internal/stream"
+)
+
+// Session is one live session's durability handle: its WAL append side
+// plus snapshot bookkeeping. A single goroutine — the session's
+// acquisition consumer — calls AppendFrames, MaybeSnapshot and Close;
+// Processed/Degraded/Resumed are safe from any goroutine (the admin plane
+// reads them).
+type Session struct {
+	key   string
+	dir   string
+	cfg   Config
+	meta  Meta
+	wal   *wal
+	width int
+
+	processed  atomic.Uint64 // frames seen in consumer order (journaled or shed)
+	snapFrames atomic.Uint64 // watermark of the newest snapshot
+	degraded   atomic.Bool
+	resumed    bool
+	mgr        *Manager
+}
+
+// Key returns the session's directory key under the data dir.
+func (s *Session) Key() string { return s.key }
+
+// Resumed reports whether this handle adopted a recovered session.
+func (s *Session) Resumed() bool { return s.resumed }
+
+// Processed returns the frames seen so far in consumer order, including
+// any journaled by a previous incarnation before a crash.
+func (s *Session) Processed() uint64 { return s.processed.Load() }
+
+// Degraded reports whether the session has shed durability after a disk
+// failure. A successful snapshot heals it.
+func (s *Session) Degraded() bool { return s.degraded.Load() }
+
+// AppendFrames journals one acquisition batch before the caller appends it
+// to the live store. The frames count toward the session's processed order
+// whether or not the write lands, so snapshot watermarks stay truthful
+// even while durability is shed.
+//
+// On a write failure the behaviour follows Config.Degrade: DegradeBlock
+// retries (stalling the caller — the bounded ingest queue then applies
+// device backpressure) for as long as keepTrying returns true, then
+// degrades; DegradeShed degrades immediately. Degradation is reported once
+// through the Observer.
+func (s *Session) AppendFrames(frames []stream.Frame, keepTrying func() bool) {
+	start := s.processed.Load()
+	s.processed.Store(start + uint64(len(frames)))
+	if s.degraded.Load() {
+		return
+	}
+	for {
+		err := s.wal.append(start, frames, s.width)
+		if err == nil {
+			return
+		}
+		if s.cfg.Degrade == DegradeBlock && keepTrying != nil && keepTrying() {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		s.cfg.Logf("journal: session %s shedding durability: %v", s.key, err)
+		if s.degraded.CompareAndSwap(false, true) && s.cfg.Observer.Degraded != nil {
+			s.cfg.Observer.Degraded()
+		}
+		return
+	}
+}
+
+// MaybeSnapshot snapshots the live store once SnapshotFrames new frames
+// have been processed since the last snapshot. It reports whether a
+// snapshot was attempted.
+func (s *Session) MaybeSnapshot(ls *core.LiveStore) bool {
+	if s.cfg.SnapshotFrames < 0 {
+		return false
+	}
+	if s.processed.Load()-s.snapFrames.Load() < uint64(s.cfg.SnapshotFrames) {
+		return false
+	}
+	s.Snapshot(ls)
+	return true
+}
+
+// Snapshot seals the live store, writes it atomically, truncates the WAL
+// to the new watermark, and — if the session had shed durability — rotates
+// onto a fresh segment to restore it.
+func (s *Session) Snapshot(ls *core.LiveStore) error {
+	t0 := time.Now()
+	// The caller is the acquisition consumer, so the store holds exactly
+	// the processed frames: the watermark is read before sealing.
+	watermark := s.processed.Load()
+	st, err := ls.Seal()
+	if err == nil {
+		_, err = writeSnapshot(s.dir, watermark, st)
+	}
+	if err != nil {
+		s.cfg.Logf("journal: session %s snapshot failed: %v", s.key, err)
+		if s.cfg.Observer.SnapshotError != nil {
+			s.cfg.Observer.SnapshotError()
+		}
+		return err
+	}
+	s.snapFrames.Store(watermark)
+	if err := s.wal.truncateBelow(watermark); err != nil {
+		s.cfg.Logf("journal: session %s wal truncation: %v", s.key, err)
+	}
+	if s.degraded.Load() {
+		// Everything up to the watermark is durable again; restart the log
+		// there so the journaled stream stays gap-free from this point.
+		s.wal.mu.Lock()
+		err := s.wal.rotateLocked(watermark)
+		s.wal.mu.Unlock()
+		if err == nil {
+			s.degraded.Store(false)
+			if s.cfg.Observer.Healed != nil {
+				s.cfg.Observer.Healed()
+			}
+		}
+	}
+	if s.cfg.Observer.SnapshotSeconds != nil {
+		s.cfg.Observer.SnapshotSeconds(time.Since(t0).Seconds())
+	}
+	return nil
+}
+
+// Close makes the session durable one final time and releases its files:
+// a final snapshot if frames arrived since the last one (falling back to a
+// WAL sync if the snapshot fails), then the WAL is closed and the
+// session's key released for a future reconnect to adopt.
+func (s *Session) Close(ls *core.LiveStore) error {
+	var err error
+	if ls != nil && s.processed.Load() > s.snapFrames.Load() {
+		if serr := s.Snapshot(ls); serr != nil {
+			err = serr
+			if ferr := s.wal.sync(); ferr != nil {
+				s.cfg.Logf("journal: session %s final sync failed: %v", s.key, ferr)
+			}
+		}
+	}
+	if cerr := s.wal.close(); err == nil {
+		err = cerr
+	}
+	if s.mgr != nil {
+		s.mgr.release(s.key)
+	}
+	return err
+}

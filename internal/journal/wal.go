@@ -1,0 +1,463 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"aims/internal/stream"
+	"aims/internal/wire"
+)
+
+// WAL on-disk format. Each segment file is
+//
+//	magic "AIMSWAL1" | firstFrame u64 |            (segment header)
+//	{ length u32 | crc32c u32 | type u8 | body }…  (records)
+//
+// in little-endian byte order. length counts the type byte plus the body;
+// the CRC (Castagnoli polynomial) covers the same span, so a torn tail, a
+// short read or a flipped bit anywhere in a record is detected and the log
+// is truncated at the last intact record. A frames record's body is the
+// wire batch encoding with Seq carrying the absolute index of the record's
+// first frame in the session's processed-frame order — replay uses it to
+// skip frames already covered by a snapshot and to tolerate gaps left by a
+// degraded (durability-shedding) period.
+
+var walMagic = [8]byte{'A', 'I', 'M', 'S', 'W', 'A', 'L', '1'}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	walHeaderSize  = 16
+	recHeaderSize  = 9
+	recFrames      = byte(1)
+	maxRecordBytes = wire.MaxPayload + 1 // type byte + a maximal wire batch
+)
+
+const segPrefix = "wal-"
+
+func segName(seq int) string { return fmt.Sprintf("%s%08d.log", segPrefix, seq) }
+
+// segSeq parses a segment file name; ok=false for non-segment files.
+func segSeq(name string) (int, bool) {
+	var seq int
+	if n, err := fmt.Sscanf(name, segPrefix+"%08d.log", &seq); n == 1 && err == nil {
+		return seq, true
+	}
+	return 0, false
+}
+
+// listSegments returns the directory's WAL segment sequence numbers in
+// ascending order.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, e := range entries {
+		if seq, ok := segSeq(e.Name()); ok && !e.IsDir() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// wal is one session's segmented write-ahead log, append side. A single
+// goroutine (the session's acquisition consumer) appends; the mutex exists
+// for the deferred-fsync timer and Close.
+type wal struct {
+	dir string
+	cfg Config
+
+	mu         sync.Mutex
+	f          File
+	seq        int
+	size       int64
+	dirty      bool
+	timerArmed bool
+	needRotate bool  // last write failed mid-record: rotate before reuse
+	asyncErr   error // deferred-fsync failure, surfaced on the next append
+
+	scratch []byte // record build buffer, reused across appends
+}
+
+// openWAL starts appending to a fresh segment numbered after any existing
+// ones, whose records begin at absolute frame index firstFrame.
+func openWAL(dir string, firstFrame uint64, cfg Config) (*wal, error) {
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 1
+	if len(seqs) > 0 {
+		next = seqs[len(seqs)-1] + 1
+	}
+	w := &wal{dir: dir, cfg: cfg, seq: next - 1}
+	if err := w.rotateLocked(firstFrame); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// rotateLocked closes the current segment and opens the next, writing its
+// header. Callers hold w.mu (or own the wal exclusively).
+func (w *wal) rotateLocked(firstFrame uint64) error {
+	if w.f != nil {
+		switch {
+		case w.cfg.Fsync == FsyncInterval && w.dirty:
+			// Retire the old segment off the append path: an inline sync
+			// here stalls ingest for a full device flush of the segment.
+			go func(f File) {
+				if err := f.Sync(); err != nil {
+					w.noteAsyncErr(err)
+				}
+				f.Close()
+			}(w.f)
+		case w.cfg.Fsync == FsyncBatch && w.dirty:
+			w.syncLocked() // best effort; the old segment is already on disk
+			w.f.Close()
+		default:
+			// Clean, or FsyncOff: flushing is the page cache's business.
+			w.f.Close()
+		}
+		w.f = nil
+	}
+	seq := w.seq + 1
+	f, err := w.cfg.OpenFile(filepath.Join(w.dir, segName(seq)))
+	if err != nil {
+		return err
+	}
+	var hdr [walHeaderSize]byte
+	copy(hdr[:8], walMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], firstFrame)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		os.Remove(filepath.Join(w.dir, segName(seq)))
+		return err
+	}
+	w.f = f
+	w.seq = seq
+	w.size = walHeaderSize
+	w.dirty = true
+	w.needRotate = false
+	return nil
+}
+
+// append frames one record carrying the batch whose first frame has
+// absolute index startFrame, rotating and syncing per policy.
+func (w *wal) append(startFrame uint64, frames []stream.Frame, width int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Build the record in the reused scratch buffer: 9 header bytes, then
+	// the body encoded in place (no intermediate allocation or copy).
+	rec := append(w.scratch[:0], make([]byte, recHeaderSize)...)
+	rec, err := wire.AppendBatch(rec, startFrame, frames, width)
+	if err != nil {
+		return err
+	}
+	w.scratch = rec
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(rec)-8)) // type byte + body
+	rec[8] = recFrames
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(rec[8:], crcTable))
+
+	if err := w.asyncErr; err != nil {
+		w.asyncErr = nil
+		w.needRotate = true
+		return err
+	}
+	if w.needRotate || w.size >= w.cfg.SegmentBytes {
+		// Either the previous write tore a record into the current segment
+		// (recovery will CRC-stop there) or the segment is full; both cases
+		// continue on a fresh file.
+		if err := w.rotateLocked(startFrame); err != nil {
+			return err
+		}
+	}
+	if _, err := w.f.Write(rec); err != nil {
+		w.needRotate = true
+		return err
+	}
+	w.size += int64(len(rec))
+	w.dirty = true
+	if w.cfg.Observer.AppendBytes != nil {
+		w.cfg.Observer.AppendBytes(len(rec))
+	}
+	switch w.cfg.Fsync {
+	case FsyncBatch:
+		return w.syncLocked()
+	case FsyncInterval:
+		if !w.timerArmed {
+			w.timerArmed = true
+			time.AfterFunc(w.cfg.FsyncInterval, w.timedSync)
+		}
+	}
+	return nil
+}
+
+// timedSync runs the deferred fsync outside the append lock so a slow
+// device flush never stalls ingest. The dirty flag is surrendered before
+// syncing: a write landing mid-sync re-marks it (and re-arms the timer on
+// its append), so it is covered by the next interval even if this flush
+// missed it.
+func (w *wal) timedSync() {
+	w.mu.Lock()
+	w.timerArmed = false
+	f := w.f
+	if !w.dirty || f == nil {
+		w.mu.Unlock()
+		return
+	}
+	w.dirty = false
+	w.mu.Unlock()
+
+	t0 := time.Now()
+	err := f.Sync()
+	if w.cfg.Observer.FsyncSeconds != nil {
+		w.cfg.Observer.FsyncSeconds(time.Since(t0).Seconds())
+	}
+	if err != nil && !errors.Is(err, os.ErrClosed) {
+		// A rotation may close the segment mid-sync; that is not a
+		// durability failure (the rotation path syncs retiring segments).
+		w.noteAsyncErr(err)
+	}
+}
+
+// noteAsyncErr records a background sync failure for the next append to
+// surface (and degrade on, per policy).
+func (w *wal) noteAsyncErr(err error) {
+	w.mu.Lock()
+	if w.asyncErr == nil {
+		w.asyncErr = err
+	}
+	w.mu.Unlock()
+}
+
+func (w *wal) syncLocked() error {
+	t0 := time.Now()
+	err := w.f.Sync()
+	if w.cfg.Observer.FsyncSeconds != nil {
+		w.cfg.Observer.FsyncSeconds(time.Since(t0).Seconds())
+	}
+	if err == nil {
+		w.dirty = false
+	}
+	return err
+}
+
+// sync forces the current segment to stable storage.
+func (w *wal) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil || !w.dirty {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// close syncs and closes the current segment.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	var err error
+	if w.dirty {
+		err = w.syncLocked()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// truncateBelow deletes segments made fully redundant by a snapshot at the
+// given frame watermark: a segment may go once the NEXT segment starts at
+// or below the watermark (so every record it holds is covered). The open
+// (last) segment is never deleted.
+func (w *wal) truncateBelow(watermark uint64) error {
+	w.mu.Lock()
+	cur := w.seq
+	w.mu.Unlock()
+	seqs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(seqs); i++ {
+		if seqs[i] >= cur {
+			break
+		}
+		nextFirst, err := readSegmentFirstFrame(filepath.Join(w.dir, segName(seqs[i+1])))
+		if err != nil || nextFirst > watermark {
+			break
+		}
+		if err := os.Remove(filepath.Join(w.dir, segName(seqs[i]))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readSegmentFirstFrame(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, err
+	}
+	if [8]byte(hdr[:8]) != walMagic {
+		return 0, fmt.Errorf("journal: bad segment magic in %s", filepath.Base(path))
+	}
+	return binary.LittleEndian.Uint64(hdr[8:]), nil
+}
+
+// replayResult reports one directory's WAL replay.
+type replayResult struct {
+	// processed is the absolute frame index after the last replayed
+	// record (the recovered session's processed-frame count).
+	processed uint64
+	// truncated reports that a torn tail / corrupt record was found and
+	// the log was cut back to the last valid record.
+	truncated bool
+}
+
+// replayWAL streams every intact frames record at or above the watermark
+// through fn, in processed-frame order. Records wholly below the watermark
+// are skipped; a record straddling it is delivered with its covered prefix
+// trimmed. Corruption anywhere — bad segment header, short read, CRC
+// mismatch, undecodable body, out-of-order frame index — truncates the log
+// at the last valid record: the offending segment is cut back and all
+// later segments are dropped, because records past a tear cannot be
+// trusted to be gap-free.
+func replayWAL(dir string, watermark uint64, width int, fn func(startFrame uint64, frames []stream.Frame) error) (replayResult, error) {
+	res := replayResult{processed: watermark}
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return res, err
+	}
+	expect := uint64(0) // next frame index an intact log would carry
+	for i, seq := range seqs {
+		path := filepath.Join(dir, segName(seq))
+		keepFrom, segEnd, corrupt, err := replaySegment(path, watermark, width, &expect, &res, fn)
+		if err != nil {
+			return res, err
+		}
+		if corrupt {
+			res.truncated = true
+			if keepFrom == 0 {
+				// Nothing valid in this segment (bad header or first
+				// record): drop the file entirely.
+				os.Remove(path)
+			} else if keepFrom < segEnd {
+				os.Truncate(path, keepFrom)
+			}
+			for _, later := range seqs[i+1:] {
+				os.Remove(filepath.Join(dir, segName(later)))
+			}
+			break
+		}
+	}
+	return res, nil
+}
+
+// replaySegment scans one segment. It returns the byte offset up to which
+// the file is intact (0 if even the header is bad), the scanned size, and
+// whether a corrupt record cut the scan short.
+func replaySegment(path string, watermark uint64, width int, expect *uint64, res *replayResult, fn func(uint64, []stream.Frame) error) (keepFrom, segEnd int64, corrupt bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+	br := newByteCounter(f)
+
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil || [8]byte(hdr[:8]) != walMagic {
+		return 0, br.n, true, nil
+	}
+	first := binary.LittleEndian.Uint64(hdr[8:])
+	if first < *expect {
+		// A segment rewinding the frame clock cannot be trusted.
+		return 0, br.n, true, nil
+	}
+	*expect = first
+	good := br.n
+
+	var rh [recHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(br, rh[:]); err != nil {
+			return good, br.n, err != io.EOF, nil // EOF at a boundary is a clean end
+		}
+		length := binary.LittleEndian.Uint32(rh[0:4])
+		if length == 0 || length > maxRecordBytes {
+			return good, br.n, true, nil
+		}
+		want := binary.LittleEndian.Uint32(rh[4:8])
+		body := make([]byte, length-1)
+		crc := crc32.Checksum(rh[8:9], crcTable)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return good, br.n, true, nil
+		}
+		if crc32.Update(crc, crcTable, body) != want {
+			return good, br.n, true, nil
+		}
+		if rh[8] != recFrames {
+			// Unknown record type from a future format revision: skip it
+			// (the CRC already vouched for its integrity).
+			good = br.n
+			continue
+		}
+		b, err := wire.DecodeBatch(body, width)
+		if err != nil {
+			return good, br.n, true, nil
+		}
+		if b.Seq < *expect {
+			// Frame indices never go backwards in an intact log; gaps
+			// (from a degraded period) are allowed, overlaps are not.
+			return good, br.n, true, nil
+		}
+		*expect = b.Seq + uint64(len(b.Frames))
+		good = br.n
+		end := b.Seq + uint64(len(b.Frames))
+		if end > watermark {
+			frames := b.Frames
+			start := b.Seq
+			if start < watermark {
+				frames = frames[watermark-start:]
+				start = watermark
+			}
+			if err := fn(start, frames); err != nil {
+				return good, br.n, false, err
+			}
+			res.processed = end
+		}
+	}
+}
+
+// byteCounter counts bytes consumed from the underlying reader so the
+// replay can truncate at exact record boundaries.
+type byteCounter struct {
+	r io.Reader
+	n int64
+}
+
+func newByteCounter(r io.Reader) *byteCounter { return &byteCounter{r: r} }
+
+func (b *byteCounter) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,35 @@
+package journal
+
+import (
+	"testing"
+
+	"aims/internal/stream"
+)
+
+// BenchmarkWALAppend measures the page-cache append cost (FsyncOff) for
+// one 256-frame × 8-channel batch — the per-batch tax the WAL adds to the
+// ingest path between fsyncs.
+func BenchmarkWALAppend(b *testing.B) {
+	dir := b.TempDir()
+	w, err := openWAL(dir, 0, Config{Fsync: FsyncOff}.withDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.close()
+	const batch, channels = 256, 8
+	frames := make([]stream.Frame, batch)
+	for i := range frames {
+		vals := make([]float64, channels)
+		for c := range vals {
+			vals[c] = float64(i + c)
+		}
+		frames[i] = stream.Frame{T: float64(i) / 1000, Values: vals}
+	}
+	b.SetBytes(batch * (channels + 1) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.append(uint64(i*batch), frames, channels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"aims/internal/stream"
+)
+
+func testFrames(n, channels int, start uint64) []stream.Frame {
+	frames := make([]stream.Frame, n)
+	for i := range frames {
+		vals := make([]float64, channels)
+		for c := range vals {
+			vals[c] = float64(start) + float64(i) + float64(c)/10
+		}
+		frames[i] = stream.Frame{T: float64(start+uint64(i)) / 100, Values: vals}
+	}
+	return frames
+}
+
+// collect replays a directory's WAL into a flat frame list.
+func collect(t *testing.T, dir string, watermark uint64, width int) ([]stream.Frame, replayResult) {
+	t.Helper()
+	var got []stream.Frame
+	res, err := replayWAL(dir, watermark, width, func(start uint64, frames []stream.Frame) error {
+		got = append(got, frames...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, res
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Fsync: FsyncBatch}.withDefaults()
+	w, err := openWAL(dir, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next uint64
+	for batch := 0; batch < 7; batch++ {
+		frames := testFrames(5+batch, 3, next)
+		if err := w.append(next, frames, 3); err != nil {
+			t.Fatal(err)
+		}
+		next += uint64(len(frames))
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	got, res := collect(t, dir, 0, 3)
+	if uint64(len(got)) != next || res.processed != next || res.truncated {
+		t.Fatalf("replayed %d frames (processed=%d truncated=%v), want %d", len(got), res.processed, res.truncated, next)
+	}
+	if got[11].Values[1] != testFrames(1, 3, 11)[0].Values[1] {
+		t.Fatal("frame content drift")
+	}
+}
+
+func TestWALSegmentRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Fsync: FsyncOff, SegmentBytes: 2048}.withDefaults()
+	w, err := openWAL(dir, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next uint64
+	for batch := 0; batch < 40; batch++ {
+		frames := testFrames(8, 2, next)
+		if err := w.append(next, frames, 2); err != nil {
+			t.Fatal(err)
+		}
+		next += 8
+	}
+	seqs, _ := listSegments(dir)
+	if len(seqs) < 3 {
+		t.Fatalf("expected rotation, got %d segments", len(seqs))
+	}
+	got, res := collect(t, dir, 0, 2)
+	if uint64(len(got)) != next || res.truncated {
+		t.Fatalf("replayed %d/%d", len(got), next)
+	}
+
+	// A mid-stream watermark trims the covered prefix exactly.
+	got, res = collect(t, dir, 100, 2)
+	if uint64(len(got)) != next-100 || res.processed != next {
+		t.Fatalf("watermark replay got %d frames, processed %d", len(got), res.processed)
+	}
+
+	// Truncation drops only segments wholly below the watermark, and the
+	// remaining log still replays everything past it.
+	if err := w.truncateBelow(next / 2); err != nil {
+		t.Fatal(err)
+	}
+	left, _ := listSegments(dir)
+	if len(left) >= len(seqs) || len(left) == 0 {
+		t.Fatalf("truncate kept %d of %d segments", len(left), len(seqs))
+	}
+	got, _ = collect(t, dir, next/2, 2)
+	if uint64(len(got)) != next-next/2 {
+		t.Fatalf("post-truncate replay got %d, want %d", len(got), next-next/2)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALTornTailTruncatedAtLastValidRecord(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewFaultPlan()
+	cfg := Config{Dir: dir, Fsync: FsyncOff, OpenFile: plan.Open}.withDefaults()
+	w, err := openWAL(dir, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.append(uint64(i*4), testFrames(4, 2, uint64(i*4)), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the sixth batch a few bytes into its record.
+	plan.TearAt(plan.Written() + 13)
+	if err := w.append(20, testFrames(4, 2, 20), 2); !errors.Is(err, ErrInjectedTear) {
+		t.Fatalf("torn write returned %v", err)
+	}
+	w.close()
+
+	got, res := collect(t, dir, 0, 2)
+	if len(got) != 20 || !res.truncated || res.processed != 20 {
+		t.Fatalf("recovered %d frames (truncated=%v processed=%d), want 20", len(got), res.truncated, res.processed)
+	}
+	// The replay physically cut the tail: a second replay is clean, and a
+	// fresh WAL can continue from the recovered index.
+	got, res = collect(t, dir, 0, 2)
+	if len(got) != 20 || res.truncated {
+		t.Fatalf("second replay: %d frames truncated=%v", len(got), res.truncated)
+	}
+	plan.Heal()
+	w2, err := openWAL(dir, 20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.append(20, testFrames(4, 2, 20), 2); err != nil {
+		t.Fatal(err)
+	}
+	w2.close()
+	got, res = collect(t, dir, 0, 2)
+	if len(got) != 24 || res.truncated {
+		t.Fatalf("after continue: %d frames truncated=%v", len(got), res.truncated)
+	}
+}
+
+func TestWALBitFlipDetectedByCRC(t *testing.T) {
+	for _, off := range []int64{0, 3, 4, 8, 9, 25} {
+		dir := t.TempDir()
+		plan := NewFaultPlan()
+		cfg := Config{Dir: dir, Fsync: FsyncOff, OpenFile: plan.Open}.withDefaults()
+		w, err := openWAL(dir, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.append(0, testFrames(6, 2, 0), 2); err != nil {
+			t.Fatal(err)
+		}
+		// Flip one bit inside the second record (off bytes past its start).
+		plan.FlipBit(plan.Written()+off, 0x10)
+		if err := w.append(6, testFrames(6, 2, 6), 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.append(12, testFrames(6, 2, 12), 2); err != nil {
+			t.Fatal(err)
+		}
+		w.close()
+		got, res := collect(t, dir, 0, 2)
+		// Everything from the flipped record on is untrusted.
+		if len(got) != 6 || !res.truncated {
+			t.Fatalf("offset %d: recovered %d frames truncated=%v, want 6", off, len(got), res.truncated)
+		}
+	}
+}
+
+func TestWALShortHeaderAndGarbageFiles(t *testing.T) {
+	dir := t.TempDir()
+	// A torn segment header (crash during rotation) must not break replay.
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), []byte("AIMSW"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, res := collect(t, dir, 0, 2)
+	if len(got) != 0 || !res.truncated {
+		t.Fatalf("torn header: %d frames truncated=%v", len(got), res.truncated)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); !os.IsNotExist(err) {
+		t.Fatal("headerless segment not removed")
+	}
+}
+
+func TestWALFsyncPolicies(t *testing.T) {
+	appendN := func(cfg Config, n int) *FaultPlan {
+		plan := NewFaultPlan()
+		cfg.OpenFile = plan.Open
+		cfg = cfg.withDefaults()
+		w, err := openWAL(cfg.Dir, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := w.append(uint64(i), testFrames(1, 1, uint64(i)), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.close()
+		return plan
+	}
+	if got := appendN(Config{Dir: t.TempDir(), Fsync: FsyncBatch}, 10).Syncs(); got < 10 {
+		t.Fatalf("batch policy synced %d times for 10 appends", got)
+	}
+	// Off: only the close-time sync.
+	if got := appendN(Config{Dir: t.TempDir(), Fsync: FsyncOff}, 10).Syncs(); got > 1 {
+		t.Fatalf("off policy synced %d times", got)
+	}
+	// Interval: far fewer syncs than appends, but at least one.
+	plan := appendN(Config{Dir: t.TempDir(), Fsync: FsyncInterval, FsyncInterval: 5 * time.Millisecond}, 10)
+	time.Sleep(30 * time.Millisecond)
+	if got := plan.Syncs(); got < 1 || got >= 10 {
+		t.Fatalf("interval policy synced %d times for 10 appends", got)
+	}
+}
+
+func TestWALAsyncFsyncErrorSurfacesAndRotates(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewFaultPlan()
+	cfg := Config{Dir: dir, Fsync: FsyncInterval, FsyncInterval: time.Millisecond, OpenFile: plan.Open}.withDefaults()
+	w, err := openWAL(dir, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(0, testFrames(2, 1, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	plan.FailSync(errors.New("injected fsync failure"))
+	deadline := time.Now().Add(time.Second)
+	var gotErr error
+	for time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+		if err := w.append(2, testFrames(1, 1, 2), 1); err != nil {
+			gotErr = err
+			break
+		}
+	}
+	if gotErr == nil {
+		t.Fatal("deferred fsync failure never surfaced on append")
+	}
+	plan.FailSync(nil)
+	// The next append lands on a fresh segment (the old tail is suspect).
+	if err := w.append(3, testFrames(1, 1, 3), 1); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	if seqs, _ := listSegments(dir); len(seqs) < 2 {
+		t.Fatalf("expected rotation after fsync failure, got %d segments", len(seqs))
+	}
+}

@@ -102,6 +102,9 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 		Bases:  make([]Basis, nd),
 		Levels: make([]int, nd),
 	}
+	// maxCells bounds the cube a corrupt header can make us allocate
+	// (2 GiB of float64) and keeps the running product from overflowing.
+	const maxCells = 1 << 28
 	size := 1
 	for d := range e.Dims {
 		var v uint32
@@ -110,6 +113,9 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 		}
 		if v == 0 || v > 1<<24 || v&(v-1) != 0 {
 			return nil, fmt.Errorf("propolyne: implausible dimension size %d", v)
+		}
+		if size > maxCells/int(v) {
+			return nil, fmt.Errorf("propolyne: cube %v exceeds %d cells", e.Dims[:d+1], maxCells)
 		}
 		e.Dims[d] = int(v)
 		size *= int(v)
@@ -130,6 +136,9 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 		if err := binary.Read(br, binary.LittleEndian, &levels); err != nil {
 			return nil, err
 		}
+		if levels > 32 {
+			return nil, fmt.Errorf("propolyne: implausible level count %d", levels)
+		}
 		e.Levels[d] = int(levels)
 		if std == 1 {
 			e.Bases[d] = Basis{Standard: true}
@@ -148,7 +157,7 @@ func ReadEngine(r io.Reader) (*Engine, error) {
 	if err := binary.Read(br, binary.LittleEndian, &nc); err != nil {
 		return nil, err
 	}
-	if int(nc) != size {
+	if nc != uint64(size) {
 		return nil, fmt.Errorf("propolyne: coefficient count %d != cube size %d", nc, size)
 	}
 	e.Coeffs = make([]float64, nc)

@@ -2,6 +2,7 @@ package propolyne
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -100,5 +101,56 @@ func TestReadEngineRejectsCorruption(t *testing.T) {
 	mut[12] = 7 // first dim least-significant byte → 7
 	if _, err := ReadEngine(bytes.NewReader(mut)); err == nil {
 		t.Error("non-power-of-two dimension accepted")
+	}
+}
+
+// TestReadEngineNoOverAllocation hand-crafts headers whose length fields
+// describe cubes far larger than the payload (or than memory); the reader
+// must reject them before allocating, and must survive every prefix
+// truncation of a valid blob without panicking.
+func TestReadEngineNoOverAllocation(t *testing.T) {
+	header := func(dims []uint32) []byte {
+		var b bytes.Buffer
+		b.Write([]byte("AIMSPPE1"))
+		binary.Write(&b, binary.LittleEndian, uint32(len(dims)))
+		for _, d := range dims {
+			binary.Write(&b, binary.LittleEndian, d)
+		}
+		return b.Bytes()
+	}
+	for name, data := range map[string][]byte{
+		// 16 maximal dims: the naive product overflows int64 back into
+		// small positives; must be caught by the cell cap, not the wrap.
+		"overflowing dims": header([]uint32{
+			1 << 24, 1 << 24, 1 << 24, 1 << 24, 1 << 24, 1 << 24, 1 << 24, 1 << 24,
+			1 << 24, 1 << 24, 1 << 24, 1 << 24, 1 << 24, 1 << 24, 1 << 24, 1 << 24,
+		}),
+		"huge cube": header([]uint32{1 << 24, 1 << 24}),
+	} {
+		if _, err := ReadEngine(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+
+	e, err := New(synth.SmoothCube([]int{8, 8}, 2), []int{8, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := e.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for i := 0; i < len(good); i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("prefix %d panicked: %v", i, r)
+				}
+			}()
+			if _, err := ReadEngine(bytes.NewReader(good[:i])); err == nil {
+				t.Errorf("prefix %d accepted", i)
+			}
+		}()
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/pprof"
@@ -25,6 +26,14 @@ type SessionInfo struct {
 	ShedBatches    uint64  `json:"shed_batches"`
 	ShedFrames     uint64  `json:"shed_frames"`
 	AppendErrors   uint64  `json:"append_errors"`
+
+	// Durability state: whether the session journals at all, whether it
+	// resumed recovered state, how many frames the journal has seen across
+	// incarnations, and whether it is currently shedding durability.
+	Durable         bool   `json:"durable"`
+	Resumed         bool   `json:"resumed"`
+	JournalFrames   uint64 `json:"journal_frames"`
+	JournalDegraded bool   `json:"journal_degraded"`
 }
 
 // Sessions snapshots every live session, sorted by ID. Counters are
@@ -46,6 +55,12 @@ func (s *Server) Sessions() []SessionInfo {
 		}
 		if sess.in != nil {
 			info.QueueLen = len(sess.in)
+		}
+		if sess.jsess != nil {
+			info.Durable = true
+			info.Resumed = sess.resumed
+			info.JournalFrames = sess.jsess.Processed()
+			info.JournalDegraded = sess.jsess.Degraded()
 		}
 		out = append(out, info)
 	})
@@ -97,6 +112,10 @@ func (s *Server) AdminHandler() http.Handler {
 			return
 		}
 		io.WriteString(w, "ok\n")
+		// Recovery state rides along on extra lines so a smoke test (or an
+		// operator) can confirm a restart adopted its prior sessions.
+		recovered, orphans := s.RecoveredSessions()
+		fmt.Fprintf(w, "recovered=%d orphans=%d\n", recovered, orphans)
 	})
 	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"aims/internal/journal"
+	"aims/internal/wire"
+)
+
+func durableConfig(dir string) Config {
+	return Config{
+		Store: testStoreCfg(),
+		Journal: journal.Config{
+			Dir:            dir,
+			Fsync:          journal.FsyncBatch,
+			SnapshotFrames: 200,
+		},
+	}
+}
+
+func exactAggregates(t *testing.T, c *wire.Client, t1 float64) (count, avg float64) {
+	t.Helper()
+	r, err := c.Query(wire.Query{Kind: wire.QueryCount, Channel: 0, T0: 0, T1: t1})
+	if err != nil {
+		t.Fatalf("count query: %v", err)
+	}
+	count = r.Value
+	r, err = c.Query(wire.Query{Kind: wire.QueryAverage, Channel: 0, T0: 0, T1: t1})
+	if err != nil {
+		t.Fatalf("average query: %v", err)
+	}
+	return count, r.Value
+}
+
+// TestDurableShutdownRestartServesSameAnswers is the durable-drain
+// round trip: ingest with journaling on, shut the server down with the
+// session still attached (the drain must make it durable), restart a new
+// server over the same data dir, reconnect under the same name, and
+// require the resumed session to answer exactly as the original did — no
+// frames lost — then keep streaming into it.
+func TestDurableShutdownRestartServesSameAnswers(t *testing.T) {
+	const (
+		channels = 3
+		frames   = 500
+		extra    = 100
+		rate     = 100.0
+	)
+	dir := t.TempDir()
+	mins, maxs := ranges(channels)
+	hello := wire.Hello{Rate: rate, HorizonTicks: 2000, Name: "glove tracker", Mins: mins, Maxs: maxs}
+	all := clientFrames(1, frames+extra, channels)
+
+	srv1, addr := startServer(t, durableConfig(dir))
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Hello(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Code != wire.CodeOK {
+		t.Fatalf("first registration code = %v, want ok", w.Code)
+	}
+	for at := 0; at < frames; at += 100 {
+		if err := c.SendBatch(all[at : at+100]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stored, err := c.Flush(); err != nil || stored != frames {
+		t.Fatalf("flush: stored=%d err=%v, want %d", stored, err, frames)
+	}
+	count0, avg0 := exactAggregates(t, c, 10)
+	if count0 != frames {
+		t.Fatalf("pre-restart count = %v, want %d", count0, frames)
+	}
+
+	// Shut down with the session still connected: the drain owes us a
+	// final snapshot (or WAL sync) covering every stored frame.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	c.Abort()
+
+	srv2, addr2 := startServer(t, durableConfig(dir))
+	n, err := srv2.RecoverSessions()
+	if err != nil || n != 1 {
+		t.Fatalf("recovered %d sessions (err=%v), want 1", n, err)
+	}
+	if rec, orph := srv2.RecoveredSessions(); rec != 1 || orph != 1 {
+		t.Fatalf("recovered=%d orphans=%d before reconnect, want 1/1", rec, orph)
+	}
+
+	c2, err := wire.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Abort()
+	w2, err := c2.Hello(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Code != wire.CodeResumed {
+		t.Fatalf("reconnect code = %v, want resumed", w2.Code)
+	}
+	if _, orph := srv2.RecoveredSessions(); orph != 0 {
+		t.Fatalf("orphans = %d after adoption, want 0", orph)
+	}
+	count1, avg1 := exactAggregates(t, c2, 10)
+	if count1 != count0 || math.Abs(avg1-avg0) > 1e-12 {
+		t.Fatalf("recovered answers drifted: count %v->%v avg %v->%v", count0, count1, avg0, avg1)
+	}
+
+	// The resumed session keeps ingesting where the old one stopped.
+	if err := c2.SendBatch(all[frames : frames+extra]); err != nil {
+		t.Fatal(err)
+	}
+	if stored, err := c2.Flush(); err != nil || stored != extra {
+		t.Fatalf("post-resume flush: stored=%d err=%v, want %d", stored, err, extra)
+	}
+	count2, _ := exactAggregates(t, c2, 10)
+	if count2 != float64(frames+extra) {
+		t.Fatalf("post-resume count = %v, want %d", count2, frames+extra)
+	}
+	if _, err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalOpenFailureFallsBackToMemoryOnly points the journal at an
+// unusable path (an existing regular file): the server must still serve
+// sessions, just without durability.
+func TestJournalOpenFailureFallsBackToMemoryOnly(t *testing.T) {
+	occupied := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(occupied, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, durableConfig(occupied))
+
+	mins, maxs := ranges(2)
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Abort()
+	w, err := c.Hello(wire.Hello{Rate: 100, HorizonTicks: 1000, Name: "memfall", Mins: mins, Maxs: maxs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Code != wire.CodeOK {
+		t.Fatalf("registration code = %v, want ok", w.Code)
+	}
+	if err := c.SendBatch(clientFrames(0, 50, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if stored, err := c.Flush(); err != nil || stored != 50 {
+		t.Fatalf("flush: stored=%d err=%v, want 50", stored, err)
+	}
+	for _, info := range srv.Sessions() {
+		if info.Durable {
+			t.Fatalf("session %d claims durability with a broken journal dir", info.ID)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aims/internal/journal"
 	"aims/internal/obs"
 	"aims/internal/wire"
 )
@@ -38,6 +39,12 @@ var sealBounds = []float64{
 
 // deltaBounds bucket the delta-log depth replayed by incremental seals.
 var deltaBounds = []float64{64, 256, 1024, 4096, 16384, 65536}
+
+// fsyncBounds bucket WAL fsync latencies: tens of microseconds on a warm
+// page cache, tens of milliseconds on a contended disk.
+var fsyncBounds = []float64{
+	20e-6, 100e-6, 500e-6, 2e-3, 10e-3, 50e-3, 250e-3,
+}
 
 func secondsBounds(ds []time.Duration) []float64 {
 	out := make([]float64, len(ds))
@@ -80,6 +87,15 @@ type metrics struct {
 	sealRebuildSeconds *obs.Histogram
 	sealDeltaEntries   *obs.Histogram
 
+	// Durability instruments (the journal layer reports through these).
+	walFsyncSeconds *obs.Histogram
+	walBytes        *obs.Counter
+	snapshotSeconds *obs.Histogram
+	snapshots       *obs.Counter
+	snapshotErrors  *obs.Counter
+	journalDegraded *obs.Counter
+	journalHealed   *obs.Counter
+
 	// Wire-protocol bytes, per direction and message type (header
 	// included). Indexed by the wire message type byte; nil entries are
 	// types that never flow in that direction.
@@ -114,6 +130,17 @@ func newMetrics() *metrics {
 			"Seal wall time by path.", sealBounds),
 		sealDeltaEntries: reg.Histogram("aims_seal_delta_entries",
 			"Delta-log entries replayed per incremental seal.", deltaBounds),
+		walFsyncSeconds: reg.Histogram("aims_wal_fsync_seconds",
+			"WAL fsync latency.", fsyncBounds),
+		walBytes: reg.Counter("aims_wal_bytes_total", "Bytes appended to session WALs."),
+		snapshotSeconds: reg.Histogram("aims_snapshot_seconds",
+			"Session snapshot wall time (seal + write + WAL truncation).", sealBounds),
+		snapshots:      reg.Counter("aims_snapshots_total", "Session snapshots written."),
+		snapshotErrors: reg.Counter("aims_snapshot_errors_total", "Session snapshots that failed."),
+		journalDegraded: reg.Counter("aims_journal_degraded_total",
+			"Times a session shed durability after journal write failures."),
+		journalHealed: reg.Counter("aims_journal_healed_total",
+			"Times a degraded session restored durability via a snapshot."),
 	}
 	reg.GaugeFunc("aims_query_latency_max_seconds", "Slowest query so far.",
 		func() float64 { return time.Duration(m.latencyMaxNS.Load()).Seconds() })
@@ -137,6 +164,19 @@ func (m *metrics) observeQuery(d time.Duration) {
 		if int64(d) <= cur || m.latencyMaxNS.CompareAndSwap(cur, int64(d)) {
 			return
 		}
+	}
+}
+
+// journalObserver wires the durability layer's callbacks onto this
+// server's instruments.
+func (m *metrics) journalObserver() journal.Observer {
+	return journal.Observer{
+		FsyncSeconds:    func(s float64) { m.walFsyncSeconds.Observe(s) },
+		AppendBytes:     func(n int) { m.walBytes.Add(uint64(n)) },
+		SnapshotSeconds: func(s float64) { m.snapshotSeconds.Observe(s); m.snapshots.Inc() },
+		SnapshotError:   func() { m.snapshotErrors.Inc() },
+		Degraded:        func() { m.journalDegraded.Inc() },
+		Healed:          func() { m.journalHealed.Inc() },
 	}
 }
 

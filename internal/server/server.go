@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"aims/internal/core"
+	"aims/internal/journal"
 	"aims/internal/obs"
 )
 
@@ -72,6 +73,11 @@ type Config struct {
 	// TraceBuffer bounds the completed-trace ring served by /tracez
 	// (default obs.DefaultTraceBuffer).
 	TraceBuffer int
+	// Journal configures the durability layer (per-session WAL +
+	// snapshots). An empty Journal.Dir leaves the server memory-only, as
+	// before; with a directory set, call RecoverSessions before Serve to
+	// adopt state a previous process left behind.
+	Journal journal.Config
 	// Logf receives server lifecycle logs (nil discards them).
 	Logf func(format string, args ...interface{})
 }
@@ -103,6 +109,9 @@ type Server struct {
 	nextID   atomic.Uint64
 	sessions *registry // sharded: registration/lookup stays flat at scale
 
+	journal   *journal.Manager // nil when durability is disabled
+	recovered atomic.Int64     // sessions rebuilt from disk at startup
+
 	wg      sync.WaitGroup // live session handlers
 	serveWg sync.WaitGroup // accept loops
 	metrics *metrics
@@ -122,7 +131,54 @@ func New(cfg Config) *Server {
 	if cfg.TraceSample >= 0 {
 		tracer = obs.NewTracer(cfg.TraceSample, cfg.TraceBuffer)
 	}
-	return &Server{cfg: cfg, sessions: newRegistry(), metrics: m, tracer: tracer}
+	s := &Server{cfg: cfg, sessions: newRegistry(), metrics: m, tracer: tracer}
+	if cfg.Journal.Dir != "" {
+		jcfg := cfg.Journal
+		jcfg.Observer = m.journalObserver()
+		if jcfg.Logf == nil {
+			jcfg.Logf = cfg.Logf
+		}
+		mgr, err := journal.OpenManager(jcfg)
+		if err != nil {
+			// The process can still serve memory-only; every session will
+			// report degraded durability through the counter.
+			cfg.Logf("journal disabled: %v", err)
+			m.journalDegraded.Inc()
+		} else {
+			s.journal = mgr
+		}
+	}
+	return s
+}
+
+// RecoverSessions scans the journal data directory and rebuilds every
+// session a previous process journaled there, making each available for
+// re-adoption when its device reconnects under the same session name. It
+// returns how many sessions were recovered; with durability disabled it is
+// a no-op. Call it once, before Serve.
+func (s *Server) RecoverSessions() (int, error) {
+	if s.journal == nil {
+		return 0, nil
+	}
+	recovered, err := s.journal.Recover(s.cfg.Store)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range recovered {
+		s.cfg.Logf("recovered session %q: %d frames (%d from snapshot, torn tail: %v)",
+			r.Key, r.Processed, r.Watermark, r.Truncated)
+	}
+	s.recovered.Store(int64(len(recovered)))
+	return len(recovered), nil
+}
+
+// RecoveredSessions reports how many sessions RecoverSessions rebuilt, and
+// how many of those still await re-adoption by their device.
+func (s *Server) RecoveredSessions() (recovered, orphaned int) {
+	if s.journal == nil {
+		return 0, 0
+	}
+	return int(s.recovered.Load()), s.journal.OrphanCount()
 }
 
 // Registry exposes the server's metrics registry (what the admin plane

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"aims/internal/core"
+	"aims/internal/journal"
 	"aims/internal/obs"
 	"aims/internal/stream"
 	"aims/internal/wire"
@@ -27,6 +28,12 @@ type session struct {
 	store *core.LiveStore
 	rate  float64
 	name  string // registration name from the Hello
+
+	// jsess is the session's durability handle (nil when the server runs
+	// memory-only or journaling failed at registration). resumed is true
+	// when registration adopted a store recovered from a previous process.
+	jsess   *journal.Session
+	resumed bool
 
 	in        chan stream.Frame
 	enqueued  atomic.Uint64 // frames pushed to the queue (written by the reader goroutine)
@@ -109,10 +116,17 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.register(sess)
 	defer s.unregister(sess)
 	w := wire.Welcome{SessionID: sess.id, Code: wire.CodeOK}
+	if sess.resumed {
+		w.Code = wire.CodeResumed
+	}
 	if sess.write(wire.MsgWelcome, w.Encode()) != nil || sess.bw.Flush() != nil {
+		if sess.jsess != nil {
+			sess.jsess.Close(nil)
+		}
 		return
 	}
-	s.cfg.Logf("session %d: registered %d channels at %.1f Hz", sess.id, sess.store.Channels(), sess.rate)
+	s.cfg.Logf("session %d: registered %d channels at %.1f Hz (resumed=%v)",
+		sess.id, sess.store.Channels(), sess.rate, sess.resumed)
 
 	// The acquisition consumer: double-buffered batches out of the queue
 	// into the live store.
@@ -130,6 +144,15 @@ func (s *Server) handleConn(conn net.Conn) {
 	close(sess.in)
 	<-ingestDone
 	sess.abandonMarkers()
+
+	if sess.jsess != nil {
+		// Durable drain: a final snapshot (or at least a WAL sync) covers
+		// every stored frame before the session's files are released for a
+		// future reconnect to adopt.
+		if err := sess.jsess.Close(sess.store); err != nil {
+			s.cfg.Logf("session %d: durable close: %v", sess.id, err)
+		}
+	}
 
 	if sess.closeRequested {
 		ack := wire.CloseAck{Stored: sess.stored.Load() - sess.badAppend.Load(), Shed: sess.shedF.Load()}
@@ -181,6 +204,34 @@ func (sess *session) handshake() bool {
 	sess.store = store
 	sess.rate = h.Rate
 	sess.name = h.Name
+
+	if srv.journal != nil {
+		eff := store.Config()
+		jsess, recovered, jerr := srv.journal.Attach(journal.Meta{
+			Name:         h.Name,
+			Rate:         h.Rate,
+			HorizonTicks: eff.HorizonTicks,
+			TimeBuckets:  eff.TimeBuckets,
+			ValueBins:    eff.ValueBins,
+			Mins:         h.Mins,
+			Maxs:         h.Maxs,
+		})
+		if jerr != nil {
+			// The session still serves, just without durability; the counter
+			// makes the gap visible on the admin plane.
+			srv.cfg.Logf("session %q: journaling unavailable: %v", h.Name, jerr)
+			srv.metrics.journalDegraded.Inc()
+		} else {
+			sess.jsess = jsess
+			if recovered != nil {
+				// The device reconnected to state a previous process left
+				// behind: serve queries over the recovered frames and resume
+				// journaling where the old incarnation stopped.
+				sess.store = recovered
+				sess.resumed = true
+			}
+		}
+	}
 	return true
 }
 
@@ -196,6 +247,12 @@ func (sess *session) sendError(code wire.Code, text string) {
 // acquisition (invalid frames are skipped inside AppendFrames).
 func (sess *session) storeBatch(batch []stream.Frame) {
 	m := sess.srv.metrics
+	if sess.jsess != nil {
+		// Write-ahead: the batch hits the journal before the store, so a
+		// crash after this point replays it rather than losing it. Under the
+		// block policy a dead disk stalls here until shutdown gives up.
+		sess.jsess.AppendFrames(batch, func() bool { return !sess.srv.isClosed() })
+	}
 	t0 := time.Now()
 	stored, _ := sess.store.AppendFrames(batch)
 	end := time.Now()
@@ -208,6 +265,9 @@ func (sess *session) storeBatch(batch []stream.Frame) {
 	m.framesIngested.Add(uint64(stored))
 	if t := sess.markerTarget.Load(); t != 0 && newStored >= t {
 		sess.completeMarkers(newStored, t0, end)
+	}
+	if sess.jsess != nil {
+		sess.jsess.MaybeSnapshot(sess.store)
 	}
 }
 

@@ -97,7 +97,7 @@ func (c *Client) Hello(h Hello) (Welcome, error) {
 	if err != nil {
 		return Welcome{}, err
 	}
-	if w.Code != CodeOK {
+	if w.Code != CodeOK && w.Code != CodeResumed {
 		return w, fmt.Errorf("wire: registration rejected: %s", w.Code)
 	}
 	c.session = w.SessionID

@@ -104,6 +104,10 @@ const (
 	CodeShuttingDown  Code = 6
 	CodeInternal      Code = 7
 	CodeIdleEvicted   Code = 8
+	// CodeResumed is a successful Welcome that adopted a recovered session:
+	// the server already holds frames this session journaled before a crash
+	// or restart, and ingest continues on top of them.
+	CodeResumed Code = 9
 )
 
 // String names a code for logs and error text.
@@ -127,6 +131,8 @@ func (c Code) String() string {
 		return "internal"
 	case CodeIdleEvicted:
 		return "idle-evicted"
+	case CodeResumed:
+		return "resumed"
 	}
 	return fmt.Sprintf("code(%d)", uint16(c))
 }
@@ -351,7 +357,14 @@ type Batch struct {
 
 // EncodeBatch serialises a batch of frames of the given width.
 func EncodeBatch(seq uint64, frames []stream.Frame, width int) ([]byte, error) {
-	var e buf
+	return AppendBatch(nil, seq, frames, width)
+}
+
+// AppendBatch appends the batch encoding to dst and returns the extended
+// slice, letting hot paths (the WAL append side) reuse one scratch buffer
+// across batches instead of re-allocating per call.
+func AppendBatch(dst []byte, seq uint64, frames []stream.Frame, width int) ([]byte, error) {
+	e := buf{b: dst}
 	e.u64(seq)
 	e.u32(uint32(len(frames)))
 	e.u16(uint16(width))
