@@ -54,6 +54,7 @@ func main() {
 		scrape     = flag.Duration("scrape", 0, "scrape /metrics every interval and print key series (0 disables)")
 		scrapeURL  = flag.String("scrape-url", "", "admin /metrics URL for -scrape (default: in-process admin plane on the loopback server)")
 		sessPrefix = flag.String("session-prefix", "aims-load", "session name prefix (names are prefix-N)")
+		class      = flag.String("class", "cyberglove", "device class sessions register under (fleet query scope)")
 		pace       = flag.Duration("pace", 0, "sleep between batches (stretches the run, e.g. for crash tests)")
 		verify     = flag.Bool("verify", false, "reconnect to each session by name and report recovered frames instead of loading")
 		verifyMin  = flag.Uint64("verify-min", 1, "minimum recovered frames per session for -verify to pass")
@@ -156,7 +157,7 @@ func main() {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			results[s] = runSession(s, target, *sessPrefix, *rate, *frames, *batch, *window, *queryEvery, *pace, pregen, mins, maxs)
+			results[s] = runSession(s, target, *sessPrefix, *class, *rate, *frames, *batch, *window, *queryEvery, *pace, pregen, mins, maxs)
 		}(s)
 	}
 	wg.Wait()
@@ -214,7 +215,7 @@ func main() {
 	}
 }
 
-func runSession(id int, target, prefix string, rate float64, frames, batchSize, window, queryEvery int, pace time.Duration, pregen [][]float64, mins, maxs []float64) sessionResult {
+func runSession(id int, target, prefix, class string, rate float64, frames, batchSize, window, queryEvery int, pace time.Duration, pregen [][]float64, mins, maxs []float64) sessionResult {
 	var res sessionResult
 	c, err := wire.Dial(target)
 	if err != nil {
@@ -226,6 +227,7 @@ func runSession(id int, target, prefix string, rate float64, frames, batchSize, 
 		Rate:         rate,
 		HorizonTicks: uint32(frames),
 		Name:         fmt.Sprintf("%s-%d", prefix, id),
+		Class:        class,
 		Mins:         mins,
 		Maxs:         maxs,
 	})

@@ -4,6 +4,13 @@
 //
 //	aims-query -seconds 60 -channel 5 -from 10 -to 30 -agg variance
 //	aims-query -channel 3 -agg count -approx 200
+//
+// With -addr it instead queries a live aims-server fleet: one aggregate
+// over every session of a device class (or an explicit session-ID list),
+// merged server-side.
+//
+//	aims-query -addr host:7009 -fleet cyberglove -agg count -from 1 -to 9
+//	aims-query -addr host:7009 -fleet 3,17,42 -agg average -partial
 package main
 
 import (
@@ -29,10 +36,21 @@ func main() {
 	saveTo := flag.String("save", "", "after building, persist the store to this file")
 	loadFrom := flag.String("load", "", "query a previously saved store instead of simulating")
 	explain := flag.Bool("explain", false, "print the evaluation plan before answering")
+	addr := flag.String("addr", "", "live aims-server address: fleet query mode (needs -fleet)")
+	fleetScope := flag.String("fleet", "", "fleet scope: device class or comma-separated session IDs")
+	partial := flag.Bool("partial", false, "fleet mode: accept partial results (still exits non-zero)")
+	fleetTimeout := flag.Duration("timeout", 0, "fleet mode: per-query deadline (0 = server default)")
 	flag.Parse()
 
 	if *to < 0 {
 		*to = *seconds
+	}
+	if *addr != "" || *fleetScope != "" {
+		if *addr == "" || *fleetScope == "" {
+			fmt.Fprintln(os.Stderr, "fleet mode needs both -addr and -fleet")
+			os.Exit(2)
+		}
+		os.Exit(runFleet(*addr, *fleetScope, *agg, *approx, *channel, *from, *to, *partial, *fleetTimeout))
 	}
 	var st *core.Store
 	if *loadFrom != "" {

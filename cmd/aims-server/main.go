@@ -7,8 +7,8 @@
 //
 // The -admin listener serves the observability plane: /metrics
 // (Prometheus text), /healthz (readiness, reports draining), /sessions
-// (per-session JSON), /tracez (slowest sampled pipeline traces) and
-// /debug/pprof. Stop the server with SIGINT/SIGTERM; shutdown drains
+// (per-session JSON), /fleet (device classes with live session counts),
+// /tracez (slowest sampled pipeline traces) and /debug/pprof. Stop the server with SIGINT/SIGTERM; shutdown drains
 // every session's in-flight batches before exiting.
 package main
 
@@ -44,6 +44,9 @@ func main() {
 		admin   = flag.String("admin", "", "admin plane listen address, e.g. :6060 (empty disables)")
 		tsample = flag.Int("trace-sample", 0, "trace one in N batches/queries (0 = default 256, negative disables)")
 
+		fleetWorkers = flag.Int("fleet-workers", 0, "fleet query scatter pool width (0 = default 16)")
+		fleetTimeout = flag.Duration("fleet-timeout", 0, "default fleet query deadline (0 = default 5s)")
+
 		dataDir    = flag.String("data-dir", "", "durability directory: per-session WAL + snapshots (empty: memory-only)")
 		fsync      = flag.String("fsync", "batch", "WAL fsync policy: batch|interval|off")
 		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "deferred fsync period for -fsync interval")
@@ -78,6 +81,8 @@ func main() {
 		IdleTimeout:   *idle,
 		Policy:        pol,
 		TraceSample:   *tsample,
+		FleetWorkers:  *fleetWorkers,
+		FleetTimeout:  *fleetTimeout,
 		Store: core.LiveStoreConfig{
 			TimeBuckets: *buckets,
 			ValueBins:   *bins,
@@ -125,7 +130,7 @@ func main() {
 				log.Printf("admin: %v", err)
 			}
 		}()
-		log.Printf("admin plane on http://%s (/metrics /healthz /sessions /tracez /debug/pprof)", ln.Addr())
+		log.Printf("admin plane on http://%s (/metrics /healthz /sessions /fleet /tracez /debug/pprof)", ln.Addr())
 	}
 
 	stop := make(chan os.Signal, 1)

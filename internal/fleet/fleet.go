@@ -1,0 +1,347 @@
+// Package fleet is the cross-session query subsystem of the AIMS middle
+// tier: one range-aggregate evaluated over *all sessions of a device
+// class* (or an explicit session-ID set) by scatter-gather, then merged
+// into a single answer. It is the fan-in layer the paper's multi-user
+// scenarios need — the virtual-classroom study analyses groups of tracked
+// subjects, the haptic scenario aggregates over many simultaneous
+// CyberGlove sessions — and the first query path in this system whose
+// result spans stores owned by different goroutines.
+//
+// Consistency contract: sessions keep ingesting while a fleet query runs.
+// Each session contributes frames up to its own high-water mark at scatter
+// time — for exact kinds the atomically copied span of core.Summarize, for
+// approximate kinds the sealed engine's state at evaluation — and that
+// watermark is reported back per session in the result, so a caller knows
+// exactly which prefix of each stream the answer covers. There is no
+// cross-session barrier: the fleet answer is a consistent-per-session,
+// best-effort-across-sessions snapshot.
+//
+// Merge semantics per kind:
+//
+//   - COUNT: direct combination, Σ per-session counts (exact).
+//   - AVERAGE: weighted merge of per-session (Σv, N) pairs (exact).
+//   - VARIANCE: merged from per-session moments (N, Σv, Σv²) (exact).
+//   - Approximate/progressive COUNT: Σ per-session estimates, with a
+//     combined guaranteed bound that is the sum of per-session bounds
+//     (|Σeᵢ − Σcᵢ| ≤ Σ|eᵢ − cᵢ| ≤ Σboundᵢ).
+//
+// Merging folds in ascending session-ID order regardless of gather
+// completion order, so a fleet answer over a fixed set of stores is
+// bit-identical to evaluating each session individually and merging
+// client-side with the same fold (the equivalence property the tests pin).
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"aims/internal/core"
+	"aims/internal/wire"
+)
+
+// Session is one live session as the fleet layer sees it: identity, the
+// device class it registered under, and its store.
+type Session struct {
+	ID    uint64
+	Class string
+	Store *core.LiveStore
+}
+
+// Request is one fleet query.
+type Request struct {
+	Kind    wire.QueryKind
+	Channel int
+	T0, T1  float64
+	Arg     uint32
+	Scope   wire.FleetScope
+	// Partial selects the partial-result policy: true merges whatever
+	// succeeded and reports the failures (CodePartial); false fails the
+	// whole query on the first per-session failure.
+	Partial bool
+	// Timeout caps the query's wall time; 0 uses Config.Timeout.
+	Timeout time.Duration
+}
+
+// Config shapes an evaluator.
+type Config struct {
+	// Workers bounds the scatter fan-out pool (default 16). The pool is
+	// per query; a fleet of 10k sessions is scanned Workers at a time.
+	Workers int
+	// Timeout is the default per-query deadline (default 5s). Sessions
+	// whose scan has not finished when it expires become CodeDeadline
+	// failures, handled under the partial policy.
+	Timeout time.Duration
+	// Observer receives fleet instrumentation; zero-value hooks are
+	// skipped.
+	Observer Observer
+}
+
+// Observer carries the fleet evaluator's metric hooks.
+type Observer struct {
+	FanOut       func(width int) // sessions matched per query
+	ScanSeconds  func(s float64) // one session's scan wall time
+	MergeSeconds func(s float64) // merge wall time per query
+	Detail       func(parts int) // per-session parts attached to a result
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	return c
+}
+
+// Match filters sessions by scope and returns them in ascending ID order,
+// plus — for an explicit ID scope — the requested IDs that matched no live
+// session (the caller reports those as per-session failures).
+func Match(sessions []Session, scope wire.FleetScope) (matched []Session, missing []uint64) {
+	if scope.Class != "" {
+		for _, s := range sessions {
+			if s.Class == scope.Class {
+				matched = append(matched, s)
+			}
+		}
+	} else {
+		byID := make(map[uint64]Session, len(sessions))
+		for _, s := range sessions {
+			byID[s.ID] = s
+		}
+		seen := make(map[uint64]bool, len(scope.IDs))
+		for _, id := range scope.IDs {
+			if seen[id] {
+				continue // a duplicated ID must not double-count its session
+			}
+			seen[id] = true
+			if s, ok := byID[id]; ok {
+				matched = append(matched, s)
+			} else {
+				missing = append(missing, id)
+			}
+		}
+	}
+	sort.Slice(matched, func(i, j int) bool { return matched[i].ID < matched[j].ID })
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	return matched, missing
+}
+
+// EvalSession answers one fleet request against a single session's store,
+// returning the session's mergeable partial and its frame watermark. This
+// is the per-session scan the scatter pool runs — and what a client doing
+// its own merge would call per session.
+func EvalSession(s Session, req Request) (wire.FleetPart, error) {
+	part := wire.FleetPart{ID: s.ID}
+	switch req.Kind {
+	case wire.QueryCount, wire.QueryAverage, wire.QueryVariance:
+		sum, frames, err := s.Store.Summarize(req.Channel, req.T0, req.T1)
+		if err != nil {
+			return part, err
+		}
+		part.Frames = frames
+		part.N, part.Sum, part.SumSq = sum.N, sum.Sum, sum.SumSq
+	case wire.QueryApproxCount:
+		est, bound, err := s.Store.ApproximateCount(req.Channel, req.T0, req.T1, int(req.Arg))
+		if err != nil {
+			return part, err
+		}
+		part.Frames = uint64(s.Store.Frames())
+		part.Sum, part.Bound, part.Coefficients = est, bound, req.Arg
+	case wire.QueryProgressiveCount:
+		steps, err := s.Store.ProgressiveCount(req.Channel, req.T0, req.T1, int(req.Arg))
+		if err != nil {
+			return part, err
+		}
+		if len(steps) == 0 {
+			return part, fmt.Errorf("fleet: progressive evaluation yielded no steps")
+		}
+		last := steps[len(steps)-1]
+		part.Frames = uint64(s.Store.Frames())
+		part.Sum, part.Bound = last.Estimate, last.ErrorBound
+		part.Coefficients = uint32(last.Coefficients)
+	default:
+		return part, fmt.Errorf("fleet: unsupported query kind %d", req.Kind)
+	}
+	return part, nil
+}
+
+// Merge folds per-session partials — in the order given — into the fleet
+// answer for the kind. ok=false mirrors the engine's empty-range signal
+// (AVERAGE/VARIANCE over zero merged samples).
+func Merge(kind wire.QueryKind, parts []wire.FleetPart) (value, bound float64, coefficients uint32, ok bool) {
+	switch kind {
+	case wire.QueryCount:
+		var s core.Summary
+		for _, p := range parts {
+			s.Merge(core.Summary{N: p.N, Sum: p.Sum, SumSq: p.SumSq})
+		}
+		return s.Count(), 0, 0, true
+	case wire.QueryAverage:
+		var s core.Summary
+		for _, p := range parts {
+			s.Merge(core.Summary{N: p.N, Sum: p.Sum, SumSq: p.SumSq})
+		}
+		v, ok := s.Average()
+		return v, 0, 0, ok
+	case wire.QueryVariance:
+		var s core.Summary
+		for _, p := range parts {
+			s.Merge(core.Summary{N: p.N, Sum: p.Sum, SumSq: p.SumSq})
+		}
+		v, ok := s.Variance()
+		return v, 0, 0, ok
+	case wire.QueryApproxCount, wire.QueryProgressiveCount:
+		for _, p := range parts {
+			value += p.Sum
+			bound += p.Bound
+			coefficients += p.Coefficients
+		}
+		return value, bound, coefficients, true
+	}
+	return 0, 0, 0, false
+}
+
+// gathered is one scatter slot's outcome.
+type gathered struct {
+	idx  int
+	part wire.FleetPart
+	err  error
+}
+
+// Evaluate runs one fleet query over the given session snapshot (the
+// caller snapshots its registry first; the slice is the scatter set).
+// It always returns a well-formed FleetResult — per-session failures are
+// folded in according to the request's partial policy rather than
+// surfacing as an error.
+func Evaluate(ctx context.Context, sessions []Session, req Request, cfg Config) wire.FleetResult {
+	cfg = cfg.withDefaults()
+	timeout := req.Timeout
+	if timeout <= 0 || timeout > cfg.Timeout {
+		timeout = cfg.Timeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	matched, missing := Match(sessions, req.Scope)
+	res := wire.FleetResult{Kind: req.Kind, Sessions: uint32(len(matched))}
+	for _, id := range missing {
+		res.Failures = append(res.Failures, wire.FleetFailure{
+			ID: id, Code: wire.CodeNotRegistered, Text: "no live session with this id",
+		})
+	}
+	if cfg.Observer.FanOut != nil {
+		cfg.Observer.FanOut(len(matched))
+	}
+
+	// Scatter: a bounded worker pool pulls session indices; gathers land on
+	// a buffered channel so a straggler finishing after the deadline never
+	// blocks (its result is simply never read).
+	workers := cfg.Workers
+	if workers > len(matched) {
+		workers = len(matched)
+	}
+	jobs := make(chan int)
+	results := make(chan gathered, len(matched))
+	for w := 0; w < workers; w++ {
+		go func() {
+			for idx := range jobs {
+				t0 := time.Now()
+				part, err := EvalSession(matched[idx], req)
+				if cfg.Observer.ScanSeconds != nil {
+					cfg.Observer.ScanSeconds(time.Since(t0).Seconds())
+				}
+				results <- gathered{idx: idx, part: part, err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := range matched {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Gather until every slot reports or the deadline fires; slots still
+	// outstanding at the deadline become CodeDeadline failures.
+	parts := make([]*wire.FleetPart, len(matched))
+	errs := make([]error, len(matched))
+	reported := 0
+gather:
+	for reported < len(matched) {
+		select {
+		case g := <-results:
+			reported++
+			if g.err != nil {
+				errs[g.idx] = g.err
+			} else {
+				p := g.part
+				parts[g.idx] = &p
+			}
+		case <-ctx.Done():
+			break gather
+		}
+	}
+
+	t0 := time.Now()
+	merged := make([]wire.FleetPart, 0, len(matched))
+	for i, s := range matched {
+		switch {
+		case parts[i] != nil:
+			merged = append(merged, *parts[i])
+		case errs[i] != nil:
+			res.Failures = append(res.Failures, wire.FleetFailure{
+				ID: s.ID, Code: wire.CodeBadQuery, Text: errs[i].Error(),
+			})
+		default:
+			res.Failures = append(res.Failures, wire.FleetFailure{
+				ID: s.ID, Code: wire.CodeDeadline, Text: "scan unfinished at fleet deadline",
+			})
+		}
+	}
+	// Merged parts are already in ascending session-ID order (matched is
+	// sorted and the fold preserves it), which makes the merge
+	// deterministic no matter how the gather interleaved.
+	res.Merged = uint32(len(merged))
+	res.Value, res.Bound, res.Coefficients, res.OK = Merge(req.Kind, merged)
+	if cfg.Observer.MergeSeconds != nil {
+		cfg.Observer.MergeSeconds(time.Since(t0).Seconds())
+	}
+
+	switch {
+	case len(merged) == 0 && len(res.Failures) == 0:
+		res.OK = false
+		res.Code = wire.CodeNoSessions
+	case len(res.Failures) > 0 && !req.Partial:
+		res.OK = false
+		res.Code = res.Failures[0].Code
+		res.Value, res.Bound, res.Coefficients = 0, 0, 0
+	case len(res.Failures) > 0:
+		res.Code = wire.CodePartial
+		if len(merged) == 0 {
+			res.OK = false
+		}
+	default:
+		res.Code = wire.CodeOK
+	}
+
+	// Per-session detail: watermarks and mergeable partials, capped so a
+	// 10k-session fleet answer stays a bounded message.
+	if len(merged) > wire.MaxFleetDetail {
+		merged = merged[:wire.MaxFleetDetail]
+	}
+	res.Parts = merged
+	if len(res.Failures) > wire.MaxFleetDetail {
+		res.Failures = res.Failures[:wire.MaxFleetDetail]
+	}
+	if cfg.Observer.Detail != nil {
+		cfg.Observer.Detail(len(res.Parts))
+	}
+	return res
+}

@@ -1,0 +1,261 @@
+package fleet
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"aims/internal/core"
+	"aims/internal/stream"
+	"aims/internal/wire"
+)
+
+// buildFleet creates n sessions of the given class, each with its own
+// random frame count and (for odd IDs) its own value range, so merges
+// cross heterogeneous quantisers.
+func buildFleet(t testing.TB, n int, class string, seed int64) []Session {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Session, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := -1.0, 1.0
+		if i%2 == 1 {
+			lo, hi = 0, 10
+		}
+		ls, err := core.NewLiveStore([]float64{lo, lo}, []float64{hi, hi}, core.LiveStoreConfig{
+			Rate: 100, TimeBuckets: 64, ValueBins: 32, HorizonTicks: 6400,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames := 500 + rng.Intn(2000)
+		batch := make([]stream.Frame, frames)
+		for j := range batch {
+			batch[j] = stream.Frame{
+				T:      float64(j) / 100,
+				Values: []float64{lo + rng.Float64()*(hi-lo), lo + rng.Float64()*(hi-lo)},
+			}
+		}
+		if stored, err := ls.AppendFrames(batch); err != nil || stored != frames {
+			t.Fatalf("append %d/%d: %v", stored, frames, err)
+		}
+		out = append(out, Session{ID: uint64(i + 1), Class: class, Store: ls})
+	}
+	return out
+}
+
+// TestEquivalenceExactKinds is the acceptance property: for exact kinds a
+// fleet query over N sessions is bit-identical to querying each session
+// individually and merging client-side with the same fold.
+func TestEquivalenceExactKinds(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		sessions := buildFleet(t, 9, "glove", seed)
+		rng := rand.New(rand.NewSource(seed * 77))
+		for _, kind := range []wire.QueryKind{wire.QueryCount, wire.QueryAverage, wire.QueryVariance} {
+			t0 := rng.Float64() * 10
+			req := Request{
+				Kind: kind, Channel: rng.Intn(2), T0: t0, T1: t0 + rng.Float64()*40,
+				Scope: wire.FleetScope{Class: "glove"},
+			}
+			// Fleet path: concurrent scatter-gather over a 3-worker pool.
+			res := Evaluate(context.Background(), sessions, req, Config{Workers: 3})
+			if !res.OK || res.Code != wire.CodeOK {
+				t.Fatalf("seed %d kind %d: fleet failed: %+v", seed, kind, res)
+			}
+			if int(res.Sessions) != len(sessions) || res.Merged != res.Sessions {
+				t.Fatalf("seed %d kind %d: matched %d merged %d", seed, kind, res.Sessions, res.Merged)
+			}
+			// Client-side path: evaluate each session individually, in
+			// ascending ID order, and merge with the exported fold.
+			matched, _ := Match(sessions, req.Scope)
+			var parts []wire.FleetPart
+			for _, s := range matched {
+				p, err := EvalSession(s, req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				parts = append(parts, p)
+			}
+			want, _, _, ok := Merge(kind, parts)
+			if !ok {
+				t.Fatalf("seed %d kind %d: client merge not ok", seed, kind)
+			}
+			if res.Value != want { // bit-identical, not approximately equal
+				t.Fatalf("seed %d kind %d: fleet %v != client merge %v (diff %g)",
+					seed, kind, res.Value, want, res.Value-want)
+			}
+			if len(res.Parts) != len(parts) {
+				t.Fatalf("parts %d != %d", len(res.Parts), len(parts))
+			}
+			for i := range parts {
+				if res.Parts[i] != parts[i] {
+					t.Fatalf("part %d: %+v != %+v", i, res.Parts[i], parts[i])
+				}
+			}
+		}
+	}
+}
+
+// TestApproxBoundSound is the approximate acceptance property: the merged
+// estimate's summed error bound must contain the true merged count on
+// randomized workloads.
+func TestApproxBoundSound(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		sessions := buildFleet(t, 5, "glove", seed)
+		rng := rand.New(rand.NewSource(seed * 131))
+		for trial := 0; trial < 4; trial++ {
+			t0 := rng.Float64() * 20
+			t1 := t0 + rng.Float64()*30
+			budget := 4 + rng.Intn(60)
+			req := Request{
+				Kind: wire.QueryApproxCount, Channel: rng.Intn(2), T0: t0, T1: t1,
+				Arg: uint32(budget), Scope: wire.FleetScope{Class: "glove"},
+			}
+			res := Evaluate(context.Background(), sessions, req, Config{Workers: 4})
+			if !res.OK {
+				t.Fatalf("seed %d: approx fleet failed: %+v", seed, res)
+			}
+			// True merged answer from the exact path.
+			var truth float64
+			for _, s := range sessions {
+				sum, _, err := s.Store.Summarize(req.Channel, t0, t1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				truth += sum.N
+			}
+			if err := math.Abs(res.Value - truth); err > res.Bound+1e-6 {
+				t.Fatalf("seed %d trial %d: |est %v - true %v| = %v exceeds merged bound %v",
+					seed, trial, res.Value, truth, err, res.Bound)
+			}
+		}
+	}
+}
+
+func TestScopeByIDsAndMissing(t *testing.T) {
+	sessions := buildFleet(t, 4, "glove", 3)
+	req := Request{
+		Kind: wire.QueryCount, Channel: 0, T0: 0, T1: 100,
+		Scope: wire.FleetScope{IDs: []uint64{2, 4, 99, 2}}, // dup 2, missing 99
+	}
+	// Fail policy: the missing session fails the whole query.
+	res := Evaluate(context.Background(), sessions, req, Config{})
+	if res.OK || res.Code != wire.CodeNotRegistered {
+		t.Fatalf("fail policy: %+v", res)
+	}
+	if res.Value != 0 {
+		t.Fatalf("failed query leaked a value %v", res.Value)
+	}
+
+	// Partial policy: sessions 2 and 4 answer, 99 is reported missing, and
+	// the duplicated ID contributes exactly once.
+	req.Partial = true
+	res = Evaluate(context.Background(), sessions, req, Config{})
+	if !res.OK || res.Code != wire.CodePartial {
+		t.Fatalf("partial policy: %+v", res)
+	}
+	if res.Sessions != 2 || res.Merged != 2 || len(res.Failures) != 1 {
+		t.Fatalf("partial shape: %+v", res)
+	}
+	if res.Failures[0].ID != 99 || res.Failures[0].Code != wire.CodeNotRegistered {
+		t.Fatalf("failure detail: %+v", res.Failures[0])
+	}
+	var want float64
+	for _, s := range sessions {
+		if s.ID == 2 || s.ID == 4 {
+			sum, _, _ := s.Store.Summarize(0, 0, 100)
+			want += sum.N
+		}
+	}
+	if res.Value != want {
+		t.Fatalf("partial merge %v != %v", res.Value, want)
+	}
+}
+
+func TestScopeNoSessions(t *testing.T) {
+	sessions := buildFleet(t, 3, "glove", 5)
+	res := Evaluate(context.Background(), sessions, Request{
+		Kind: wire.QueryCount, T0: 0, T1: 1, Scope: wire.FleetScope{Class: "tracker"},
+	}, Config{})
+	if res.OK || res.Code != wire.CodeNoSessions || res.Sessions != 0 {
+		t.Fatalf("empty scope: %+v", res)
+	}
+}
+
+func TestBadChannelBecomesPerSessionFailure(t *testing.T) {
+	sessions := buildFleet(t, 3, "glove", 9)
+	req := Request{
+		Kind: wire.QueryAverage, Channel: 7, T0: 0, T1: 10,
+		Scope: wire.FleetScope{Class: "glove"}, Partial: true,
+	}
+	res := Evaluate(context.Background(), sessions, req, Config{})
+	if res.OK || len(res.Failures) != 3 {
+		t.Fatalf("bad channel: %+v", res)
+	}
+	for _, f := range res.Failures {
+		if f.Code != wire.CodeBadQuery || f.Text == "" {
+			t.Fatalf("failure detail: %+v", f)
+		}
+	}
+}
+
+// TestDeadlineYieldsPartial forces the scatter past its deadline: 48
+// sessions that each need a cold ProPolyne seal, one worker, and a 1ms
+// budget. Unfinished sessions must come back as CodeDeadline failures
+// under the partial policy, never as a hang.
+func TestDeadlineYieldsPartial(t *testing.T) {
+	sessions := buildFleet(t, 48, "glove", 13)
+	req := Request{
+		Kind: wire.QueryApproxCount, Channel: 0, T0: 0, T1: 30, Arg: 16,
+		Scope: wire.FleetScope{Class: "glove"}, Partial: true,
+		Timeout: time.Millisecond,
+	}
+	start := time.Now()
+	res := Evaluate(context.Background(), sessions, req, Config{Workers: 1})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline did not bound the query: %s", elapsed)
+	}
+	if len(res.Failures) == 0 {
+		t.Skip("machine sealed 48 engines inside 1ms; cannot exercise the deadline")
+	}
+	if res.Code != wire.CodePartial {
+		t.Fatalf("code %s, want partial", res.Code)
+	}
+	deadline := 0
+	for _, f := range res.Failures {
+		if f.Code == wire.CodeDeadline {
+			deadline++
+		}
+	}
+	if deadline == 0 {
+		t.Fatalf("no deadline failures in %+v", res.Failures)
+	}
+	if int(res.Merged)+len(res.Failures) != 48 {
+		t.Fatalf("merged %d + failed %d != 48", res.Merged, len(res.Failures))
+	}
+}
+
+// TestProgressiveMergesFinalSteps: each session's progressive evaluation
+// converges to its exact count, so the merged fleet answer equals the
+// summed exact counts with a (near-)zero combined bound.
+func TestProgressiveMergesFinalSteps(t *testing.T) {
+	sessions := buildFleet(t, 4, "glove", 21)
+	req := Request{
+		Kind: wire.QueryProgressiveCount, Channel: 1, T0: 2, T1: 18, Arg: 64,
+		Scope: wire.FleetScope{Class: "glove"},
+	}
+	res := Evaluate(context.Background(), sessions, req, Config{})
+	if !res.OK {
+		t.Fatalf("progressive fleet failed: %+v", res)
+	}
+	var truth float64
+	for _, s := range sessions {
+		sum, _, _ := s.Store.Summarize(1, 2, 18)
+		truth += sum.N
+	}
+	if math.Abs(res.Value-truth) > res.Bound+1e-6 {
+		t.Fatalf("progressive merge %v vs truth %v outside bound %v", res.Value, truth, res.Bound)
+	}
+}

@@ -18,6 +18,7 @@ import (
 type SessionInfo struct {
 	ID             uint64  `json:"id"`
 	Name           string  `json:"name"`
+	Class          string  `json:"class,omitempty"`
 	Channels       int     `json:"channels"`
 	Rate           float64 `json:"rate_hz"`
 	FramesStored   uint64  `json:"frames_stored"`
@@ -45,6 +46,7 @@ func (s *Server) Sessions() []SessionInfo {
 		info := SessionInfo{
 			ID:             sess.id,
 			Name:           sess.name,
+			Class:          sess.class,
 			Channels:       sess.store.Channels(),
 			Rate:           sess.rate,
 			FramesStored:   sess.stored.Load(),
@@ -68,6 +70,12 @@ func (s *Server) Sessions() []SessionInfo {
 	return out
 }
 
+// FleetClassInfo is one device class's row on the /fleet admin endpoint.
+type FleetClassInfo struct {
+	Class    string `json:"class"`
+	Sessions int    `json:"sessions"`
+}
+
 // AdminHandler assembles the server's admin HTTP plane:
 //
 //	/metrics  Prometheus text exposition (server registry + process-wide
@@ -75,6 +83,7 @@ func (s *Server) Sessions() []SessionInfo {
 //	/healthz  readiness: 200 "ok" while serving, 503 "draining" once
 //	          shutdown has begun
 //	/sessions per-session JSON from the sharded registry
+//	/fleet    device classes with live session counts (fleet query scopes)
 //	/tracez   slowest sampled pipeline traces as JSON (?n= to bound)
 //	/debug/pprof/...  the standard Go profiler endpoints
 //
@@ -127,6 +136,19 @@ func (s *Server) AdminHandler() http.Handler {
 			Count    int           `json:"count"`
 			Sessions []SessionInfo `json:"sessions"`
 		}{len(sessions), sessions})
+	})
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
+		classes := s.DeviceClasses()
+		out := make([]FleetClassInfo, 0, len(classes))
+		for class, n := range classes {
+			out = append(out, FleetClassInfo{Class: class, Sessions: n})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Count   int              `json:"count"`
+			Classes []FleetClassInfo `json:"classes"`
+		}{len(out), out})
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
 		n := 10

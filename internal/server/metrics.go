@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aims/internal/fleet"
 	"aims/internal/journal"
 	"aims/internal/obs"
 	"aims/internal/wire"
@@ -45,6 +46,10 @@ var deltaBounds = []float64{64, 256, 1024, 4096, 16384, 65536}
 var fsyncBounds = []float64{
 	20e-6, 100e-6, 500e-6, 2e-3, 10e-3, 50e-3, 250e-3,
 }
+
+// fanoutBounds bucket fleet fan-out width (sessions matched per fleet
+// query), spanning a single glove to a 10k-session fleet.
+var fanoutBounds = []float64{1, 4, 16, 64, 256, 1024, 4096}
 
 func secondsBounds(ds []time.Duration) []float64 {
 	out := make([]float64, len(ds))
@@ -86,6 +91,15 @@ type metrics struct {
 	sealIncrSeconds    *obs.Histogram
 	sealRebuildSeconds *obs.Histogram
 	sealDeltaEntries   *obs.Histogram
+
+	// Fleet query instruments: fan-out width, per-session scan time and
+	// merge time per query, plus query/partial/failure counters.
+	fleetQueries      *obs.Counter
+	fleetPartial      *obs.Counter
+	fleetFailed       *obs.Counter
+	fleetFanout       *obs.Histogram
+	fleetScanSeconds  *obs.Histogram
+	fleetMergeSeconds *obs.Histogram
 
 	// Durability instruments (the journal layer reports through these).
 	walFsyncSeconds *obs.Histogram
@@ -130,6 +144,16 @@ func newMetrics() *metrics {
 			"Seal wall time by path.", sealBounds),
 		sealDeltaEntries: reg.Histogram("aims_seal_delta_entries",
 			"Delta-log entries replayed per incremental seal.", deltaBounds),
+		fleetQueries: reg.Counter("aims_fleet_queries_total", "Cross-session fleet queries evaluated."),
+		fleetPartial: reg.Counter("aims_fleet_partial_total",
+			"Fleet queries answered from a strict subset of their scope."),
+		fleetFailed: reg.Counter("aims_fleet_failed_total", "Fleet queries that returned no merged answer."),
+		fleetFanout: reg.Histogram("aims_fleet_fanout_sessions",
+			"Sessions matched per fleet query.", fanoutBounds),
+		fleetScanSeconds: reg.Histogram("aims_fleet_scan_seconds",
+			"Per-session scan time inside fleet scatter.", stageBounds),
+		fleetMergeSeconds: reg.Histogram("aims_fleet_merge_seconds",
+			"Merge time per fleet query.", stageBounds),
 		walFsyncSeconds: reg.Histogram("aims_wal_fsync_seconds",
 			"WAL fsync latency.", fsyncBounds),
 		walBytes: reg.Counter("aims_wal_bytes_total", "Bytes appended to session WALs."),
@@ -145,12 +169,13 @@ func newMetrics() *metrics {
 	reg.GaugeFunc("aims_query_latency_max_seconds", "Slowest query so far.",
 		func() float64 { return time.Duration(m.latencyMaxNS.Load()).Seconds() })
 	const bytesHelp = "Wire bytes by direction and message type, headers included."
-	for _, typ := range []byte{wire.MsgHello, wire.MsgBatch, wire.MsgQuery, wire.MsgFlush, wire.MsgClose} {
+	for _, typ := range []byte{wire.MsgHello, wire.MsgBatch, wire.MsgQuery, wire.MsgFlush,
+		wire.MsgClose, wire.MsgFleetQuery} {
 		m.bytesIn[typ] = reg.CounterWith("aims_wire_bytes_total",
 			fmt.Sprintf(`dir="in",type=%q`, wire.TypeName(typ)), bytesHelp)
 	}
 	for _, typ := range []byte{wire.MsgWelcome, wire.MsgBatchAck, wire.MsgResult,
-		wire.MsgCloseAck, wire.MsgError, wire.MsgFlushAck} {
+		wire.MsgCloseAck, wire.MsgError, wire.MsgFlushAck, wire.MsgFleetResult} {
 		m.bytesOut[typ] = reg.CounterWith("aims_wire_bytes_total",
 			fmt.Sprintf(`dir="out",type=%q`, wire.TypeName(typ)), bytesHelp)
 	}
@@ -164,6 +189,16 @@ func (m *metrics) observeQuery(d time.Duration) {
 		if int64(d) <= cur || m.latencyMaxNS.CompareAndSwap(cur, int64(d)) {
 			return
 		}
+	}
+}
+
+// fleetObserver wires the fleet evaluator's hooks onto this server's
+// instruments.
+func (m *metrics) fleetObserver() fleet.Observer {
+	return fleet.Observer{
+		FanOut:       func(width int) { m.fleetFanout.Observe(float64(width)) },
+		ScanSeconds:  func(s float64) { m.fleetScanSeconds.Observe(s) },
+		MergeSeconds: func(s float64) { m.fleetMergeSeconds.Observe(s) },
 	}
 }
 

@@ -74,3 +74,22 @@ func (r *registry) forEach(fn func(*session)) {
 		sh.mu.Unlock()
 	}
 }
+
+// snapshot collects the live session set, holding one shard lock at a
+// time. This is the fleet scatter set: a session registered for the whole
+// scan appears exactly once; sessions registering or unregistering while
+// the walk crosses shards may or may not appear — the per-session
+// high-water-mark contract covers them, and no session is ever
+// double-counted (each lives in exactly one shard).
+func (r *registry) snapshot() []*session {
+	out := make([]*session, 0, 64)
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, sess := range sh.m {
+			out = append(out, sess)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

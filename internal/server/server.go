@@ -21,8 +21,10 @@ import (
 	"time"
 
 	"aims/internal/core"
+	"aims/internal/fleet"
 	"aims/internal/journal"
 	"aims/internal/obs"
+	"aims/internal/wire"
 )
 
 // Policy selects what happens when a session's ingest queue is full.
@@ -73,6 +75,15 @@ type Config struct {
 	// TraceBuffer bounds the completed-trace ring served by /tracez
 	// (default obs.DefaultTraceBuffer).
 	TraceBuffer int
+	// FleetWorkers bounds the scatter fan-out pool of cross-session fleet
+	// queries (default 16): a fleet over 10k sessions is scanned
+	// FleetWorkers at a time so one query can never monopolise the box.
+	FleetWorkers int
+	// FleetTimeout is the default per-query fleet deadline (default 5 s);
+	// a query's own TimeoutMillis may only tighten it. Sessions unfinished
+	// at the deadline surface as per-session failures under the query's
+	// fail|partial policy.
+	FleetTimeout time.Duration
 	// Journal configures the durability layer (per-session WAL +
 	// snapshots). An empty Journal.Dir leaves the server memory-only, as
 	// before; with a directory set, call RecoverSessions before Serve to
@@ -112,6 +123,8 @@ type Server struct {
 	journal   *journal.Manager // nil when durability is disabled
 	recovered atomic.Int64     // sessions rebuilt from disk at startup
 
+	fleetCfg fleet.Config // scatter pool width, deadline, metric hooks
+
 	wg      sync.WaitGroup // live session handlers
 	serveWg sync.WaitGroup // accept loops
 	metrics *metrics
@@ -132,6 +145,11 @@ func New(cfg Config) *Server {
 		tracer = obs.NewTracer(cfg.TraceSample, cfg.TraceBuffer)
 	}
 	s := &Server{cfg: cfg, sessions: newRegistry(), metrics: m, tracer: tracer}
+	s.fleetCfg = fleet.Config{
+		Workers:  cfg.FleetWorkers,
+		Timeout:  cfg.FleetTimeout,
+		Observer: m.fleetObserver(),
+	}
 	if cfg.Journal.Dir != "" {
 		jcfg := cfg.Journal
 		jcfg.Observer = m.journalObserver()
@@ -262,6 +280,51 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("server: shutdown incomplete: %w", ctx.Err())
 	}
+}
+
+// EvaluateFleet answers one cross-session fleet query against the current
+// live-session set: it snapshots the sharded registry (one shard lock at a
+// time — registration stays flat while fleets scan), scatters the query
+// across the matching sessions on the bounded fleet worker pool, and
+// merges the per-session answers under the query's fail|partial policy.
+// Exposed for the admin plane and in-process callers as well as the wire
+// handler.
+func (s *Server) EvaluateFleet(fq wire.FleetQuery) wire.FleetResult {
+	s.metrics.fleetQueries.Inc()
+	snap := s.sessions.snapshot()
+	targets := make([]fleet.Session, 0, len(snap))
+	for _, sess := range snap {
+		targets = append(targets, fleet.Session{ID: sess.id, Class: sess.class, Store: sess.store})
+	}
+	req := fleet.Request{
+		Kind:    fq.Kind,
+		Channel: int(fq.Channel),
+		T0:      fq.T0,
+		T1:      fq.T1,
+		Arg:     fq.Arg,
+		Scope:   fq.Scope,
+		Partial: fq.Partial,
+		Timeout: time.Duration(fq.TimeoutMillis) * time.Millisecond,
+	}
+	res := fleet.Evaluate(context.Background(), targets, req, s.fleetCfg)
+	if res.Code == wire.CodePartial {
+		s.metrics.fleetPartial.Inc()
+	}
+	if !res.OK {
+		s.metrics.fleetFailed.Inc()
+	}
+	return res
+}
+
+// DeviceClasses reports the live session count per device class, the
+// admin plane's /fleet listing. Sessions registered without a class (v1
+// clients) group under "".
+func (s *Server) DeviceClasses() map[string]int {
+	out := make(map[string]int)
+	s.sessions.forEach(func(sess *session) {
+		out[sess.class]++
+	})
+	return out
 }
 
 // Metrics returns a point-in-time snapshot of the server's counters.

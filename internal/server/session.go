@@ -28,6 +28,7 @@ type session struct {
 	store *core.LiveStore
 	rate  float64
 	name  string // registration name from the Hello
+	class string // device class from the Hello (v2); "" for v1 clients
 
 	// jsess is the session's durability handle (nil when the server runs
 	// memory-only or journaling failed at registration). resumed is true
@@ -204,6 +205,7 @@ func (sess *session) handshake() bool {
 	sess.store = store
 	sess.rate = h.Rate
 	sess.name = h.Name
+	sess.class = h.Class
 
 	if srv.journal != nil {
 		eff := store.Config()
@@ -359,6 +361,10 @@ func (sess *session) readLoop() {
 			if !sess.handleQuery(payload) {
 				return
 			}
+		case wire.MsgFleetQuery:
+			if !sess.handleFleetQuery(payload) {
+				return
+			}
 		case wire.MsgClose:
 			sess.closeRequested = true
 			return
@@ -469,6 +475,43 @@ func (sess *session) handleQuery(payload []byte) bool {
 			tr.Finish()
 			return false
 		}
+	}
+	ok := sess.bw.Flush() == nil
+	tr.Span("respond", t2, time.Now())
+	tr.Finish()
+	return ok
+}
+
+// handleFleetQuery answers one cross-session aggregate. Scatter-gather
+// and merge run in this session's reader goroutine (the evaluator fans
+// out internally); decode failures — including malformed ranges and
+// scopes — tear the session down like any other bad message, while
+// per-session evaluation failures ride back inside the FleetResult.
+func (sess *session) handleFleetQuery(payload []byte) bool {
+	srv := sess.srv
+	tr := srv.tracer.Sample("fleet-query")
+	t0 := time.Now()
+	fq, err := wire.DecodeFleetQuery(payload)
+	t1 := time.Now()
+	tr.Span("decode", t0, t1)
+	if err != nil {
+		tr.Finish()
+		sess.sendError(wire.CodeBadQuery, err.Error())
+		return false
+	}
+	res := srv.EvaluateFleet(fq)
+	t2 := time.Now()
+	tr.Span("evaluate", t1, t2)
+	srv.metrics.observeQuery(t2.Sub(t1))
+	p, err := res.Encode()
+	if err != nil {
+		tr.Finish()
+		sess.sendError(wire.CodeInternal, err.Error())
+		return false
+	}
+	if sess.write(wire.MsgFleetResult, p) != nil {
+		tr.Finish()
+		return false
 	}
 	ok := sess.bw.Flush() == nil
 	tr.Span("respond", t2, time.Now())

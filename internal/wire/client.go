@@ -267,6 +267,37 @@ func (c *Client) runQuery(q Query) ([]Result, error) {
 	}
 }
 
+// FleetQuery evaluates one cross-session aggregate and returns the merged
+// result. A FleetResult with OK=false (or CodePartial, when the query
+// allowed partial answers) is returned without error so the caller can
+// inspect the per-session failure detail.
+func (c *Client) FleetQuery(q FleetQuery) (FleetResult, error) {
+	if c.session == 0 {
+		return FleetResult{}, fmt.Errorf("wire: FleetQuery before Hello")
+	}
+	if err := c.drainAcks(0); err != nil {
+		return FleetResult{}, err
+	}
+	p, err := q.Encode()
+	if err != nil {
+		return FleetResult{}, err
+	}
+	if err := c.send(MsgFleetQuery, p); err != nil {
+		return FleetResult{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return FleetResult{}, err
+	}
+	typ, payload, err := c.read()
+	if err != nil {
+		return FleetResult{}, err
+	}
+	if typ != MsgFleetResult {
+		return FleetResult{}, fmt.Errorf("wire: expected fleet result, got type %d", typ)
+	}
+	return DecodeFleetResult(payload)
+}
+
 // Close drains outstanding acks, ends the session, waits for the server's
 // final accounting, and closes the connection.
 func (c *Client) Close() (CloseAck, error) {

@@ -1,0 +1,199 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestHelloV1Compat hand-encodes a protocol-v1 Hello — no device-class
+// field — and checks a v2 decoder still accepts it, with an empty Class.
+func TestHelloV1Compat(t *testing.T) {
+	h := Hello{
+		Rate:         250,
+		HorizonTicks: 500,
+		Name:         "legacy glove",
+		Mins:         []float64{-1, 0},
+		Maxs:         []float64{1, 9},
+	}
+	var e buf
+	e.u32(Magic)
+	e.u8(1) // protocol v1: payload ends at the channel ranges
+	e.f64(h.Rate)
+	e.u32(h.HorizonTicks)
+	e.str(h.Name)
+	e.u16(uint16(len(h.Mins)))
+	for i := range h.Mins {
+		e.f64(h.Mins[i])
+		e.f64(h.Maxs[i])
+	}
+	got, err := DecodeHello(e.b)
+	if err != nil {
+		t.Fatalf("v1 hello rejected: %v", err)
+	}
+	if !reflect.DeepEqual(got, h) {
+		t.Fatalf("v1 round trip: %+v != %+v", got, h)
+	}
+	if got.Class != "" {
+		t.Fatalf("v1 hello decoded class %q", got.Class)
+	}
+	// Trailing garbage after a well-formed v1 payload still fails.
+	if _, err := DecodeHello(append(e.b, 7)); err == nil {
+		t.Fatal("v1 hello with trailing bytes accepted")
+	}
+}
+
+func TestHelloV2CarriesClass(t *testing.T) {
+	h := Hello{Rate: 100, Name: "g7", Class: "cyberglove", Mins: []float64{0}, Maxs: []float64{1}}
+	p, err := h.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHello(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Class != "cyberglove" {
+		t.Fatalf("class %q", got.Class)
+	}
+}
+
+func TestDecodeQueryRejectsMalformedRanges(t *testing.T) {
+	cases := []struct{ t0, t1 float64 }{
+		{math.NaN(), 1},
+		{0, math.NaN()},
+		{math.Inf(-1), 1},
+		{0, math.Inf(1)},
+		{5, 1}, // inverted
+	}
+	for _, c := range cases {
+		p := Query{Kind: QueryCount, T0: c.t0, T1: c.t1}.Encode()
+		_, err := DecodeQuery(p)
+		if err == nil {
+			t.Fatalf("range [%v,%v] accepted", c.t0, c.t1)
+		}
+		var re *RangeError
+		if !errors.As(err, &re) {
+			t.Fatalf("range [%v,%v]: error %v is not a *RangeError", c.t0, c.t1, err)
+		}
+	}
+	// A point range (T0 == T1) is legal.
+	if _, err := DecodeQuery(Query{Kind: QueryCount, T0: 2, T1: 2}.Encode()); err != nil {
+		t.Fatalf("point range rejected: %v", err)
+	}
+}
+
+func TestFleetQueryRoundTrip(t *testing.T) {
+	byClass := FleetQuery{
+		Query:         Query{Kind: QueryAverage, Channel: 3, T0: 1.5, T1: 20, Arg: 7},
+		Scope:         FleetScope{Class: "cyberglove"},
+		Partial:       true,
+		TimeoutMillis: 1500,
+	}
+	p, err := byClass.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFleetQuery(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, byClass) {
+		t.Fatalf("round trip: %+v != %+v", got, byClass)
+	}
+
+	byIDs := FleetQuery{
+		Query: Query{Kind: QueryCount, T0: 0, T1: 4},
+		Scope: FleetScope{IDs: []uint64{9, 2, 1 << 40}},
+	}
+	p, err = byIDs.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeFleetQuery(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, byIDs) {
+		t.Fatalf("round trip: %+v != %+v", got, byIDs)
+	}
+
+	for cut := 0; cut < len(p); cut++ {
+		if _, err := DecodeFleetQuery(p[:cut]); err == nil {
+			t.Fatalf("accepted fleet query truncated to %d bytes", cut)
+		}
+	}
+}
+
+func TestFleetQueryValidation(t *testing.T) {
+	// Both selectors, or neither, is malformed.
+	if _, err := (FleetQuery{Query: Query{T1: 1}}).Encode(); err == nil {
+		t.Fatal("empty scope accepted")
+	}
+	both := FleetQuery{Query: Query{T1: 1}, Scope: FleetScope{Class: "c", IDs: []uint64{1}}}
+	if _, err := both.Encode(); err == nil {
+		t.Fatal("double scope accepted")
+	}
+	// Malformed ranges are rejected with the same typed error as DecodeQuery.
+	bad := FleetQuery{Query: Query{T0: 3, T1: 1}, Scope: FleetScope{Class: "c"}}
+	if _, err := bad.Encode(); err == nil {
+		t.Fatal("inverted range accepted at encode")
+	}
+	// And at decode, for payloads built by other implementations.
+	ok := FleetQuery{Query: Query{T0: 0, T1: 1}, Scope: FleetScope{Class: "c"}}
+	p, err := ok.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch T1 (offset: kind 1 + channel 2 + t0 8) to NaN.
+	copy(p[11:19], nanBytes())
+	_, err = DecodeFleetQuery(p)
+	var re *RangeError
+	if !errors.As(err, &re) {
+		t.Fatalf("NaN endpoint: error %v is not a *RangeError", err)
+	}
+}
+
+func nanBytes() []byte {
+	var e buf
+	e.f64(math.NaN())
+	return e.b
+}
+
+func TestFleetResultRoundTrip(t *testing.T) {
+	r := FleetResult{
+		Kind:         QueryApproxCount,
+		OK:           true,
+		Code:         CodePartial,
+		Value:        123.5,
+		Bound:        4.25,
+		Coefficients: 96,
+		Sessions:     5,
+		Merged:       3,
+		Parts: []FleetPart{
+			{ID: 1, Frames: 1000, N: 1000, Sum: 41.5, SumSq: 17, Bound: 1.5, Coefficients: 32},
+			{ID: 4, Frames: 2000, N: 2000, Sum: 82, SumSq: 34, Bound: 2.75, Coefficients: 64},
+		},
+		Failures: []FleetFailure{
+			{ID: 2, Code: CodeDeadline, Text: "scan missed the 50ms deadline"},
+			{ID: 3, Code: CodeBadQuery, Text: "channel 3 out of [0,2)"},
+		},
+	}
+	p, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFleetResult(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip:\n%+v\n!=\n%+v", got, r)
+	}
+	for cut := 0; cut < len(p); cut++ {
+		if _, err := DecodeFleetResult(p[:cut]); err == nil {
+			t.Fatalf("accepted fleet result truncated to %d bytes", cut)
+		}
+	}
+}

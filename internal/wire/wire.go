@@ -28,8 +28,15 @@ import (
 // Magic opens every Hello payload ("AIMW").
 const Magic uint32 = 0x41494D57
 
-// Version is the protocol version this package speaks.
-const Version uint8 = 1
+// Version is the protocol version this package speaks. Version 2 added the
+// device-class tag to Hello (appended after the channel ranges, so a v1
+// payload is a strict prefix of v2) and the fleet query/result messages.
+const Version uint8 = 2
+
+// MinVersion is the oldest protocol version DecodeHello still accepts; a
+// v1 client registers with an empty device class and never sees a fleet
+// message unless it sends one.
+const MinVersion uint8 = 1
 
 // MaxPayload bounds a single message (guards the length prefix against
 // garbage and hostile peers).
@@ -51,6 +58,12 @@ const (
 	MsgError    byte = 9  // server → client: terminal error, conn closes
 	MsgFlush    byte = 10 // client → server: barrier — drain my queue
 	MsgFlushAck byte = 11 // server → client: barrier reached
+
+	// Fleet messages (protocol v2): one range-aggregate evaluated across
+	// every session of a device class (or an explicit session-ID set) and
+	// merged server-side.
+	MsgFleetQuery  byte = 12 // client → server: cross-session aggregate
+	MsgFleetResult byte = 13 // server → client: merged answer + per-session detail
 )
 
 // TypeName returns the wire-format name of a message type, for metric
@@ -79,6 +92,10 @@ func TypeName(typ byte) string {
 		return "flush"
 	case MsgFlushAck:
 		return "flush_ack"
+	case MsgFleetQuery:
+		return "fleet_query"
+	case MsgFleetResult:
+		return "fleet_result"
 	}
 	return fmt.Sprintf("type_%d", typ)
 }
@@ -108,6 +125,15 @@ const (
 	// the server already holds frames this session journaled before a crash
 	// or restart, and ingest continues on top of them.
 	CodeResumed Code = 9
+	// CodeNoSessions is a fleet result whose scope matched no live session.
+	CodeNoSessions Code = 10
+	// CodePartial is a fleet result merged from a strict subset of its
+	// scope: some sessions failed or missed the deadline (detail rides in
+	// FleetResult.Failures) and the query allowed partial answers.
+	CodePartial Code = 11
+	// CodeDeadline marks a per-session fleet failure: the session's scan
+	// had not finished when the fleet deadline expired.
+	CodeDeadline Code = 12
 )
 
 // String names a code for logs and error text.
@@ -133,6 +159,12 @@ func (c Code) String() string {
 		return "idle-evicted"
 	case CodeResumed:
 		return "resumed"
+	case CodeNoSessions:
+		return "no-sessions"
+	case CodePartial:
+		return "partial"
+	case CodeDeadline:
+		return "deadline"
 	}
 	return fmt.Sprintf("code(%d)", uint16(c))
 }
@@ -263,11 +295,15 @@ func (e *buf) done() error {
 
 // Hello registers a device/session: its clock, expected session length in
 // device ticks (0 lets the server choose), and the per-channel value
-// ranges the store's quantisers should span.
+// ranges the store's quantisers should span. Class (v2) tags the session
+// with its device class — "cyberglove", "tracker" — so fleet queries can
+// aggregate over every session of a class; v1 clients register with an
+// empty class.
 type Hello struct {
 	Rate         float64
 	HorizonTicks uint32
 	Name         string
+	Class        string
 	Mins, Maxs   []float64 // len == channel count
 }
 
@@ -293,17 +329,21 @@ func (h Hello) Encode() ([]byte, error) {
 		e.f64(h.Mins[i])
 		e.f64(h.Maxs[i])
 	}
+	e.str(h.Class)
 	return e.b, nil
 }
 
-// DecodeHello parses a Hello payload, checking magic and version.
+// DecodeHello parses a Hello payload, checking magic and accepting any
+// version in [MinVersion, Version]. A v1 payload ends at the channel
+// ranges and decodes with an empty Class.
 func DecodeHello(p []byte) (Hello, error) {
 	d := buf{b: p}
 	if m := d.rdU32(); d.err == nil && m != Magic {
 		return Hello{}, fmt.Errorf("wire: bad magic %#x", m)
 	}
-	if v := d.rdU8(); d.err == nil && v != Version {
-		return Hello{}, fmt.Errorf("wire: version %d, want %d", v, Version)
+	v := d.rdU8()
+	if d.err == nil && (v < MinVersion || v > Version) {
+		return Hello{}, fmt.Errorf("wire: version %d outside [%d,%d]", v, MinVersion, Version)
 	}
 	var h Hello
 	h.Rate = d.rdF64()
@@ -320,6 +360,9 @@ func DecodeHello(p []byte) (Hello, error) {
 			h.Mins[i] = d.rdF64()
 			h.Maxs[i] = d.rdF64()
 		}
+	}
+	if v >= 2 {
+		h.Class = d.rdStr()
 	}
 	if h.Rate <= 0 && d.err == nil {
 		return Hello{}, fmt.Errorf("wire: hello rate %v must be positive", h.Rate)
@@ -435,6 +478,28 @@ func DecodeBatchAck(p []byte) (BatchAck, error) {
 	return a, d.done()
 }
 
+// RangeError is the typed decode error for a malformed query range —
+// NaN/Inf endpoints or an inverted interval. Rejecting these at decode
+// keeps garbage out of the engine (a NaN endpoint would otherwise clamp
+// unpredictably deep inside the bucket arithmetic).
+type RangeError struct {
+	T0, T1 float64
+}
+
+// Error implements error.
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("wire: malformed query range [%v,%v]", e.T0, e.T1)
+}
+
+// checkRange validates a query's time range: both endpoints finite, not
+// NaN, and T0 ≤ T1.
+func checkRange(t0, t1 float64) error {
+	if math.IsNaN(t0) || math.IsNaN(t1) || math.IsInf(t0, 0) || math.IsInf(t1, 0) || t1 < t0 {
+		return &RangeError{T0: t0, T1: t1}
+	}
+	return nil
+}
+
 // Query is one range-aggregate request over the live session: aggregate
 // Kind over Channel for session time [T0, T1] seconds. Arg carries the
 // coefficient budget (approximate) or max step count (progressive).
@@ -456,7 +521,8 @@ func (q Query) Encode() []byte {
 	return e.b
 }
 
-// DecodeQuery parses a Query payload.
+// DecodeQuery parses a Query payload, rejecting malformed time ranges
+// (NaN/Inf endpoints, T1 < T0) with a *RangeError.
 func DecodeQuery(p []byte) (Query, error) {
 	d := buf{b: p}
 	q := Query{
@@ -466,7 +532,13 @@ func DecodeQuery(p []byte) (Query, error) {
 		T1:      d.rdF64(),
 		Arg:     d.rdU32(),
 	}
-	return q, d.done()
+	if err := d.done(); err != nil {
+		return Query{}, err
+	}
+	if err := checkRange(q.T0, q.T1); err != nil {
+		return Query{}, err
+	}
+	return q, nil
 }
 
 // Result is one query answer. Progressive queries emit a Result per
