@@ -9,19 +9,23 @@
 package aims
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"aims/internal/core"
 	"aims/internal/experiments"
+	"aims/internal/fleet"
 	"aims/internal/propolyne"
 	"aims/internal/sensors"
 	"aims/internal/svdstream"
 	"aims/internal/synth"
 	"aims/internal/vec"
 	"aims/internal/wavelet"
+	"aims/internal/wire"
 )
 
 // --- One benchmark per table/figure claim (T1, E1–E12) ---
@@ -117,6 +121,13 @@ func BenchmarkE13LiveSeal(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.RunE13(io.Discard)
 		b.ReportMetric(r.Speedup[1], "speedup-1pct")
+	}
+}
+
+func BenchmarkE17QueryPlanCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunE17(io.Discard)
+		b.ReportMetric(r.Speedup, "cached-speedup")
 	}
 }
 
@@ -365,6 +376,102 @@ func BenchmarkLiveStoreSealIncremental(b *testing.B) {
 			benchSealLoop(b, ls, rng, tick, delta)
 		})
 	}
+}
+
+// --- Compiled query plans (E17's substrate) ---
+
+// BenchmarkQueryPlanColdVsCached contrasts the two query paths: cold
+// compiles the plan (lazy wavelet transforms + sorting) before every
+// evaluation — the pre-plan behaviour — while cached pays one key lookup
+// and the allocation-free sparse dot product.
+func BenchmarkQueryPlanColdVsCached(b *testing.B) {
+	dims := []int{512, 512}
+	cube := synth.ZipfCube(dims, 100000, 1.2, 3)
+	e, err := propolyne.New(cube, dims, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := propolyne.Query{
+		Lo:    []int{17, 40},
+		Hi:    []int{400, 480},
+		Polys: []vec.Poly{nil, {0, 0, 1}},
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := e.CompilePlan(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.EvalPlan(p)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache := propolyne.NewPlanCache(1 << 16)
+		if _, err := cache.Lookup(e, q); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := cache.Lookup(e, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.EvalPlan(p)
+		}
+	})
+}
+
+// BenchmarkFleetQueryPlanCache runs an approximate fleet COUNT over 256
+// same-geometry sessions with the shared plan cache warm vs disabled
+// (disabled = the legacy compile-per-session behaviour).
+func BenchmarkFleetQueryPlanCache(b *testing.B) {
+	const sessionsN, frames, rate = 256, 256, 100.0
+	rng := rand.New(rand.NewSource(21))
+	sessions := make([]fleet.Session, sessionsN)
+	for i := range sessions {
+		ls, err := core.NewLiveStore([]float64{-1}, []float64{1}, core.LiveStoreConfig{
+			Rate: rate, HorizonTicks: frames, TimeBuckets: 64, ValueBins: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fr := []float64{0}
+		for tick := 0; tick < frames; tick++ {
+			fr[0] = rng.Float64()*2 - 1
+			if err := ls.AppendFrame(tick, fr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sessions[i] = fleet.Session{ID: uint64(i + 1), Class: "sim", Store: ls}
+	}
+	req := fleet.Request{
+		Kind: wire.QueryApproxCount, Channel: 0, T0: 0, T1: frames / rate,
+		Arg: 64, Scope: wire.FleetScope{Class: "sim"},
+	}
+	cfg := fleet.Config{Workers: 8, Timeout: time.Minute}
+	run := func(b *testing.B) {
+		r := fleet.Evaluate(context.Background(), sessions, req, cfg)
+		if !r.OK {
+			b.Fatalf("fleet query failed: code=%d", r.Code)
+		}
+	}
+	run(b) // seal every session store off the clock
+	b.Run("compile-per-session", func(b *testing.B) {
+		propolyne.SharedCache.SetCapacity(-1)
+		defer propolyne.SharedCache.SetCapacity(propolyne.DefaultPlanCacheCost)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b)
+		}
+	})
+	b.Run("shared-plan", func(b *testing.B) {
+		run(b) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b)
+		}
+	})
 }
 
 // BenchmarkTransformNDParallel runs the multi-dimensional transform with

@@ -4,6 +4,7 @@
 //
 //	aims-query -seconds 60 -channel 5 -from 10 -to 30 -agg variance
 //	aims-query -channel 3 -agg count -approx 200
+//	aims-query -agg count -repeat 100        # cold/p50/p99 latency (plan-cache warm-up)
 //
 // With -addr it instead queries a live aims-server fleet: one aggregate
 // over every session of a device class (or an explicit session-ID list),
@@ -18,6 +19,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"time"
 
 	"aims/internal/core"
 	"aims/internal/propolyne"
@@ -36,6 +39,7 @@ func main() {
 	saveTo := flag.String("save", "", "after building, persist the store to this file")
 	loadFrom := flag.String("load", "", "query a previously saved store instead of simulating")
 	explain := flag.Bool("explain", false, "print the evaluation plan before answering")
+	repeat := flag.Int("repeat", 1, "evaluate the query N times and report cold/p50/p99 latency")
 	addr := flag.String("addr", "", "live aims-server address: fleet query mode (needs -fleet)")
 	fleetScope := flag.String("fleet", "", "fleet scope: device class or comma-separated session IDs")
 	partial := flag.Bool("partial", false, "fleet mode: accept partial results (still exits non-zero)")
@@ -96,36 +100,72 @@ func main() {
 		fmt.Println("plan:", ex)
 	}
 
+	// answer evaluates the query once; -repeat re-runs it to expose the
+	// plan-cache warm-up (iteration 1 compiles, the rest hit the cache).
+	var answer func() (string, error)
 	switch *agg {
 	case "count":
 		if *approx > 0 {
-			est, bound, err := st.ApproximateCount(*channel, *from, *to, *approx)
-			if err != nil {
-				log.Fatal(err)
+			answer = func() (string, error) {
+				est, bound, err := st.ApproximateCount(*channel, *from, *to, *approx)
+				if err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("COUNT(ch=%d, [%.1fs,%.1fs]) ≈ %.1f (±%.2f guaranteed, %d coefficients)",
+					*channel, *from, *to, est, bound, *approx), nil
 			}
-			fmt.Printf("COUNT(ch=%d, [%.1fs,%.1fs]) ≈ %.1f (±%.2f guaranteed, %d coefficients)\n",
-				*channel, *from, *to, est, bound, *approx)
-			return
+			break
 		}
-		v, err := st.CountSamples(*channel, *from, *to)
-		if err != nil {
-			log.Fatal(err)
+		answer = func() (string, error) {
+			v, err := st.CountSamples(*channel, *from, *to)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("COUNT(ch=%d, [%.1fs,%.1fs]) = %.0f", *channel, *from, *to, v), nil
 		}
-		fmt.Printf("COUNT(ch=%d, [%.1fs,%.1fs]) = %.0f\n", *channel, *from, *to, v)
 	case "average":
-		v, ok, err := st.AverageValue(*channel, *from, *to)
-		if err != nil || !ok {
-			log.Fatalf("average: ok=%v err=%v", ok, err)
+		answer = func() (string, error) {
+			v, ok, err := st.AverageValue(*channel, *from, *to)
+			if err != nil || !ok {
+				return "", fmt.Errorf("average: ok=%v err=%v", ok, err)
+			}
+			return fmt.Sprintf("AVERAGE(ch=%d, [%.1fs,%.1fs]) = %.3f", *channel, *from, *to, v), nil
 		}
-		fmt.Printf("AVERAGE(ch=%d, [%.1fs,%.1fs]) = %.3f\n", *channel, *from, *to, v)
 	case "variance":
-		v, ok, err := st.VarianceValue(*channel, *from, *to)
-		if err != nil || !ok {
-			log.Fatalf("variance: ok=%v err=%v", ok, err)
+		answer = func() (string, error) {
+			v, ok, err := st.VarianceValue(*channel, *from, *to)
+			if err != nil || !ok {
+				return "", fmt.Errorf("variance: ok=%v err=%v", ok, err)
+			}
+			return fmt.Sprintf("VARIANCE(ch=%d, [%.1fs,%.1fs]) = %.3f", *channel, *from, *to, v), nil
 		}
-		fmt.Printf("VARIANCE(ch=%d, [%.1fs,%.1fs]) = %.3f\n", *channel, *from, *to, v)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown aggregate %q\n", *agg)
 		os.Exit(2)
+	}
+
+	n := *repeat
+	if n < 1 {
+		n = 1
+	}
+	lat := make([]time.Duration, 0, n)
+	var out string
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		s, err := answer()
+		lat = append(lat, time.Since(t0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = s
+	}
+	fmt.Println(out)
+	if n > 1 {
+		cold := lat[0]
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p50 := lat[n/2]
+		p99 := lat[(n*99)/100]
+		fmt.Printf("latency over %d runs: cold=%s p50=%s p99=%s\n",
+			n, cold, p50, p99)
 	}
 }

@@ -46,6 +46,7 @@ func main() {
 
 		fleetWorkers = flag.Int("fleet-workers", 0, "fleet query scatter pool width (0 = default 16)")
 		fleetTimeout = flag.Duration("fleet-timeout", 0, "default fleet query deadline (0 = default 5s)")
+		planCache    = flag.Int("plan-cache", 0, "compiled query-plan cache budget in entry units (0 = default ~1M, negative disables)")
 
 		dataDir    = flag.String("data-dir", "", "durability directory: per-session WAL + snapshots (empty: memory-only)")
 		fsync      = flag.String("fsync", "batch", "WAL fsync policy: batch|interval|off")
@@ -83,6 +84,7 @@ func main() {
 		TraceSample:   *tsample,
 		FleetWorkers:  *fleetWorkers,
 		FleetTimeout:  *fleetTimeout,
+		PlanCacheCost: *planCache,
 		Store: core.LiveStoreConfig{
 			TimeBuckets: *buckets,
 			ValueBins:   *bins,

@@ -251,6 +251,25 @@ func TestRunE16SubLinearFleetScaling(t *testing.T) {
 	}
 }
 
+func TestRunE17PlanCacheSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy")
+	}
+	res := RunE17(io.Discard)
+	// The recorded BENCH_query.json run shows ~20× single-query and ~10×
+	// fleet per-session; assert conservative floors so a loaded CI box
+	// cannot flake the build while a real regression (cache bypassed, plan
+	// path slower than compile) still fails.
+	if res.Speedup < 2 {
+		t.Fatalf("cached query speedup %.1f× < 2× (cold %.1fµs, cached %.1fµs)",
+			res.Speedup, res.ColdUS, res.CachedUS)
+	}
+	if res.FleetSpeedup < 1.2 {
+		t.Fatalf("shared-plan fleet speedup %.2f× — shared cache not cheaper than per-session compile (%.1fµs vs %.1fµs)",
+			res.FleetSpeedup, res.FleetNoCacheUS, res.FleetSharedUS)
+	}
+}
+
 func TestAllRunnersRegistered(t *testing.T) {
 	ids := map[string]bool{}
 	for _, r := range All() {
@@ -263,7 +282,7 @@ func TestAllRunnersRegistered(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"T1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
-		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "A1", "A2", "A3", "A4", "A5"} {
+		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "A1", "A2", "A3", "A4", "A5"} {
 		if !ids[want] {
 			t.Fatalf("missing runner %s", want)
 		}

@@ -29,6 +29,14 @@
 // completion order, so a fleet answer over a fixed set of stores is
 // bit-identical to evaluating each session individually and merging
 // client-side with the same fold (the equivalence property the tests pin).
+//
+// Approximate kinds compile once per distinct engine geometry per fleet
+// query, not once per session: every per-session scan routes through
+// propolyne.SharedCache, whose keys are the engine geometry fingerprint
+// plus the query shape, and whose per-key singleflight collapses the
+// concurrent first-touch misses of a scatter wave into one compilation.
+// Sessions of one device class seal to identical geometry, so a 10k-session
+// scan pays one plan compile and 10k pure sparse dot products.
 package fleet
 
 import (

@@ -56,6 +56,11 @@ type Engine struct {
 	// bandEnergy caches per-subband-cell Σ coeff² for the refined bounds;
 	// nil means "recompute".
 	bandEnergy map[int]float64
+
+	// fp memoises Fingerprint — the geometry key plans are cached under.
+	// Dims/Bases/Levels are immutable after construction, so once is enough.
+	fpOnce sync.Once
+	fp     string
 }
 
 // Query is a polynomial range-sum: per-dimension inclusive ranges and
@@ -162,6 +167,10 @@ func (e *Engine) validate(q Query) error {
 // queryVectors computes the per-dimension transformed query vectors: the
 // lazy wavelet transform on wavelet dimensions, the literal restricted
 // polynomial on standard dimensions.
+//
+// Query execution compiles plans instead (CompilePlan); this map-based
+// form is kept as the independent reference implementation the
+// plan-equivalence property tests check against.
 func (e *Engine) queryVectors(q Query) ([]wavelet.Sparse, error) {
 	if err := e.validate(q); err != nil {
 		return nil, err
@@ -192,31 +201,16 @@ func (e *Engine) queryVectors(q Query) ([]wavelet.Sparse, error) {
 }
 
 // QueryCoefficients flattens the tensor product of per-dimension query
-// vectors into (flat cube offset, weight) pairs.
+// vectors into (flat cube offset, weight) pairs, in ascending-offset order
+// (a deterministic total order — offsets within one query are distinct).
+// The slice is freshly allocated per call; callers may reorder it.
 func (e *Engine) QueryCoefficients(q Query) ([]wavelet.Entry, Stats, error) {
-	vecs, err := e.queryVectors(q)
+	p, err := e.plan(q)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	st := Stats{PerDim: make([]int, len(vecs)), QueryCoeffs: 1}
-	for d, s := range vecs {
-		st.PerDim[d] = len(s)
-		st.QueryCoeffs *= len(s)
-	}
-	strides := e.Dims.Strides()
-	entries := make([]wavelet.Entry, 0, st.QueryCoeffs)
-	var rec func(d, off int, w float64)
-	rec = func(d, off int, w float64) {
-		if d == len(vecs) {
-			entries = append(entries, wavelet.Entry{Index: off, Value: w})
-			return
-		}
-		for i, v := range vecs[d] {
-			rec(d+1, off+i*strides[d], w*v)
-		}
-	}
-	rec(0, 0, 1)
-	return entries, st, nil
+	entries := p.AppendEntries(make([]wavelet.Entry, 0, p.stats.QueryCoeffs))
+	return entries, p.Stats(), nil
 }
 
 // Explain describes how a query would be evaluated without running it —
@@ -246,47 +240,42 @@ func (ex Explain) String() string {
 	return s
 }
 
-// ExplainQuery returns the evaluation plan for q.
+// ExplainQuery returns the evaluation plan for q. It compiles (or fetches)
+// the same plan execution would use, so the explained cost is the executed
+// cost by construction — and explaining a query warms its cache slot.
 func (e *Engine) ExplainQuery(q Query) (Explain, error) {
-	vecs, err := e.queryVectors(q)
+	p, err := e.plan(q)
 	if err != nil {
 		return Explain{}, err
 	}
-	ex := Explain{QueryCoeffs: 1}
-	for d, s := range vecs {
+	ex := Explain{QueryCoeffs: p.stats.QueryCoeffs}
+	for d := range e.Dims {
 		basis := "standard"
 		if !e.Bases[d].Standard {
 			basis = e.Bases[d].Filter.Name
 		}
-		deg := -1
+		deg := 0
 		if d < len(q.Polys) && q.Polys[d] != nil {
 			deg = q.Polys[d].Degree()
-		} else {
-			deg = 0
 		}
 		ex.PerDim = append(ex.PerDim, DimPlan{
 			Dim: d, Basis: basis, Lo: q.Lo[d], Hi: q.Hi[d],
-			Degree: deg, Nonzeros: len(s),
+			Degree: deg, Nonzeros: p.stats.PerDim[d],
 		})
-		ex.QueryCoeffs *= len(s)
 	}
 	return ex, nil
 }
 
 // Exact evaluates the polynomial range-sum exactly in the transformed
-// domain.
+// domain: compile (or fetch) the plan, then one allocation-free sparse dot
+// product under the read lock. Summation order is ascending flat offset,
+// so repeated evaluations over unchanged coefficients are bit-identical.
 func (e *Engine) Exact(q Query) (float64, Stats, error) {
-	entries, st, err := e.QueryCoefficients(q)
+	p, err := e.plan(q)
 	if err != nil {
-		return 0, st, err
+		return 0, Stats{}, err
 	}
-	e.mu.RLock()
-	var sum float64
-	for _, en := range entries {
-		sum += en.Value * e.Coeffs[en.Index]
-	}
-	e.mu.RUnlock()
-	return sum, st, nil
+	return e.EvalPlan(p), p.Stats(), nil
 }
 
 // Append inserts one tuple with the given weight (typically 1) without

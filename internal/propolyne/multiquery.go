@@ -63,32 +63,45 @@ type GroupResult struct {
 }
 
 // GroupByExact evaluates every bucket exactly while fetching each distinct
-// data coefficient once — the "share I/O maximally" evaluation.
+// data coefficient once — the "share I/O maximally" evaluation. The scan
+// accumulates in ascending (coefficient, bucket) order, so the answer
+// vector is bit-identical run to run.
 func (e *Engine) GroupByExact(g GroupBy) (GroupResult, error) {
 	var res GroupResult
 	res.Values = make([]float64, len(g.Buckets))
 	type entryRef struct {
+		idx    int
 		bucket int
 		weight float64
 	}
-	shared := map[int][]entryRef{}
+	var refs []entryRef
 	for bi, b := range g.Buckets {
-		entries, st, err := e.QueryCoefficients(Query{Lo: b.Lo, Hi: b.Hi, Polys: g.Polys})
+		p, err := e.plan(Query{Lo: b.Lo, Hi: b.Hi, Polys: g.Polys})
 		if err != nil {
 			return res, err
 		}
-		res.IndividualCoeffs += st.QueryCoeffs
-		for _, en := range entries {
-			shared[en.Index] = append(shared[en.Index], entryRef{bi, en.Value})
+		res.IndividualCoeffs += p.stats.QueryCoeffs
+		if refs == nil {
+			refs = make([]entryRef, 0, p.stats.QueryCoeffs*len(g.Buckets))
+		}
+		for _, en := range p.AppendEntries(nil) {
+			refs = append(refs, entryRef{en.Index, bi, en.Value})
 		}
 	}
-	res.SharedCoeffs = len(shared)
-	e.mu.RLock()
-	for idx, refs := range shared {
-		v := e.Coeffs[idx]
-		for _, r := range refs {
-			res.Values[r.bucket] += r.weight * v
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].idx != refs[j].idx {
+			return refs[i].idx < refs[j].idx
 		}
+		return refs[i].bucket < refs[j].bucket
+	})
+	e.mu.RLock()
+	prev := -1
+	for _, r := range refs {
+		if r.idx != prev {
+			res.SharedCoeffs++
+			prev = r.idx
+		}
+		res.Values[r.bucket] += r.weight * e.Coeffs[r.idx]
 	}
 	e.mu.RUnlock()
 	return res, nil

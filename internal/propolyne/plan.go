@@ -1,0 +1,301 @@
+package propolyne
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"aims/internal/vec"
+	"aims/internal/wavelet"
+)
+
+// A Plan is a compiled polynomial range-sum: the per-dimension transformed
+// query vectors in evaluation-ready form, bound to one engine geometry
+// (dims, bases, levels). Compiling pays the lazy wavelet transform and the
+// sorting once; evaluating is then the pure sparse dot product ProPolyne
+// promises — Plan.Dot walks the tensor product iteratively against the
+// coefficient store with zero heap allocation in steady state (the offset
+// stack comes from a pool) and sums in ascending flat-offset order, so the
+// same plan over the same coefficients is bit-identical run to run.
+//
+// Plans are immutable after Compile and safe for concurrent use by any
+// number of goroutines; they are the unit the PlanCache shares across
+// queries, sessions and fleet scans.
+type Plan struct {
+	strides []int
+	terms   []planTerm
+	stats   Stats
+
+	// ordered is the tensor product materialised and sorted by descending
+	// |weight| — the progressive retrieval order — with orderedSuffix[i] =
+	// Σ_{j≥i} weight². Built lazily, once, on first progressive use; plans
+	// whose support exceeds maxOrderedCache rebuild per call instead of
+	// pinning the materialisation in memory.
+	orderedOnce   sync.Once
+	ordered       []wavelet.Entry
+	orderedSuffix []float64
+}
+
+// maxOrderedCache caps the materialised progressive ordering a plan will
+// keep resident (entries); larger supports are rebuilt per evaluation.
+const maxOrderedCache = 1 << 16
+
+// planTerm is one dimension's compiled query vector. Wavelet dimensions
+// hold their sparse entries index-ascending; standard (identity-basis)
+// dimensions hold the contiguous range as a compact run span — O(1) memory
+// regardless of range width — with the polynomial evaluated on the fly.
+type planTerm struct {
+	// run marks a standard-dimension span [lo, hi]; entries is nil.
+	run     bool
+	lo, hi  int
+	isConst bool
+	constV  float64  // weight when isConst
+	poly    vec.Poly // weight p(k) otherwise
+	// entries are a wavelet dimension's nonzeros, ascending by index.
+	entries []wavelet.Entry
+}
+
+// count returns the term's nonzero width.
+func (t *planTerm) count() int {
+	if t.run {
+		return t.hi - t.lo + 1
+	}
+	return len(t.entries)
+}
+
+// at returns the i'th (index, weight) pair in ascending-index order.
+func (t *planTerm) at(i int) (int, float64) {
+	if t.run {
+		k := t.lo + i
+		if t.isConst {
+			return k, t.constV
+		}
+		return k, t.poly.Eval(float64(k))
+	}
+	return t.entries[i].Index, t.entries[i].Value
+}
+
+// dot accumulates this term's contribution as the innermost loop of the
+// tensor walk: w · Σ_i v_i · coeffs[off + idx_i·stride].
+func (t *planTerm) dot(stride, off int, w float64, coeffs []float64) float64 {
+	var s float64
+	if t.run {
+		base := off + t.lo*stride
+		if t.isConst {
+			for k := t.lo; k <= t.hi; k++ {
+				s += coeffs[base]
+				base += stride
+			}
+			return w * t.constV * s
+		}
+		for k := t.lo; k <= t.hi; k++ {
+			s += t.poly.Eval(float64(k)) * coeffs[base]
+			base += stride
+		}
+		return w * s
+	}
+	for i := range t.entries {
+		s += t.entries[i].Value * coeffs[off+t.entries[i].Index*stride]
+	}
+	return w * s
+}
+
+// CompilePlan compiles q against the engine's geometry: per-dimension lazy
+// wavelet transforms on wavelet dimensions, compact run spans on standard
+// dimensions, everything index-sorted for deterministic evaluation. The
+// plan depends only on the geometry and the query shape — never on the
+// coefficient data — so appends and incremental seals do not invalidate it.
+func (e *Engine) CompilePlan(q Query) (*Plan, error) {
+	if err := e.validate(q); err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		strides: e.Dims.Strides(),
+		terms:   make([]planTerm, len(e.Dims)),
+	}
+	st := Stats{PerDim: make([]int, len(e.Dims)), QueryCoeffs: 1}
+	for d := range e.Dims {
+		var poly vec.Poly
+		if d < len(q.Polys) && q.Polys[d] != nil {
+			poly = q.Polys[d]
+		}
+		t := &p.terms[d]
+		if e.Bases[d].Standard {
+			t.run, t.lo, t.hi = true, q.Lo[d], q.Hi[d]
+			if poly.Degree() <= 0 {
+				t.isConst = true
+				t.constV = 1
+				if len(poly) > 0 {
+					t.constV = poly[0]
+				}
+			} else {
+				t.poly = poly
+			}
+		} else {
+			qp := poly
+			if qp == nil {
+				qp = vec.PolyConst(1)
+			}
+			s, err := wavelet.LazyQuery(e.Dims[d], q.Lo[d], q.Hi[d], qp, e.Bases[d].Filter, e.Levels[d])
+			if err != nil {
+				return nil, err
+			}
+			t.entries = ascendingEntries(s)
+		}
+		n := t.count()
+		st.PerDim[d] = n
+		st.QueryCoeffs *= n
+	}
+	p.stats = st
+	return p, nil
+}
+
+// ascendingEntries flattens a sparse vector into index-ascending entries.
+func ascendingEntries(s wavelet.Sparse) []wavelet.Entry {
+	out := make([]wavelet.Entry, 0, len(s))
+	for i, v := range s {
+		out = append(out, wavelet.Entry{Index: i, Value: v})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Index < out[b].Index })
+	return out
+}
+
+// Stats returns the plan's evaluation stats (a copy; plans are shared).
+func (p *Plan) Stats() Stats {
+	return Stats{
+		PerDim:      append([]int(nil), p.stats.PerDim...),
+		QueryCoeffs: p.stats.QueryCoeffs,
+	}
+}
+
+// dotScratch is the pooled offset/weight stack of the iterative tensor
+// walk, so steady-state evaluation allocates nothing.
+type dotScratch struct {
+	pos []int
+	off []int
+	w   []float64
+}
+
+var dotPool = sync.Pool{New: func() interface{} { return new(dotScratch) }}
+
+// Dot evaluates the sparse dot product ⟨plan, coeffs⟩. Per-dimension
+// entries are index-ascending and the walk is lexicographic over the
+// row-major strides, so flat offsets are visited in strictly ascending
+// order — the summation order, and therefore the floating-point result, is
+// identical on every run.
+func (p *Plan) Dot(coeffs []float64) float64 {
+	nd := len(p.terms)
+	if nd == 0 {
+		return 0
+	}
+	for d := range p.terms {
+		if p.terms[d].count() == 0 {
+			return 0
+		}
+	}
+	last := nd - 1
+	if nd == 1 {
+		return p.terms[0].dot(p.strides[0], 0, 1, coeffs)
+	}
+	sc := dotPool.Get().(*dotScratch)
+	if cap(sc.pos) < nd {
+		sc.pos = make([]int, nd)
+		sc.off = make([]int, nd)
+		sc.w = make([]float64, nd)
+	}
+	pos, off, w := sc.pos[:nd], sc.off[:nd], sc.w[:nd]
+
+	var sum float64
+	d := 0
+	pos[0], off[0], w[0] = 0, 0, 1
+	for d >= 0 {
+		if d == last {
+			// Innermost dimension: one tight loop over the whole term.
+			sum += p.terms[last].dot(p.strides[last], off[d], w[d], coeffs)
+			d--
+			if d >= 0 {
+				pos[d]++
+			}
+			continue
+		}
+		t := &p.terms[d]
+		if pos[d] >= t.count() {
+			d--
+			if d >= 0 {
+				pos[d]++
+			}
+			continue
+		}
+		idx, v := t.at(pos[d])
+		off[d+1] = off[d] + idx*p.strides[d]
+		w[d+1] = w[d] * v
+		d++
+		pos[d] = 0
+	}
+	dotPool.Put(sc)
+	return sum
+}
+
+// EvalPlan evaluates a compiled plan against this engine's coefficient
+// store under the read lock — the steady-state query hot path.
+func (e *Engine) EvalPlan(p *Plan) float64 {
+	e.mu.RLock()
+	v := p.Dot(e.Coeffs)
+	e.mu.RUnlock()
+	return v
+}
+
+// AppendEntries materialises the plan's tensor product as (flat offset,
+// weight) pairs in ascending-offset order, appended to dst. Offsets within
+// one plan are distinct (per-dimension indices are), so the order is a
+// deterministic total order.
+func (p *Plan) AppendEntries(dst []wavelet.Entry) []wavelet.Entry {
+	var rec func(d, off int, w float64)
+	rec = func(d, off int, w float64) {
+		if d == len(p.terms) {
+			dst = append(dst, wavelet.Entry{Index: off, Value: w})
+			return
+		}
+		t := &p.terms[d]
+		n := t.count()
+		for i := 0; i < n; i++ {
+			idx, v := t.at(i)
+			rec(d+1, off+idx*p.strides[d], w*v)
+		}
+	}
+	rec(0, 0, 1)
+	return dst
+}
+
+// buildOrdered materialises the progressive retrieval order: entries by
+// descending |weight| (index-ascending tie-break) plus the suffix query
+// energies the Cauchy–Schwarz bound needs.
+func (p *Plan) buildOrdered() ([]wavelet.Entry, []float64) {
+	entries := p.AppendEntries(make([]wavelet.Entry, 0, p.stats.QueryCoeffs))
+	sort.Slice(entries, func(i, j int) bool {
+		ai, aj := math.Abs(entries[i].Value), math.Abs(entries[j].Value)
+		if ai != aj {
+			return ai > aj
+		}
+		return entries[i].Index < entries[j].Index
+	})
+	suffix := make([]float64, len(entries)+1)
+	for i := len(entries) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + entries[i].Value*entries[i].Value
+	}
+	return entries, suffix
+}
+
+// Ordered returns the plan's entries in progressive retrieval order
+// (descending |weight|) and the suffix energy array, computing both once
+// per plan for supports up to maxOrderedCache. Callers must not mutate the
+// returned slices.
+func (p *Plan) Ordered() ([]wavelet.Entry, []float64) {
+	if p.stats.QueryCoeffs > maxOrderedCache {
+		return p.buildOrdered()
+	}
+	p.orderedOnce.Do(func() {
+		p.ordered, p.orderedSuffix = p.buildOrdered()
+	})
+	return p.ordered, p.orderedSuffix
+}

@@ -1,0 +1,226 @@
+package propolyne
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"aims/internal/vec"
+)
+
+func cacheTestEngine(t *testing.T, sizes []int, tuples int) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(tuples)))
+	rel := randomRelation(rng, sizes, tuples)
+	e, err := New(rel.Cube(), sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestPlanCacheHitReturnsSamePlan(t *testing.T) {
+	e := cacheTestEngine(t, []int{32, 32}, 300)
+	c := NewPlanCache(1 << 16)
+	q := Query{Lo: []int{1, 2}, Hi: []int{20, 30}}
+	p1, err := c.Lookup(e, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Lookup(e, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("second lookup should return the cached plan pointer")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Plans != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 plan", st)
+	}
+	// A geometry-equal engine shares the plan — the fleet property.
+	e2 := cacheTestEngine(t, []int{32, 32}, 500)
+	if e.Fingerprint() != e2.Fingerprint() {
+		t.Fatalf("fingerprints differ: %q vs %q", e.Fingerprint(), e2.Fingerprint())
+	}
+	p3, err := c.Lookup(e2, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 != p1 {
+		t.Fatal("geometry-equal engine should share the cached plan")
+	}
+	// A geometry-different engine must not.
+	e3 := cacheTestEngine(t, []int{32, 64}, 300)
+	if e.Fingerprint() == e3.Fingerprint() {
+		t.Fatal("different geometry, same fingerprint")
+	}
+}
+
+func TestPlanCacheDistinctQueriesDistinctPlans(t *testing.T) {
+	e := cacheTestEngine(t, []int{32, 32}, 300)
+	c := NewPlanCache(1 << 16)
+	q := Query{Lo: []int{0, 0}, Hi: []int{15, 15}}
+	qPoly := Query{Lo: []int{0, 0}, Hi: []int{15, 15}, Polys: []vec.Poly{nil, {0, 1}}}
+	p1, _ := c.Lookup(e, q)
+	p2, _ := c.Lookup(e, qPoly)
+	if p1 == p2 {
+		t.Fatal("different polynomials must compile different plans")
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Plans != 2 {
+		t.Fatalf("stats %+v, want 2 misses / 2 plans", st)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	e := cacheTestEngine(t, []int{32, 32}, 200)
+	// Tiny budget: one cost unit per shard, so every shard holds at most
+	// one resident plan and inserts evict the previous occupant.
+	c := NewPlanCache(planShards)
+	for lo := 0; lo < 16; lo++ {
+		for hi := lo; hi < 16; hi++ {
+			if _, err := c.Lookup(e, Query{Lo: []int{lo, 0}, Hi: []int{hi, 31}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a %d-unit budget after %d inserts", planShards, 16*17/2)
+	}
+	if st.Plans > planShards {
+		t.Fatalf("%d resident plans exceed the one-per-shard floor", st.Plans)
+	}
+	// Evicted plans recompile on demand and still evaluate.
+	if _, err := c.Lookup(e, Query{Lo: []int{0, 0}, Hi: []int{0, 31}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	e := cacheTestEngine(t, []int{16, 16}, 100)
+	c := NewPlanCache(-1)
+	q := Query{Lo: []int{0, 0}, Hi: []int{7, 7}}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Lookup(e, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 3 || st.Plans != 0 {
+		t.Fatalf("disabled cache stats %+v, want 0 hits / 3 misses / 0 plans", st)
+	}
+}
+
+func TestPlanCacheErrorNotCached(t *testing.T) {
+	e := cacheTestEngine(t, []int{16, 16}, 100)
+	c := NewPlanCache(1 << 10)
+	bad := Query{Lo: []int{0, 0}, Hi: []int{99, 7}}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Lookup(e, bad); err == nil {
+			t.Fatal("invalid query accepted")
+		}
+	}
+	if st := c.Stats(); st.Plans != 0 || st.Misses != 2 {
+		t.Fatalf("failed compiles must not become residents: %+v", st)
+	}
+}
+
+// TestPlanCacheSingleflight: concurrent misses on one key collapse into a
+// single compilation.
+func TestPlanCacheSingleflight(t *testing.T) {
+	e := cacheTestEngine(t, []int{64, 64}, 500)
+	c := NewPlanCache(1 << 16)
+	q := Query{Lo: []int{3, 5}, Hi: []int{60, 50}, Polys: []vec.Poly{nil, {0, 1}}}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	plans := make([]*Plan, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			p, err := c.Lookup(e, q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[g] = p
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("%d compilations for one key, want 1 (singleflight)", st.Misses)
+	}
+	if st.Hits != goroutines-1 {
+		t.Fatalf("hits %d, want %d", st.Hits, goroutines-1)
+	}
+	for g := 1; g < goroutines; g++ {
+		if plans[g] != plans[0] {
+			t.Fatal("waiters must all receive the singleflighted plan")
+		}
+	}
+}
+
+// TestPlanCacheConcurrentWithAppends is the -race stress: readers keep
+// evaluating cached plans while a writer appends batches into the engine.
+// Plans are geometry-only, so appends never invalidate them; the test pins
+// that the cache and the engine locks compose without races.
+func TestPlanCacheConcurrentWithAppends(t *testing.T) {
+	e := cacheTestEngine(t, []int{32, 32}, 200)
+	c := NewPlanCache(1 << 12)
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+
+	// Writer: keeps appending tuples (the seal-path mutation).
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := make([]Tuple, 8)
+			for j := range batch {
+				batch[j] = Tuple{Index: []int{rng.Intn(32), rng.Intn(32)}, Weight: 1}
+			}
+			if err := e.AppendBatch(batch); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Readers: mixed cached evaluation, including the ordered/progressive
+	// path, against a rotating set of queries.
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 300; i++ {
+				lo := rng.Intn(16)
+				hi := lo + rng.Intn(32-lo)
+				q := Query{Lo: []int{lo, 0}, Hi: []int{hi, 31}}
+				p, err := c.Lookup(e, q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_ = e.EvalPlan(p)
+				if i%16 == 0 {
+					_, _ = p.Ordered()
+				}
+			}
+		}(g)
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

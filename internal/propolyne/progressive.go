@@ -2,7 +2,6 @@ package propolyne
 
 import (
 	"math"
-	"sort"
 )
 
 // Step is one state of a progressive evaluation: after using the given
@@ -21,23 +20,14 @@ type Step struct {
 // running estimate. maxSteps bounds the number of emitted checkpoints
 // (≤ 0 means every coefficient); the final step is always exact.
 func (e *Engine) Progressive(q Query, maxSteps int) ([]Step, Stats, error) {
-	entries, st, err := e.QueryCoefficients(q)
+	p, err := e.plan(q)
 	if err != nil {
-		return nil, st, err
+		return nil, Stats{}, err
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		ai, aj := math.Abs(entries[i].Value), math.Abs(entries[j].Value)
-		if ai != aj {
-			return ai > aj
-		}
-		return entries[i].Index < entries[j].Index
-	})
-
-	// Suffix query energy for the error bound.
-	suffix := make([]float64, len(entries)+1)
-	for i := len(entries) - 1; i >= 0; i-- {
-		suffix[i] = suffix[i+1] + entries[i].Value*entries[i].Value
-	}
+	st := p.Stats()
+	// The retrieval order and suffix query energies are part of the
+	// compiled plan — ordered once, shared by every progressive run.
+	entries, suffix := p.Ordered()
 	dataNorm := math.Sqrt(e.Energy())
 
 	every := 1
@@ -68,29 +58,24 @@ func (e *Engine) Progressive(q Query, maxSteps int) ([]Step, Stats, error) {
 // budget query coefficients, plus the exact answer's guaranteed error
 // bound at that point.
 func (e *Engine) EstimateWithBudget(q Query, budget int) (estimate, bound float64, err error) {
-	entries, _, err := e.QueryCoefficients(q)
+	p, err := e.plan(q)
 	if err != nil {
 		return 0, 0, err
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		ai, aj := math.Abs(entries[i].Value), math.Abs(entries[j].Value)
-		if ai != aj {
-			return ai > aj
-		}
-		return entries[i].Index < entries[j].Index
-	})
+	entries, suffix := p.Ordered()
 	if budget > len(entries) {
 		budget = len(entries)
 	}
-	var est, rem float64
+	if budget < 0 {
+		budget = 0
+	}
+	var est float64
 	e.mu.RLock()
-	for i, en := range entries {
-		if i < budget {
-			est += en.Value * e.Coeffs[en.Index]
-		} else {
-			rem += en.Value * en.Value
-		}
+	for i := 0; i < budget; i++ {
+		est += entries[i].Value * e.Coeffs[entries[i].Index]
 	}
 	e.mu.RUnlock()
-	return est, math.Sqrt(rem) * math.Sqrt(e.Energy()), nil
+	// suffix[budget] is the unevaluated query mass — precomputed at plan
+	// ordering time, so the budgeted path does no per-call energy pass.
+	return est, math.Sqrt(suffix[budget]) * math.Sqrt(e.Energy()), nil
 }

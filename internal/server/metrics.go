@@ -9,6 +9,7 @@ import (
 	"aims/internal/fleet"
 	"aims/internal/journal"
 	"aims/internal/obs"
+	"aims/internal/propolyne"
 	"aims/internal/wire"
 )
 
@@ -50,6 +51,13 @@ var fsyncBounds = []float64{
 // fanoutBounds bucket fleet fan-out width (sessions matched per fleet
 // query), spanning a single glove to a 10k-session fleet.
 var fanoutBounds = []float64{1, 4, 16, 64, 256, 1024, 4096}
+
+// compileBounds bucket query-plan compile times: a hot lazy transform is
+// single-digit microseconds, a high-degree multi-dimension compile can run
+// to milliseconds.
+var compileBounds = []float64{
+	2e-6, 10e-6, 50e-6, 200e-6, 1e-3, 5e-3, 20e-3,
+}
 
 func secondsBounds(ds []time.Duration) []float64 {
 	out := make([]float64, len(ds))
@@ -100,6 +108,13 @@ type metrics struct {
 	fleetFanout       *obs.Histogram
 	fleetScanSeconds  *obs.Histogram
 	fleetMergeSeconds *obs.Histogram
+
+	// Query-plan cache instruments (the shared propolyne PlanCache
+	// reports through these).
+	planHits           *obs.Counter
+	planMisses         *obs.Counter
+	planEvictions      *obs.Counter
+	planCompileSeconds *obs.Histogram
 
 	// Durability instruments (the journal layer reports through these).
 	walFsyncSeconds *obs.Histogram
@@ -154,6 +169,12 @@ func newMetrics() *metrics {
 			"Per-session scan time inside fleet scatter.", stageBounds),
 		fleetMergeSeconds: reg.Histogram("aims_fleet_merge_seconds",
 			"Merge time per fleet query.", stageBounds),
+		planHits:   reg.Counter("aims_plan_cache_hits_total", "Query-plan cache hits."),
+		planMisses: reg.Counter("aims_plan_cache_misses_total", "Query-plan cache misses (compilations)."),
+		planEvictions: reg.Counter("aims_plan_cache_evictions_total",
+			"Query plans evicted to hold the cache budget."),
+		planCompileSeconds: reg.Histogram("aims_plan_compile_seconds",
+			"Query-plan compile wall time.", compileBounds),
 		walFsyncSeconds: reg.Histogram("aims_wal_fsync_seconds",
 			"WAL fsync latency.", fsyncBounds),
 		walBytes: reg.Counter("aims_wal_bytes_total", "Bytes appended to session WALs."),
@@ -168,6 +189,10 @@ func newMetrics() *metrics {
 	}
 	reg.GaugeFunc("aims_query_latency_max_seconds", "Slowest query so far.",
 		func() float64 { return time.Duration(m.latencyMaxNS.Load()).Seconds() })
+	reg.GaugeFunc("aims_plan_cache_plans", "Compiled query plans resident in the shared cache.",
+		func() float64 { return float64(propolyne.SharedCache.Stats().Plans) })
+	reg.GaugeFunc("aims_plan_cache_cost_units", "Resident query-plan cache cost (entry units).",
+		func() float64 { return float64(propolyne.SharedCache.Stats().Cost) })
 	const bytesHelp = "Wire bytes by direction and message type, headers included."
 	for _, typ := range []byte{wire.MsgHello, wire.MsgBatch, wire.MsgQuery, wire.MsgFlush,
 		wire.MsgClose, wire.MsgFleetQuery} {
@@ -199,6 +224,18 @@ func (m *metrics) fleetObserver() fleet.Observer {
 		FanOut:       func(width int) { m.fleetFanout.Observe(float64(width)) },
 		ScanSeconds:  func(s float64) { m.fleetScanSeconds.Observe(s) },
 		MergeSeconds: func(s float64) { m.fleetMergeSeconds.Observe(s) },
+	}
+}
+
+// planObserver wires the shared plan cache's hooks onto this server's
+// instruments. The cache is process-global; when several servers share a
+// process (tests), the most recently constructed one owns the hooks.
+func (m *metrics) planObserver() propolyne.PlanObserver {
+	return propolyne.PlanObserver{
+		Hit:            func() { m.planHits.Inc() },
+		Miss:           func() { m.planMisses.Inc() },
+		Evict:          func() { m.planEvictions.Inc() },
+		CompileSeconds: func(s float64) { m.planCompileSeconds.Observe(s) },
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"aims/internal/propolyne"
 	"aims/internal/wire"
 )
 
@@ -78,6 +79,10 @@ func checkExposition(t *testing.T, text string) {
 // well-formed, at its zero value. Run with UPDATE_GOLDEN=1 to regenerate
 // after intentionally adding or renaming instruments.
 func TestMetricsGolden(t *testing.T) {
+	// The plan-cache gauges read the process-wide propolyne.SharedCache;
+	// drop plans left behind by earlier tests so the exposition is the
+	// zero state the golden file pins regardless of test order.
+	propolyne.SharedCache.Purge()
 	m := newMetrics()
 	var buf bytes.Buffer
 	m.reg.WritePrometheus(&buf)

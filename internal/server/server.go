@@ -24,6 +24,7 @@ import (
 	"aims/internal/fleet"
 	"aims/internal/journal"
 	"aims/internal/obs"
+	"aims/internal/propolyne"
 	"aims/internal/wire"
 )
 
@@ -84,6 +85,11 @@ type Config struct {
 	// at the deadline surface as per-session failures under the query's
 	// fail|partial policy.
 	FleetTimeout time.Duration
+	// PlanCacheCost sizes the process-wide compiled-query-plan cache, in
+	// plan-entry cost units. 0 keeps the propolyne default
+	// (DefaultPlanCacheCost, ~1M units); negative disables the cache so
+	// every query compiles its plan fresh.
+	PlanCacheCost int
 	// Journal configures the durability layer (per-session WAL +
 	// snapshots). An empty Journal.Dir leaves the server memory-only, as
 	// before; with a directory set, call RecoverSessions before Serve to
@@ -144,6 +150,13 @@ func New(cfg Config) *Server {
 	if cfg.TraceSample >= 0 {
 		tracer = obs.NewTracer(cfg.TraceSample, cfg.TraceBuffer)
 	}
+	// The plan cache is process-global (its keys embed engine geometry, so
+	// servers cannot cross-contaminate); wire its hooks onto this server's
+	// instruments and apply any explicit sizing.
+	if cfg.PlanCacheCost != 0 {
+		propolyne.SharedCache.SetCapacity(cfg.PlanCacheCost)
+	}
+	propolyne.SharedCache.SetObserver(m.planObserver())
 	s := &Server{cfg: cfg, sessions: newRegistry(), metrics: m, tracer: tracer}
 	s.fleetCfg = fleet.Config{
 		Workers:  cfg.FleetWorkers,
