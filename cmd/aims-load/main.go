@@ -196,9 +196,16 @@ func main() {
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		pct := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
-		fmt.Printf("query latency (n=%d): p50=%s p95=%s p99=%s max=%s\n",
+		var total time.Duration
+		for _, l := range lats {
+			total += l
+		}
+		mean := total / time.Duration(len(lats))
+		fmt.Printf("query latency (n=%d): p50=%s p95=%s p99=%s max=%s mean=%s\n",
 			len(lats), pct(.50).Round(time.Microsecond), pct(.95).Round(time.Microsecond),
-			pct(.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+			pct(.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond),
+			mean.Round(time.Microsecond))
+		fmt.Printf("query throughput: %.0f queries/s aggregate\n", float64(len(lats))/wall.Seconds())
 	}
 
 	if srv != nil {
@@ -400,6 +407,12 @@ func scrapeMetrics(client *http.Client, url string) (map[string]string, error) {
 		line := sc.Text()
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		// Bucket lines may carry an OpenMetrics exemplar suffix
+		// (` # {trace_id="..."} value`); strip it before splitting off the
+		// sample value or the exemplar would be read as the value.
+		if ex := strings.Index(line, " # "); ex >= 0 {
+			line = line[:ex]
 		}
 		sp := strings.LastIndexByte(line, ' ')
 		if sp <= 0 {

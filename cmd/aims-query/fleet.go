@@ -1,12 +1,16 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"aims/internal/obs"
 	"aims/internal/wire"
 )
 
@@ -55,7 +59,7 @@ func fleetKind(agg string, approx int) (wire.QueryKind, uint32, error) {
 // process exit code: non-zero on any server error code and on partial
 // results, so scripts can trust a zero exit to mean every targeted
 // session answered.
-func runFleet(addr, scopeArg, agg string, approx int, channel int, from, to float64, partial bool, timeout time.Duration) int {
+func runFleet(addr, scopeArg, agg string, approx int, channel int, from, to float64, partial bool, timeout time.Duration, trace bool, traceAdmin string) int {
 	scope, err := parseFleetScope(scopeArg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -89,10 +93,21 @@ func runFleet(addr, scopeArg, agg string, approx int, channel int, from, to floa
 	if timeout > 0 {
 		fq.TimeoutMillis = uint32(timeout / time.Millisecond)
 	}
+	var traceID uint64
+	if trace {
+		// Mint the trace ID client-side and force-sample: the server keeps
+		// the whole scatter tree under OUR ID regardless of its sampler.
+		traceID = wire.NewTraceID()
+		fq.TraceID = traceID
+		fq.TraceSampled = true
+	}
 	res, err := c.FleetQuery(fq)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+	if trace {
+		fmt.Printf("trace %s\n", obs.TraceIDString(traceID))
 	}
 
 	name := strings.ToUpper(agg)
@@ -118,10 +133,87 @@ func runFleet(addr, scopeArg, agg string, approx int, channel int, from, to floa
 		}
 		fmt.Fprintf(os.Stderr, "  session %d failed: %s\n", f.ID, detail)
 	}
+	if trace && traceAdmin != "" {
+		if err := printTrace(traceAdmin, traceID); err != nil {
+			fmt.Fprintf(os.Stderr, "fetch trace: %v\n", err)
+		}
+	}
 	if !res.OK || res.Code != wire.CodeOK {
 		fmt.Fprintf(os.Stderr, "fleet query %s: %s\n",
 			map[bool]string{true: "partial", false: "failed"}[res.OK], res.Code)
 		return 1
 	}
 	return 0
+}
+
+// printTrace fetches the finished trace from the admin plane's /tracez?id=
+// and renders its span tree, indented by parentage, with each span's
+// duration and self-time (duration minus the sum of its children). The
+// server publishes the trace right after flushing the reply, so one short
+// retry loop covers the race.
+func printTrace(adminBase string, traceID uint64) error {
+	url := strings.TrimRight(adminBase, "/") + "/tracez?id=" + obs.TraceIDString(traceID)
+	var snap obs.TraceSnapshot
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusOK {
+			err = json.NewDecoder(resp.Body).Decode(&snap)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			break
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound || time.Now().After(deadline) {
+			return fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	fmt.Printf("trace %s kind=%s total=%s\n", snap.TraceID, snap.Kind, time.Duration(snap.TotalNS))
+	if len(snap.Attrs) > 0 {
+		keys := make([]string, 0, len(snap.Attrs))
+		for k := range snap.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s=%s", k, snap.Attrs[k])
+		}
+		fmt.Println()
+	}
+
+	children := map[obs.SpanID][]obs.Span{}
+	childNS := map[obs.SpanID]int64{}
+	for _, sp := range snap.Spans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+		childNS[sp.Parent] += sp.DurationNS
+	}
+	var walk func(parent obs.SpanID, depth int)
+	walk = func(parent obs.SpanID, depth int) {
+		kids := children[parent]
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].OffsetNS != kids[j].OffsetNS {
+				return kids[i].OffsetNS < kids[j].OffsetNS
+			}
+			return kids[i].ID < kids[j].ID
+		})
+		for _, sp := range kids {
+			self := sp.DurationNS - childNS[sp.ID]
+			if self < 0 {
+				self = 0
+			}
+			fmt.Printf("  %s%-24s %12s  self %s\n",
+				strings.Repeat("  ", depth), sp.Name,
+				time.Duration(sp.DurationNS), time.Duration(self))
+			walk(sp.ID, depth+1)
+		}
+	}
+	walk(0, 0)
+	return nil
 }

@@ -12,6 +12,16 @@
 //
 //	aims-query -addr host:7009 -fleet cyberglove -agg count -from 1 -to 9
 //	aims-query -addr host:7009 -fleet 3,17,42 -agg average -partial
+//
+// In fleet mode, -trace force-samples the query end-to-end: the client
+// mints a trace ID, carries it in the wire payload, and prints it; with
+// -trace-admin pointing at the server's admin plane the console fetches
+// the finished trace from /tracez?id= and prints the span tree (scatter,
+// per-session queue wait, plan compile/hit, dot product, merge) with
+// self-times.
+//
+//	aims-query -addr host:7009 -fleet cyberglove -agg count \
+//	    -trace -trace-admin http://host:6060
 package main
 
 import (
@@ -44,6 +54,8 @@ func main() {
 	fleetScope := flag.String("fleet", "", "fleet scope: device class or comma-separated session IDs")
 	partial := flag.Bool("partial", false, "fleet mode: accept partial results (still exits non-zero)")
 	fleetTimeout := flag.Duration("timeout", 0, "fleet mode: per-query deadline (0 = server default)")
+	trace := flag.Bool("trace", false, "fleet mode: force-sample this query and print its trace ID")
+	traceAdmin := flag.String("trace-admin", "", "fleet mode: admin plane base URL; with -trace, fetch and print the span tree")
 	flag.Parse()
 
 	if *to < 0 {
@@ -54,7 +66,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fleet mode needs both -addr and -fleet")
 			os.Exit(2)
 		}
-		os.Exit(runFleet(*addr, *fleetScope, *agg, *approx, *channel, *from, *to, *partial, *fleetTimeout))
+		os.Exit(runFleet(*addr, *fleetScope, *agg, *approx, *channel, *from, *to, *partial, *fleetTimeout, *trace, *traceAdmin))
 	}
 	var st *core.Store
 	if *loadFrom != "" {

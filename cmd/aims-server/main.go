@@ -8,8 +8,11 @@
 // The -admin listener serves the observability plane: /metrics
 // (Prometheus text), /healthz (readiness, reports draining), /sessions
 // (per-session JSON), /fleet (device classes with live session counts),
-// /tracez (slowest sampled pipeline traces) and /debug/pprof. Stop the server with SIGINT/SIGTERM; shutdown drains
-// every session's in-flight batches before exiting.
+// /tracez (slowest sampled pipeline traces, ?id= for one trace by its
+// distributed trace ID), /slowlog (the always-on slow-query log; tune the
+// threshold with -slow-query) and /debug/pprof. Stop the server with
+// SIGINT/SIGTERM; shutdown drains every session's in-flight batches
+// before exiting.
 package main
 
 import (
@@ -43,6 +46,7 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress per-session logs")
 		admin   = flag.String("admin", "", "admin plane listen address, e.g. :6060 (empty disables)")
 		tsample = flag.Int("trace-sample", 0, "trace one in N batches/queries (0 = default 256, negative disables)")
+		slowQ   = flag.Duration("slow-query", 0, "slow-query log threshold (0 = default 100ms, negative disables)")
 
 		fleetWorkers = flag.Int("fleet-workers", 0, "fleet query scatter pool width (0 = default 16)")
 		fleetTimeout = flag.Duration("fleet-timeout", 0, "default fleet query deadline (0 = default 5s)")
@@ -82,6 +86,7 @@ func main() {
 		IdleTimeout:   *idle,
 		Policy:        pol,
 		TraceSample:   *tsample,
+		SlowQuery:     *slowQ,
 		FleetWorkers:  *fleetWorkers,
 		FleetTimeout:  *fleetTimeout,
 		PlanCacheCost: *planCache,
@@ -132,7 +137,7 @@ func main() {
 				log.Printf("admin: %v", err)
 			}
 		}()
-		log.Printf("admin plane on http://%s (/metrics /healthz /sessions /fleet /tracez /debug/pprof)", ln.Addr())
+		log.Printf("admin plane on http://%s (/metrics /healthz /sessions /fleet /tracez /slowlog /debug/pprof)", ln.Addr())
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -477,21 +477,54 @@ func (ls *LiveStore) replayDelta(log []uint32) error {
 	return eng.AppendBatch(tuples)
 }
 
+// QueryTrace reports what one traced store evaluation cost, layer by
+// layer: the seal that brought the transformed engine up to date, whether
+// the wavelet plan path ran (exact scans never compile a plan), the plan
+// provenance from propolyne, and the queried box volume in cube cells.
+// The middle tier reconstructs trace spans from these durations, so core
+// never imports the obs package.
+type QueryTrace struct {
+	SealNS    int64
+	PlanUsed  bool
+	Plan      propolyne.PlanTrace
+	BoxVolume int64
+}
+
 // ApproximateCount returns a budget-limited estimate of CountSamples with
 // its guaranteed error bound, evaluated on the sealed engine.
 func (ls *LiveStore) ApproximateCount(channel int, t0, t1 float64, budget int) (est, bound float64, err error) {
+	return ls.ApproximateCountTraced(channel, t0, t1, budget, nil)
+}
+
+// ApproximateCountTraced is ApproximateCount with per-call provenance
+// recorded into a non-nil qt (seal time, plan outcome, box volume).
+func (ls *LiveStore) ApproximateCountTraced(channel int, t0, t1 float64, budget int, qt *QueryTrace) (est, bound float64, err error) {
+	begin := time.Now()
 	st, err := ls.Seal()
+	if qt != nil {
+		qt.SealNS = time.Since(begin).Nanoseconds()
+	}
 	if err != nil {
 		return 0, 0, err
 	}
-	return st.ApproximateCount(channel, t0, t1, budget)
+	return st.ApproximateCountTraced(channel, t0, t1, budget, qt)
 }
 
 // ProgressiveCount evaluates CountSamples progressively on the sealed
 // engine: at most maxSteps checkpoints of (estimate, guaranteed bound),
 // the last one exact.
 func (ls *LiveStore) ProgressiveCount(channel int, t0, t1 float64, maxSteps int) ([]propolyne.Step, error) {
+	return ls.ProgressiveCountTraced(channel, t0, t1, maxSteps, nil)
+}
+
+// ProgressiveCountTraced is ProgressiveCount with per-call provenance
+// recorded into a non-nil qt.
+func (ls *LiveStore) ProgressiveCountTraced(channel int, t0, t1 float64, maxSteps int, qt *QueryTrace) ([]propolyne.Step, error) {
+	begin := time.Now()
 	st, err := ls.Seal()
+	if qt != nil {
+		qt.SealNS = time.Since(begin).Nanoseconds()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -499,6 +532,23 @@ func (ls *LiveStore) ProgressiveCount(channel int, t0, t1 float64, maxSteps int)
 	if err != nil {
 		return nil, err
 	}
-	steps, _, err := st.Engine.Progressive(propolyne.Query{Lo: b.Lo, Hi: b.Hi}, maxSteps)
+	var pt *propolyne.PlanTrace
+	if qt != nil {
+		qt.PlanUsed = true
+		qt.BoxVolume = boxVolume(b)
+		pt = &qt.Plan
+	}
+	steps, _, err := st.Engine.ProgressiveTraced(propolyne.Query{Lo: b.Lo, Hi: b.Hi}, maxSteps, pt)
 	return steps, err
+}
+
+// BoxVolume returns the number of cube cells a [t0, t1] range query over
+// channel spans — time buckets × value bins, the size driver of an exact
+// scan. Stamped into slow-query records for quick "why was this slow".
+func (ls *LiveStore) BoxVolume(channel int, t0, t1 float64) (int64, error) {
+	if err := ls.checkChannel(channel); err != nil {
+		return 0, err
+	}
+	lo, hi := ls.timeRange(t0, t1)
+	return int64(hi-lo+1) * int64(ls.cfg.ValueBins), nil
 }

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"aims/internal/core"
+	"aims/internal/server"
+	"aims/internal/stream"
+	"aims/internal/wire"
+)
+
+// E18Result reports trace_overhead: query throughput with distributed
+// tracing and the always-on slow-query log at their defaults versus the
+// whole trace plane disabled. The always-on path is the expensive one to
+// pin: with the slow ring armed, EVERY query gets a live trace (so a slow
+// outlier is captured with 100% probability), not just the 1/256 the
+// sampler picks.
+type E18Result struct {
+	Sessions int
+	Queries  int // per session
+
+	BaseQPS   float64 // tracer and slow log disabled
+	TracedQPS float64 // default sampling + 100ms slow threshold
+	// OverheadPct is (BaseQPS-TracedQPS)/BaseQPS×100; negative values are
+	// run-to-run noise.
+	OverheadPct float64
+
+	BaseQueryUS   float64
+	TracedQueryUS float64
+}
+
+// RunE18 measures the always-on tracing tax on the query path: span
+// stamping, attribute capture and the slow-threshold check ride on every
+// query once the slow ring is armed, so the experiment drives a
+// query-heavy loopback load in both modes, interleaved, best-of-N, and
+// pins the throughput gap under 2%.
+func RunE18(w io.Writer) E18Result {
+	const (
+		sessions = 4
+		frames   = 4096
+		queries  = 2048
+		reps     = 4
+	)
+	res := E18Result{Sessions: sessions, Queries: queries}
+
+	res.BaseQueryUS = math.Inf(1)
+	res.TracedQueryUS = math.Inf(1)
+	for r := 0; r < reps; r++ {
+		qps, qus := e18Run(true, sessions, frames, queries)
+		if qps > res.BaseQPS {
+			res.BaseQPS = qps
+		}
+		res.BaseQueryUS = math.Min(res.BaseQueryUS, qus)
+		qps, qus = e18Run(false, sessions, frames, queries)
+		if qps > res.TracedQPS {
+			res.TracedQPS = qps
+		}
+		res.TracedQueryUS = math.Min(res.TracedQueryUS, qus)
+	}
+	res.OverheadPct = (res.BaseQPS - res.TracedQPS) / res.BaseQPS * 100
+
+	tb := &Table{
+		Title:   "E18 trace_overhead: always-on slow-query log tax on the query path",
+		Columns: []string{"trace plane", "queries/s", "query µs"},
+	}
+	tb.AddRow("off", res.BaseQPS, res.BaseQueryUS)
+	tb.AddRow("1/256 + 100ms slow log", res.TracedQPS, res.TracedQueryUS)
+	tb.Note("%d sessions × %d queries after %d frames each, best of %d runs", sessions, queries, frames, reps)
+	tb.Note("query throughput overhead %.2f%% (target <2%%; negative = noise)", res.OverheadPct)
+	tb.Render(w)
+	return res
+}
+
+// e18Run drives one query-heavy loopback load and returns aggregate
+// queries/s and mean query latency in µs. disabled turns off both the
+// sampler and the slow-query log; otherwise both run at their defaults.
+func e18Run(disabled bool, sessions, frames, queries int) (qps, queryUS float64) {
+	cfg := server.Config{
+		QueueFrames: 8192,
+		Store:       core.LiveStoreConfig{TimeBuckets: 256, ValueBins: 64},
+	}
+	if disabled {
+		cfg.TraceSample = -1
+		cfg.SlowQuery = -1
+	}
+	srv := server.New(cfg)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	channels := 8
+	vals := make([]float64, channels)
+	for c := range vals {
+		vals[c] = float64(c)
+	}
+	mins := make([]float64, channels)
+	maxs := make([]float64, channels)
+	for c := range mins {
+		mins[c], maxs[c] = -1, float64(channels)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var queryNS int64
+	start := time.Now()
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c, err := wire.Dial(addr.String())
+			if err != nil {
+				panic(err)
+			}
+			_, err = c.Hello(wire.Hello{
+				Rate: 100, HorizonTicks: uint32(frames),
+				Name: fmt.Sprintf("e18-%d", s), Mins: mins, Maxs: maxs,
+			})
+			if err != nil {
+				panic(err)
+			}
+			const batch = 256
+			local := make([]stream.Frame, batch)
+			for tick := 0; tick < frames; tick += batch {
+				for i := range local {
+					local[i] = stream.Frame{T: float64(tick+i) / 100, Values: vals}
+				}
+				if err := c.SendBatch(local); err != nil {
+					panic(err)
+				}
+			}
+			if _, err := c.Flush(); err != nil {
+				panic(err)
+			}
+			span := float64(frames) / 100
+			var localNS int64
+			for q := 0; q < queries; q++ {
+				kind := wire.QueryAverage
+				if q%2 == 1 {
+					kind = wire.QueryCount
+				}
+				t0 := time.Now()
+				if _, err := c.Query(wire.Query{
+					Kind: kind, Channel: uint16(q % channels),
+					T0: 0, T1: span * float64(1+q%4) / 4,
+				}); err != nil {
+					panic(err)
+				}
+				localNS += time.Since(t0).Nanoseconds()
+			}
+			if _, err := c.Close(); err != nil {
+				panic(err)
+			}
+			mu.Lock()
+			queryNS += localNS
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	total := sessions * queries
+	qps = float64(total) / wall.Seconds()
+	queryUS = float64(queryNS) / float64(total) / 1e3
+	return qps, queryUS
+}

@@ -270,6 +270,20 @@ func TestRunE17PlanCacheSpeedup(t *testing.T) {
 	}
 }
 
+func TestRunE18TraceOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy")
+	}
+	res := RunE18(io.Discard)
+	// The recorded BENCH_trace.json run shows the always-on path within
+	// noise of disabled; allow generous CI-box slack while still catching a
+	// real regression (per-query allocation storm, lock on the hot path).
+	if res.OverheadPct > 10 {
+		t.Fatalf("always-on tracing costs %.1f%% query throughput (traced %.0f q/s, base %.0f q/s)",
+			res.OverheadPct, res.TracedQPS, res.BaseQPS)
+	}
+}
+
 func TestAllRunnersRegistered(t *testing.T) {
 	ids := map[string]bool{}
 	for _, r := range All() {
@@ -282,7 +296,7 @@ func TestAllRunnersRegistered(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"T1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
-		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "A1", "A2", "A3", "A4", "A5"} {
+		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "A1", "A2", "A3", "A4", "A5"} {
 		if !ids[want] {
 			t.Fatalf("missing runner %s", want)
 		}

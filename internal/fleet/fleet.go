@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"aims/internal/core"
+	"aims/internal/obs"
 	"aims/internal/wire"
 )
 
@@ -70,6 +71,13 @@ type Request struct {
 	Partial bool
 	// Timeout caps the query's wall time; 0 uses Config.Timeout.
 	Timeout time.Duration
+	// Trace, when non-nil, collects the evaluation's span tree: Evaluate
+	// attaches one child subtree per scoped session (queue wait, seal, plan
+	// hit/compile, dot product) plus scope-match and merge spans, all under
+	// TraceParent. Workers stamp spans concurrently — obs.Trace is
+	// goroutine-safe and a straggler stamping after Finish is a no-op.
+	Trace       *obs.Trace
+	TraceParent obs.SpanID
 }
 
 // Config shapes an evaluator.
@@ -142,24 +150,41 @@ func Match(sessions []Session, scope wire.FleetScope) (matched []Session, missin
 // is the per-session scan the scatter pool runs — and what a client doing
 // its own merge would call per session.
 func EvalSession(s Session, req Request) (wire.FleetPart, error) {
+	return evalSessionTraced(s, req, nil, 0)
+}
+
+// evalSessionTraced is EvalSession stamping the scan's span breakdown
+// under parent when tr is non-nil.
+func evalSessionTraced(s Session, req Request, tr *obs.Trace, parent obs.SpanID) (wire.FleetPart, error) {
 	part := wire.FleetPart{ID: s.ID}
+	var qt *core.QueryTrace
+	var begin time.Time
+	if tr != nil {
+		qt = &core.QueryTrace{}
+		begin = time.Now()
+	}
 	switch req.Kind {
 	case wire.QueryCount, wire.QueryAverage, wire.QueryVariance:
 		sum, frames, err := s.Store.Summarize(req.Channel, req.T0, req.T1)
+		if tr != nil {
+			tr.AddSpan(parent, "scan", begin, time.Now())
+		}
 		if err != nil {
 			return part, err
 		}
 		part.Frames = frames
 		part.N, part.Sum, part.SumSq = sum.N, sum.Sum, sum.SumSq
 	case wire.QueryApproxCount:
-		est, bound, err := s.Store.ApproximateCount(req.Channel, req.T0, req.T1, int(req.Arg))
+		est, bound, err := s.Store.ApproximateCountTraced(req.Channel, req.T0, req.T1, int(req.Arg), qt)
+		StampQueryTrace(tr, parent, begin, qt)
 		if err != nil {
 			return part, err
 		}
 		part.Frames = uint64(s.Store.Frames())
 		part.Sum, part.Bound, part.Coefficients = est, bound, req.Arg
 	case wire.QueryProgressiveCount:
-		steps, err := s.Store.ProgressiveCount(req.Channel, req.T0, req.T1, int(req.Arg))
+		steps, err := s.Store.ProgressiveCountTraced(req.Channel, req.T0, req.T1, int(req.Arg), qt)
+		StampQueryTrace(tr, parent, begin, qt)
 		if err != nil {
 			return part, err
 		}
@@ -174,6 +199,35 @@ func EvalSession(s Session, req Request) (wire.FleetPart, error) {
 		return part, fmt.Errorf("fleet: unsupported query kind %d", req.Kind)
 	}
 	return part, nil
+}
+
+// StampQueryTrace reconstructs a store evaluation's span breakdown under
+// parent from the durations a core.QueryTrace reports: seal, then plan
+// provenance (cache hit, or the compile a miss paid), then the coefficient
+// dot product. The spans are laid out sequentially from start — that is
+// the actual evaluation order inside the store. No-op when tr or qt is
+// nil, so untraced paths never pay for it.
+func StampQueryTrace(tr *obs.Trace, parent obs.SpanID, start time.Time, qt *core.QueryTrace) {
+	if tr == nil || qt == nil {
+		return
+	}
+	at := start
+	if qt.SealNS > 0 {
+		end := at.Add(time.Duration(qt.SealNS))
+		tr.AddSpan(parent, "seal", at, end)
+		at = end
+	}
+	if !qt.PlanUsed {
+		return
+	}
+	if qt.Plan.Hit {
+		tr.AddSpan(parent, "plan-hit", at, at)
+	} else {
+		end := at.Add(time.Duration(qt.Plan.CompileNS))
+		tr.AddSpan(parent, "plan-compile", at, end)
+		at = end
+	}
+	tr.AddSpan(parent, "dot", at, at.Add(time.Duration(qt.Plan.EvalNS)))
 }
 
 // Merge folds per-session partials — in the order given — into the fleet
@@ -219,6 +273,14 @@ type gathered struct {
 	err  error
 }
 
+// fleetJob is one scatter slot: the matched-session index plus the time it
+// was queued, so a traced evaluation can report how long the session waited
+// for a pool worker (the queue-wait span).
+type fleetJob struct {
+	idx     int
+	created time.Time
+}
+
 // Evaluate runs one fleet query over the given session snapshot (the
 // caller snapshots its registry first; the slice is the scatter set).
 // It always returns a well-formed FleetResult — per-session failures are
@@ -233,7 +295,11 @@ func Evaluate(ctx context.Context, sessions []Session, req Request, cfg Config) 
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
+	matchStart := time.Now()
 	matched, missing := Match(sessions, req.Scope)
+	if req.Trace != nil {
+		req.Trace.AddSpan(req.TraceParent, "scope-match", matchStart, time.Now())
+	}
 	res := wire.FleetResult{Kind: req.Kind, Sessions: uint32(len(matched))}
 	for _, id := range missing {
 		res.Failures = append(res.Failures, wire.FleetFailure{
@@ -251,25 +317,44 @@ func Evaluate(ctx context.Context, sessions []Session, req Request, cfg Config) 
 	if workers > len(matched) {
 		workers = len(matched)
 	}
-	jobs := make(chan int)
+	jobs := make(chan fleetJob)
 	results := make(chan gathered, len(matched))
 	for w := 0; w < workers; w++ {
 		go func() {
-			for idx := range jobs {
+			for j := range jobs {
 				t0 := time.Now()
-				part, err := EvalSession(matched[idx], req)
+				var sid obs.SpanID
+				if req.Trace != nil {
+					// One child subtree per session: queue wait (job creation
+					// to worker pickup), then the scan's internal breakdown.
+					// Stamps on a trace a deadline already finished are no-ops.
+					sid = req.Trace.StartSpan(req.TraceParent,
+						fmt.Sprintf("session-%d", matched[j.idx].ID))
+					req.Trace.AddSpan(sid, "queue-wait", j.created, t0)
+				}
+				part, err := evalSessionTraced(matched[j.idx], req, req.Trace, sid)
+				if req.Trace != nil {
+					req.Trace.EndSpan(sid)
+				}
 				if cfg.Observer.ScanSeconds != nil {
 					cfg.Observer.ScanSeconds(time.Since(t0).Seconds())
 				}
-				results <- gathered{idx: idx, part: part, err: err}
+				results <- gathered{idx: j.idx, part: part, err: err}
 			}
 		}()
 	}
 	go func() {
 		defer close(jobs)
+		// The creation stamp feeds only the queue-wait span; skip the
+		// per-job clock read entirely on the untraced hot path.
+		traced := req.Trace != nil
 		for i := range matched {
+			var created time.Time
+			if traced {
+				created = time.Now()
+			}
 			select {
-			case jobs <- i:
+			case jobs <- fleetJob{idx: i, created: created}:
 			case <-ctx.Done():
 				return
 			}
@@ -318,6 +403,9 @@ gather:
 	// deterministic no matter how the gather interleaved.
 	res.Merged = uint32(len(merged))
 	res.Value, res.Bound, res.Coefficients, res.OK = Merge(req.Kind, merged)
+	if req.Trace != nil {
+		req.Trace.AddSpan(req.TraceParent, "merge", t0, time.Now())
+	}
 	if cfg.Observer.MergeSeconds != nil {
 		cfg.Observer.MergeSeconds(time.Since(t0).Seconds())
 	}

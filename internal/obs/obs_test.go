@@ -71,7 +71,9 @@ func TestRegistrationIdempotent(t *testing.T) {
 
 var (
 	headerRe = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
-	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? [^ ]+$`)
+	// A sample line, optionally carrying an OpenMetrics exemplar suffix
+	// (` # {trace_id="..."} value`) on histogram buckets.
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? [^ ]+( # \{[^}]*\} [^ ]+)?$`)
 )
 
 // validateExposition is the shared Prometheus-text checker: every line is

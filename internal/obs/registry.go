@@ -173,6 +173,15 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1, the tail bucket is +Inf
 	n      atomic.Uint64
 	sum    atomicFloat
+	// exemplars holds the latest traced observation per bucket (OpenMetrics
+	// exemplars), published as immutable snapshots so exposition never tears.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar links one observed value to the trace that produced it.
+type exemplar struct {
+	value   float64
+	traceID uint64
 }
 
 // Histogram registers (or returns the existing) unlabelled histogram with
@@ -189,22 +198,40 @@ func (r *Registry) HistogramWith(name, labels, help string, bounds []float64) *H
 		}
 	}
 	h := &Histogram{
-		m:      meta{name: name, labels: labels, help: help, typ: "histogram"},
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		m:         meta{name: name, labels: labels, help: help, typ: "histogram"},
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
 	}
 	return r.register(h).(*Histogram)
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketOf(v)].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveExemplar records one value and, when traceID is non-zero, pins it
+// as the bucket's exemplar so the exposition links the bucket to the trace
+// that landed there (a bad p99 bucket points at a captured trace).
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	i := h.bucketOf(v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+	if traceID != 0 {
+		h.exemplars[i].Store(&exemplar{value: v, traceID: traceID})
+	}
+}
+
+func (h *Histogram) bucketOf(v float64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i].Add(1)
-	h.n.Add(1)
-	h.sum.Add(v)
+	return i
 }
 
 // Count returns the total number of observations.
@@ -232,8 +259,14 @@ func (h *Histogram) expose(w io.Writer) {
 		if i < len(h.bounds) {
 			le = formatFloat(h.bounds[i])
 		}
-		fmt.Fprintf(w, "%s_bucket%s %d\n",
-			h.m.name, labelSuffix(h.m.labels, `le="`+le+`"`), cum)
+		// OpenMetrics-style exemplar suffix: the latest traced observation
+		// that landed in this bucket, keyed by trace ID.
+		ex := ""
+		if ep := h.exemplars[i].Load(); ep != nil {
+			ex = fmt.Sprintf(" # {trace_id=\"%s\"} %s", TraceIDString(ep.traceID), formatFloat(ep.value))
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			h.m.name, labelSuffix(h.m.labels, `le="`+le+`"`), cum, ex)
 	}
 	suffix := ""
 	if h.m.labels != "" {

@@ -139,12 +139,30 @@ func (c *PlanCache) Purge() {
 	}
 }
 
+// PlanTrace reports what one traced query evaluation cost at the plan
+// layer: whether the plan came from cache, how long a miss spent compiling,
+// how long the coefficient dot product ran, and how many query coefficients
+// it spent. Filled by the *Traced query variants; the middle tier stamps
+// the fields into trace spans without propolyne ever importing obs.
+type PlanTrace struct {
+	Hit          bool
+	CompileNS    int64
+	EvalNS       int64
+	Coefficients int
+}
+
 // Lookup returns the compiled plan for (engine geometry, query), compiling
 // and caching it on a miss. Concurrent misses on one key compile once.
 func (c *PlanCache) Lookup(e *Engine, q Query) (*Plan, error) {
+	return c.LookupTraced(e, q, nil)
+}
+
+// LookupTraced is Lookup with per-call plan provenance: when pt is non-nil
+// it records whether this call hit the cache and how long a miss compiled.
+func (c *PlanCache) LookupTraced(e *Engine, q Query, pt *PlanTrace) (*Plan, error) {
 	capacity := c.capacity.Load()
 	if capacity <= 0 {
-		return c.compile(e, q)
+		return c.compileTraced(e, q, pt)
 	}
 	key := planKey(e, q)
 	sh := &c.shards[shardOf(key)]
@@ -157,6 +175,9 @@ func (c *PlanCache) Lookup(e *Engine, q Query) (*Plan, error) {
 		if o := c.obs.Load(); o != nil && o.Hit != nil {
 			o.Hit()
 		}
+		if pt != nil {
+			pt.Hit = true
+		}
 		<-en.done
 		return en.plan, en.err
 	}
@@ -165,7 +186,7 @@ func (c *PlanCache) Lookup(e *Engine, q Query) (*Plan, error) {
 	sh.m[key] = el
 	sh.mu.Unlock()
 
-	plan, err := c.compile(e, q)
+	plan, err := c.compileTraced(e, q, pt)
 	en.plan, en.err = plan, err
 	close(en.done)
 
@@ -207,17 +228,23 @@ func (c *PlanCache) Lookup(e *Engine, q Query) (*Plan, error) {
 	return plan, nil
 }
 
-// compile runs one timed compilation and accounts the miss.
-func (c *PlanCache) compile(e *Engine, q Query) (*Plan, error) {
+// compileTraced runs one timed compilation and accounts the miss; a
+// non-nil pt records the compile time for the caller's trace.
+func (c *PlanCache) compileTraced(e *Engine, q Query, pt *PlanTrace) (*Plan, error) {
 	t0 := time.Now()
 	p, err := e.CompilePlan(q)
+	elapsed := time.Since(t0)
+	if pt != nil {
+		pt.Hit = false
+		pt.CompileNS = elapsed.Nanoseconds()
+	}
 	c.misses.Add(1)
 	if o := c.obs.Load(); o != nil {
 		if o.Miss != nil {
 			o.Miss()
 		}
 		if err == nil && o.CompileSeconds != nil {
-			o.CompileSeconds(time.Since(t0).Seconds())
+			o.CompileSeconds(elapsed.Seconds())
 		}
 	}
 	return p, err
@@ -244,6 +271,11 @@ func planCost(p *Plan) int {
 // every engine query surface.
 func (e *Engine) plan(q Query) (*Plan, error) {
 	return SharedCache.Lookup(e, q)
+}
+
+// planTraced is plan with per-call provenance for traced evaluations.
+func (e *Engine) planTraced(q Query, pt *PlanTrace) (*Plan, error) {
+	return SharedCache.LookupTraced(e, q, pt)
 }
 
 // Fingerprint identifies the engine's plan-relevant geometry: dimension

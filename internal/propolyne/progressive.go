@@ -2,6 +2,7 @@ package propolyne
 
 import (
 	"math"
+	"time"
 )
 
 // Step is one state of a progressive evaluation: after using the given
@@ -20,7 +21,14 @@ type Step struct {
 // running estimate. maxSteps bounds the number of emitted checkpoints
 // (≤ 0 means every coefficient); the final step is always exact.
 func (e *Engine) Progressive(q Query, maxSteps int) ([]Step, Stats, error) {
-	p, err := e.plan(q)
+	return e.ProgressiveTraced(q, maxSteps, nil)
+}
+
+// ProgressiveTraced is Progressive with per-call plan provenance: when pt
+// is non-nil it records the plan-cache outcome, the evaluation time of the
+// coefficient walk, and the coefficients spent.
+func (e *Engine) ProgressiveTraced(q Query, maxSteps int, pt *PlanTrace) ([]Step, Stats, error) {
+	p, err := e.planTraced(q, pt)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -34,10 +42,13 @@ func (e *Engine) Progressive(q Query, maxSteps int) ([]Step, Stats, error) {
 	if maxSteps > 0 && len(entries) > maxSteps {
 		every = (len(entries) + maxSteps - 1) / maxSteps
 	}
+	var t0 time.Time
+	if pt != nil {
+		t0 = time.Now()
+	}
 	var est float64
 	steps := make([]Step, 0, len(entries)/every+1)
 	e.mu.RLock()
-	defer e.mu.RUnlock()
 	for i, en := range entries {
 		est += en.Value * e.Coeffs[en.Index]
 		if (i+1)%every == 0 || i == len(entries)-1 {
@@ -47,6 +58,11 @@ func (e *Engine) Progressive(q Query, maxSteps int) ([]Step, Stats, error) {
 				ErrorBound:   math.Sqrt(suffix[i+1]) * dataNorm,
 			})
 		}
+	}
+	e.mu.RUnlock()
+	if pt != nil {
+		pt.EvalNS = time.Since(t0).Nanoseconds()
+		pt.Coefficients = len(entries)
 	}
 	if len(entries) == 0 {
 		steps = append(steps, Step{})
@@ -58,7 +74,13 @@ func (e *Engine) Progressive(q Query, maxSteps int) ([]Step, Stats, error) {
 // budget query coefficients, plus the exact answer's guaranteed error
 // bound at that point.
 func (e *Engine) EstimateWithBudget(q Query, budget int) (estimate, bound float64, err error) {
-	p, err := e.plan(q)
+	return e.EstimateWithBudgetTraced(q, budget, nil)
+}
+
+// EstimateWithBudgetTraced is EstimateWithBudget with per-call plan
+// provenance recorded into a non-nil pt.
+func (e *Engine) EstimateWithBudgetTraced(q Query, budget int, pt *PlanTrace) (estimate, bound float64, err error) {
+	p, err := e.planTraced(q, pt)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -69,12 +91,20 @@ func (e *Engine) EstimateWithBudget(q Query, budget int) (estimate, bound float6
 	if budget < 0 {
 		budget = 0
 	}
+	var t0 time.Time
+	if pt != nil {
+		t0 = time.Now()
+	}
 	var est float64
 	e.mu.RLock()
 	for i := 0; i < budget; i++ {
 		est += entries[i].Value * e.Coeffs[entries[i].Index]
 	}
 	e.mu.RUnlock()
+	if pt != nil {
+		pt.EvalNS = time.Since(t0).Nanoseconds()
+		pt.Coefficients = budget
+	}
 	// suffix[budget] is the unevaluated query mass — precomputed at plan
 	// ordering time, so the budgeted path does no per-call energy pass.
 	return est, math.Sqrt(suffix[budget]) * math.Sqrt(e.Energy()), nil

@@ -79,16 +79,22 @@ type FleetClassInfo struct {
 // AdminHandler assembles the server's admin HTTP plane:
 //
 //	/metrics  Prometheus text exposition (server registry + process-wide
-//	          wavelet transform instruments)
+//	          wavelet transform instruments), with OpenMetrics exemplars
+//	          linking latency buckets to trace IDs
 //	/healthz  readiness: 200 "ok" while serving, 503 "draining" once
 //	          shutdown has begun
 //	/sessions per-session JSON from the sharded registry
 //	/fleet    device classes with live session counts (fleet query scopes)
-//	/tracez   slowest sampled pipeline traces as JSON (?n= to bound)
+//	/tracez   slowest sampled pipeline traces as JSON (?n= to bound,
+//	          clamped to the ring capacity; ?id=<16-hex> serves one trace
+//	          by its distributed trace ID — sampled or slow-retained)
+//	/slowlog  the always-on slow-query log: structured records of every
+//	          trace that crossed the slow threshold, newest first
 //	/debug/pprof/...  the standard Go profiler endpoints
 //
-// The handler is independent of the wire listener, so it keeps answering
-// (and reporting the draining state) while Shutdown drains sessions.
+// Read-only endpoints answer GET only (405 otherwise). The handler is
+// independent of the wire listener, so it keeps answering (and reporting
+// the draining state) while Shutdown drains sessions.
 func (s *Server) AdminHandler() http.Handler {
 	proc := obs.NewRegistry()
 	proc.CounterFunc("aims_wavelet_lines_total",
@@ -108,11 +114,24 @@ func (s *Server) AdminHandler() http.Handler {
 		func() float64 { return wavelet.ReadTransformStats().Utilisation() })
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	// getOnly guards the read-only endpoints: anything but GET is a 405
+	// with the Allow header, so a misdirected POST can never be mistaken
+	// for a successful scrape.
+	getOnly := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				w.Header().Set("Allow", http.MethodGet)
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("/metrics", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.metrics.reg.WritePrometheus(w)
 		proc.WritePrometheus(w)
-	})
+	}))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if s.isClosed() {
@@ -126,7 +145,7 @@ func (s *Server) AdminHandler() http.Handler {
 		recovered, orphans := s.RecoveredSessions()
 		fmt.Fprintf(w, "recovered=%d orphans=%d\n", recovered, orphans)
 	})
-	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/sessions", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		sessions := s.Sessions()
 		if sessions == nil {
@@ -136,8 +155,8 @@ func (s *Server) AdminHandler() http.Handler {
 			Count    int           `json:"count"`
 			Sessions []SessionInfo `json:"sessions"`
 		}{len(sessions), sessions})
-	})
-	mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/fleet", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		classes := s.DeviceClasses()
 		out := make([]FleetClassInfo, 0, len(classes))
 		for class, n := range classes {
@@ -149,13 +168,37 @@ func (s *Server) AdminHandler() http.Handler {
 			Count   int              `json:"count"`
 			Classes []FleetClassInfo `json:"classes"`
 		}{len(out), out})
-	})
-	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/tracez", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		// ?id= serves one trace by its distributed trace ID — the lookup a
+		// traced client (aims-query -trace) uses to fetch its span tree.
+		// Slow-retained traces resolve here even when the sampler skipped
+		// them.
+		if idHex := r.URL.Query().Get("id"); idHex != "" {
+			id, err := strconv.ParseUint(idHex, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+				return
+			}
+			snap, ok := s.tracer.FindByID(id)
+			if !ok {
+				http.Error(w, "trace not found", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(snap)
+			return
+		}
 		n := 10
 		if q := r.URL.Query().Get("n"); q != "" {
 			if v, err := strconv.Atoi(q); err == nil && v > 0 {
 				n = v
 			}
+		}
+		// Clamp to the ring capacity so an absurd ?n= cannot make the
+		// handler allocate beyond what the tracer can ever hold.
+		if c := s.tracer.Capacity(); n > c {
+			n = c
 		}
 		traces := s.tracer.Slowest(n)
 		if traces == nil {
@@ -166,7 +209,25 @@ func (s *Server) AdminHandler() http.Handler {
 			SampleEvery int                 `json:"sample_every"`
 			Traces      []obs.TraceSnapshot `json:"traces"`
 		}{s.tracer.SampleEvery(), traces})
-	})
+	}))
+	mux.HandleFunc("/slowlog", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		n := obs.DefaultSlowBuffer
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 && v < n {
+				n = v
+			}
+		}
+		records := s.tracer.SlowLog(n)
+		if records == nil {
+			records = []obs.SlowRecord{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			ThresholdNS int64            `json:"threshold_ns"`
+			Count       int              `json:"count"`
+			Records     []obs.SlowRecord `json:"records"`
+		}{s.tracer.SlowThreshold().Nanoseconds(), len(records), records})
+	}))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -89,6 +89,10 @@ type metrics struct {
 	queryLatency *obs.Histogram
 	latencyMaxNS atomic.Int64
 
+	// slowQueries counts traces the always-on slow-query log retained,
+	// keyed by trace kind ("query", "fleet-query", "ingest").
+	slowQueries map[string]*obs.Counter
+
 	// Stage-level ingest pipeline instruments.
 	decodeSeconds    *obs.Histogram
 	queueWaitSeconds *obs.Histogram
@@ -187,6 +191,12 @@ func newMetrics() *metrics {
 		journalHealed: reg.Counter("aims_journal_healed_total",
 			"Times a degraded session restored durability via a snapshot."),
 	}
+	const slowHelp = "Traces retained by the always-on slow-query log, by kind."
+	m.slowQueries = map[string]*obs.Counter{
+		"query":       reg.CounterWith("aims_slow_queries_total", `kind="query"`, slowHelp),
+		"fleet-query": reg.CounterWith("aims_slow_queries_total", `kind="fleet-query"`, slowHelp),
+		"ingest":      reg.CounterWith("aims_slow_queries_total", `kind="ingest"`, slowHelp),
+	}
 	reg.GaugeFunc("aims_query_latency_max_seconds", "Slowest query so far.",
 		func() float64 { return time.Duration(m.latencyMaxNS.Load()).Seconds() })
 	reg.GaugeFunc("aims_plan_cache_plans", "Compiled query plans resident in the shared cache.",
@@ -207,13 +217,25 @@ func newMetrics() *metrics {
 	return m
 }
 
-func (m *metrics) observeQuery(d time.Duration) {
-	m.queryLatency.Observe(d.Seconds())
+// observeQuery records one query latency; a non-zero traceID pins the
+// observation as the landing bucket's exemplar, so a bad latency bucket on
+// /metrics points straight at a captured trace on /tracez?id=.
+func (m *metrics) observeQuery(d time.Duration, traceID uint64) {
+	m.queryLatency.ObserveExemplar(d.Seconds(), traceID)
 	for {
 		cur := m.latencyMaxNS.Load()
 		if int64(d) <= cur || m.latencyMaxNS.CompareAndSwap(cur, int64(d)) {
 			return
 		}
+	}
+}
+
+// observeSlow is the tracer's slow-retention hook: one count per trace the
+// slow ring kept. Unknown kinds are dropped rather than minting unbounded
+// label values.
+func (m *metrics) observeSlow(kind string) {
+	if c, ok := m.slowQueries[kind]; ok {
+		c.Inc()
 	}
 }
 

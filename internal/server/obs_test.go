@@ -25,7 +25,9 @@ import (
 func checkExposition(t *testing.T, text string) {
 	t.Helper()
 	headerRe := regexp.MustCompile(`^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
-	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? [^ ]+$`)
+	// Bucket lines may carry an OpenMetrics exemplar suffix linking the
+	// observation to its trace (` # {trace_id="..."} value`).
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? [^ ]+( # \{[^}]*\} [^ ]+)?$`)
 	helps := map[string]int{}
 	types := map[string]int{}
 	series := map[string]bool{}
@@ -153,7 +155,7 @@ func TestSnapshotString(t *testing.T) {
 // array length.
 func TestSnapshotBucketsMatchBounds(t *testing.T) {
 	m := newMetrics()
-	m.observeQuery(time.Millisecond)
+	m.observeQuery(time.Millisecond, 0)
 	s := m.snapshot()
 	if len(s.LatencyCounts) != len(latencyBounds)+1 {
 		t.Fatalf("snapshot has %d latency buckets, want len(latencyBounds)+1 = %d",
@@ -274,6 +276,52 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 	if !kinds["query"] {
 		t.Errorf("/tracez kinds = %v, want a query trace", kinds)
+	}
+
+	// /tracez?id= validates its parameter: non-hex is a 400, an unknown
+	// trace a 404; an absurd ?n= is clamped, not an error.
+	if rec := get("/tracez?id=not-hex"); rec.Code != 400 {
+		t.Errorf("/tracez?id=not-hex = %d, want 400", rec.Code)
+	}
+	if rec := get("/tracez?id=00000000000000ff"); rec.Code != 404 {
+		t.Errorf("/tracez unknown id = %d, want 404", rec.Code)
+	}
+	if rec := get("/tracez?n=1000000"); rec.Code != 200 {
+		t.Errorf("/tracez?n=1000000 = %d, want 200", rec.Code)
+	}
+
+	// /slowlog always answers well-formed JSON, even with nothing slow.
+	rec = get("/slowlog")
+	if rec.Code != 200 {
+		t.Fatalf("/slowlog = %d", rec.Code)
+	}
+	var slog struct {
+		ThresholdNS int64             `json:"threshold_ns"`
+		Count       int               `json:"count"`
+		Records     []json.RawMessage `json:"records"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &slog); err != nil {
+		t.Fatalf("/slowlog JSON: %v", err)
+	}
+	if slog.ThresholdNS <= 0 {
+		t.Errorf("/slowlog threshold_ns = %d, want the default threshold", slog.ThresholdNS)
+	}
+	if slog.Count != len(slog.Records) {
+		t.Errorf("/slowlog count %d != len(records) %d", slog.Count, len(slog.Records))
+	}
+
+	// Every read-only endpoint refuses non-GET methods with 405 + Allow.
+	for _, path := range []string{"/metrics", "/sessions", "/fleet", "/tracez", "/slowlog"} {
+		for _, method := range []string{"POST", "PUT", "DELETE"} {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+			if rec.Code != 405 {
+				t.Errorf("%s %s = %d, want 405", method, path, rec.Code)
+			}
+			if allow := rec.Header().Get("Allow"); allow != "GET" {
+				t.Errorf("%s %s Allow = %q, want GET", method, path, allow)
+			}
+		}
 	}
 
 	if rec := get("/debug/pprof/cmdline"); rec.Code != 200 {

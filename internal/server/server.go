@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,13 @@ type Config struct {
 	// TraceBuffer bounds the completed-trace ring served by /tracez
 	// (default obs.DefaultTraceBuffer).
 	TraceBuffer int
+	// SlowQuery arms the always-on slow-query log: any query, fleet query
+	// or ingest batch whose trace total reaches this threshold is retained
+	// in a separate bounded ring (served by /slowlog and counted by
+	// aims_slow_queries_total) with 100% probability, regardless of the 1/N
+	// sampler. 0 uses obs.DefaultSlowQuery (100ms); negative disables the
+	// slow log. Ignored when tracing is disabled (TraceSample < 0).
+	SlowQuery time.Duration
 	// FleetWorkers bounds the scatter fan-out pool of cross-session fleet
 	// queries (default 16): a fleet over 10k sessions is scanned
 	// FleetWorkers at a time so one query can never monopolise the box.
@@ -149,6 +157,12 @@ func New(cfg Config) *Server {
 	var tracer *obs.Tracer
 	if cfg.TraceSample >= 0 {
 		tracer = obs.NewTracer(cfg.TraceSample, cfg.TraceBuffer)
+		slow := cfg.SlowQuery
+		if slow == 0 {
+			slow = obs.DefaultSlowQuery
+		}
+		tracer.SetSlowThreshold(slow) // negative disarms
+		tracer.SetOnSlow(m.observeSlow)
 	}
 	// The plan cache is process-global (its keys embed engine geometry, so
 	// servers cannot cross-contaminate); wire its hooks onto this server's
@@ -303,6 +317,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // Exposed for the admin plane and in-process callers as well as the wire
 // handler.
 func (s *Server) EvaluateFleet(fq wire.FleetQuery) wire.FleetResult {
+	return s.evaluateFleetTraced(fq, nil, 0)
+}
+
+// evaluateFleetTraced is EvaluateFleet stitching every per-session
+// evaluation into tr's span tree under parent (nil tr evaluates untraced).
+func (s *Server) evaluateFleetTraced(fq wire.FleetQuery, tr *obs.Trace, parent obs.SpanID) wire.FleetResult {
 	s.metrics.fleetQueries.Inc()
 	snap := s.sessions.snapshot()
 	targets := make([]fleet.Session, 0, len(snap))
@@ -310,14 +330,16 @@ func (s *Server) EvaluateFleet(fq wire.FleetQuery) wire.FleetResult {
 		targets = append(targets, fleet.Session{ID: sess.id, Class: sess.class, Store: sess.store})
 	}
 	req := fleet.Request{
-		Kind:    fq.Kind,
-		Channel: int(fq.Channel),
-		T0:      fq.T0,
-		T1:      fq.T1,
-		Arg:     fq.Arg,
-		Scope:   fq.Scope,
-		Partial: fq.Partial,
-		Timeout: time.Duration(fq.TimeoutMillis) * time.Millisecond,
+		Kind:        fq.Kind,
+		Channel:     int(fq.Channel),
+		T0:          fq.T0,
+		T1:          fq.T1,
+		Arg:         fq.Arg,
+		Scope:       fq.Scope,
+		Partial:     fq.Partial,
+		Timeout:     time.Duration(fq.TimeoutMillis) * time.Millisecond,
+		Trace:       tr,
+		TraceParent: parent,
 	}
 	res := fleet.Evaluate(context.Background(), targets, req, s.fleetCfg)
 	if res.Code == wire.CodePartial {
@@ -355,6 +377,7 @@ func (s *Server) SessionCount() int {
 func (s *Server) register(sess *session) uint64 {
 	id := s.nextID.Add(1)
 	sess.id = id
+	sess.idStr = strconv.FormatUint(id, 10)
 	s.sessions.put(id, sess)
 	s.metrics.sessionsActive.Add(1)
 	s.metrics.sessionsTotal.Inc()

@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"errors"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"aims/internal/core"
+	"aims/internal/fleet"
 	"aims/internal/journal"
 	"aims/internal/obs"
 	"aims/internal/stream"
@@ -21,6 +23,7 @@ import (
 // goroutine (the acquisition consumer) drains the queue into the store.
 type session struct {
 	id    uint64
+	idStr string // cached decimal form: traces attr it on every query
 	srv   *Server
 	conn  net.Conn
 	bw    *bufio.Writer
@@ -387,8 +390,11 @@ func (sess *session) flushIfIdle() bool {
 
 func (sess *session) handleBatch(payload []byte) bool {
 	srv := sess.srv
-	tr := srv.tracer.Sample("ingest")
 	t0 := time.Now()
+	// Begin instead of Sample: with the slow log armed every batch gets a
+	// trace, so an ingest stall is captured with 100% probability even when
+	// the 1/N sampler skips it.
+	tr := srv.tracer.Begin("ingest", 0, false, t0)
 	b, err := wire.DecodeBatch(payload, sess.store.Channels())
 	t1 := time.Now()
 	srv.metrics.decodeSeconds.Observe(t1.Sub(t0).Seconds())
@@ -397,6 +403,14 @@ func (sess *session) handleBatch(payload []byte) bool {
 		tr.Finish()
 		sess.sendError(wire.CodeBadMessage, err.Error())
 		return false
+	}
+	if tr != nil {
+		tr.SetAttr("session", sess.idStr)
+		if sess.class != "" {
+			tr.SetAttr("class", sess.class)
+		}
+		tr.SetAttr("bytes", strconv.Itoa(len(payload)))
+		tr.SetAttr("frames", strconv.Itoa(len(b.Frames)))
 	}
 	ack := wire.BatchAck{Seq: b.Seq, Code: wire.CodeOK, Stored: uint32(len(b.Frames))}
 	shed := false
@@ -456,20 +470,52 @@ func (sess *session) handleFlush() bool {
 
 func (sess *session) handleQuery(payload []byte) bool {
 	srv := sess.srv
-	tr := srv.tracer.Sample("query")
 	t0 := time.Now()
 	q, err := wire.DecodeQuery(payload)
 	t1 := time.Now()
-	tr.Span("decode", t0, t1)
+	// The sampler is consulted only after decode because the wire context
+	// (trace ID, forced sampling from the client's -trace flag) rides in
+	// the payload. Sampled and forced queries trace live; everything else
+	// runs allocation-free and is materialised into a trace AFTER the fact
+	// if it crossed the slow threshold — the span tree is reconstructible
+	// because the handler's own timestamps and the evaluation provenance in
+	// qt carry everything a live trace would have stamped.
+	var tr *obs.Trace
+	if srv.tracer.TickSample(q.TraceSampled) {
+		tr = srv.tracer.BeginAt("query", q.TraceID, true, t0)
+	}
 	if err != nil {
+		tr.Span("decode", t0, t1)
 		tr.Finish()
 		sess.sendError(wire.CodeBadMessage, err.Error())
 		return false
 	}
-	results := sess.evaluate(q)
+	var qt core.QueryTrace
+	results := sess.evaluate(q, &qt)
 	t2 := time.Now()
-	tr.Span("evaluate", t1, t2)
-	srv.metrics.observeQuery(t2.Sub(t1))
+	if tr == nil && srv.tracer.SlowExceeded(t2.Sub(t0)) {
+		tr = srv.tracer.BeginAt("query", q.TraceID, false, t0)
+	}
+	if tr != nil {
+		tr.Span("decode", t0, t1)
+		tr.SetAttr("session", sess.idStr)
+		if sess.class != "" {
+			tr.SetAttr("class", sess.class)
+		}
+		if bv, bvErr := sess.store.BoxVolume(int(q.Channel), q.T0, q.T1); bvErr == nil {
+			tr.SetAttr("box_volume", strconv.FormatInt(bv, 10))
+		}
+		evalSpan := tr.AddSpan(0, "evaluate", t1, t2)
+		fleet.StampQueryTrace(tr, evalSpan, t1, &qt)
+		if qt.PlanUsed {
+			if qt.Plan.Hit {
+				tr.SetAttr("plan_cache", "hit")
+			} else {
+				tr.SetAttr("plan_cache", "miss")
+			}
+		}
+	}
+	srv.metrics.observeQuery(t2.Sub(t1), tr.TraceID())
 	for _, r := range results {
 		if sess.write(wire.MsgResult, r.Encode()) != nil {
 			tr.Finish()
@@ -489,20 +535,33 @@ func (sess *session) handleQuery(payload []byte) bool {
 // per-session evaluation failures ride back inside the FleetResult.
 func (sess *session) handleFleetQuery(payload []byte) bool {
 	srv := sess.srv
-	tr := srv.tracer.Sample("fleet-query")
 	t0 := time.Now()
 	fq, err := wire.DecodeFleetQuery(payload)
 	t1 := time.Now()
+	tr := srv.tracer.Begin("fleet-query", fq.TraceID, fq.TraceSampled, t0)
 	tr.Span("decode", t0, t1)
 	if err != nil {
 		tr.Finish()
 		sess.sendError(wire.CodeBadQuery, err.Error())
 		return false
 	}
-	res := srv.EvaluateFleet(fq)
+	var evalSpan obs.SpanID
+	if tr != nil {
+		tr.SetAttr("session", sess.idStr)
+		tr.SetAttr("scope", fq.Scope.String())
+		evalSpan = tr.StartSpan(0, "evaluate")
+	}
+	// The scatter workers stitch one child subtree per scoped session under
+	// the evaluate span (queue wait, seal, plan hit/compile, dot product),
+	// so the whole fan-out reads as one tree on /tracez?id=.
+	res := srv.evaluateFleetTraced(fq, tr, evalSpan)
 	t2 := time.Now()
-	tr.Span("evaluate", t1, t2)
-	srv.metrics.observeQuery(t2.Sub(t1))
+	if tr != nil {
+		tr.EndSpan(evalSpan)
+		tr.SetAttr("sessions", strconv.Itoa(int(res.Sessions)))
+		tr.SetAttr("merged", strconv.Itoa(int(res.Merged)))
+	}
+	srv.metrics.observeQuery(t2.Sub(t1), tr.TraceID())
 	p, err := res.Encode()
 	if err != nil {
 		tr.Finish()
@@ -519,9 +578,11 @@ func (sess *session) handleFleetQuery(payload []byte) bool {
 	return ok
 }
 
-// evaluate answers one query against the live store. Errors become a
-// CodeBadQuery result rather than tearing the session down.
-func (sess *session) evaluate(q wire.Query) []wire.Result {
+// evaluate answers one query against the live store; a non-nil qt records
+// the evaluation's provenance (seal/plan/dot timings, box volume) for the
+// handler's trace. Errors become a CodeBadQuery result rather than tearing
+// the session down.
+func (sess *session) evaluate(q wire.Query, qt *core.QueryTrace) []wire.Result {
 	ch := int(q.Channel)
 	bad := func() []wire.Result {
 		return []wire.Result{{Kind: q.Kind, Final: true, Code: wire.CodeBadQuery}}
@@ -546,13 +607,13 @@ func (sess *session) evaluate(q wire.Query) []wire.Result {
 		}
 		return []wire.Result{{Kind: q.Kind, Final: true, OK: ok, Value: v}}
 	case wire.QueryApproxCount:
-		est, bound, err := sess.store.ApproximateCount(ch, q.T0, q.T1, int(q.Arg))
+		est, bound, err := sess.store.ApproximateCountTraced(ch, q.T0, q.T1, int(q.Arg), qt)
 		if err != nil {
 			return bad()
 		}
 		return []wire.Result{{Kind: q.Kind, Final: true, OK: true, Value: est, Bound: bound, Coefficients: q.Arg}}
 	case wire.QueryProgressiveCount:
-		steps, err := sess.store.ProgressiveCount(ch, q.T0, q.T1, int(q.Arg))
+		steps, err := sess.store.ProgressiveCountTraced(ch, q.T0, q.T1, int(q.Arg), qt)
 		if err != nil || len(steps) == 0 {
 			return bad()
 		}

@@ -1,0 +1,324 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aims/internal/obs"
+	"aims/internal/wire"
+)
+
+// getTraceByID polls /tracez?id= until the trace is published (the handler
+// finishes the trace just after flushing the reply, so the client can race
+// the ring insert by a few microseconds).
+func getTraceByID(t *testing.T, h http.Handler, id uint64) obs.TraceSnapshot {
+	t.Helper()
+	path := "/tracez?id=" + obs.TraceIDString(id)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code == http.StatusOK {
+			var snap obs.TraceSnapshot
+			if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+				t.Fatalf("%s JSON: %v", path, err)
+			}
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d %q", path, rec.Code, rec.Body.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQueryTraceOverWire forces one query trace from the client side: the
+// wire payload carries (trace ID, sampled) end-to-end and /tracez?id=
+// serves the span tree under the client's own ID even though the server's
+// 1/N sampler would never have picked it.
+func TestQueryTraceOverWire(t *testing.T) {
+	srv, addr := startServer(t, Config{
+		Store:       testStoreCfg(),
+		TraceSample: 1 << 20, // sampler effectively off: only forced traces land
+	})
+	h := srv.AdminHandler()
+
+	c := fleetClient(t, addr, "traced", "cyberglove", 0, 256, 2)
+	tid := wire.NewTraceID()
+	r, err := c.Query(wire.Query{
+		Kind: wire.QueryAverage, Channel: 0, T0: 0, T1: 2,
+		TraceID: tid, TraceSampled: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Code != wire.CodeOK {
+		t.Fatalf("query code = %v", r.Code)
+	}
+
+	snap := getTraceByID(t, h, tid)
+	if snap.Kind != "query" {
+		t.Errorf("trace kind = %q, want query", snap.Kind)
+	}
+	if snap.TraceID != obs.TraceIDString(tid) {
+		t.Errorf("trace id = %q, want %q", snap.TraceID, obs.TraceIDString(tid))
+	}
+	names := map[string]int{}
+	for _, sp := range snap.Spans {
+		names[sp.Name]++
+	}
+	for _, want := range []string{"decode", "evaluate", "respond"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing %q span: have %v", want, names)
+		}
+	}
+	if snap.Attrs["session"] == "" || snap.Attrs["class"] != "cyberglove" {
+		t.Errorf("trace attrs = %v, want session and class", snap.Attrs)
+	}
+
+	// A second query WITHOUT forced sampling must not be retrievable: the
+	// sampler is effectively off and the slow ring is not at stake here.
+	tid2 := wire.NewTraceID()
+	if _, err := c.Query(wire.Query{
+		Kind: wire.QueryAverage, Channel: 0, T0: 0, T1: 2, TraceID: tid2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez?id="+obs.TraceIDString(tid2), nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unsampled trace lookup = %d, want 404", rec.Code)
+	}
+}
+
+// TestFleetTraceTreeOverWire is the tentpole acceptance test: a fleet
+// query forced-sampled from the client stitches every per-session
+// evaluation into ONE tree — scope-match and merge at the top, one
+// session-<id> subtree per scoped session, each holding its queue-wait and
+// evaluation spans — retrievable by the client's trace ID.
+func TestFleetTraceTreeOverWire(t *testing.T) {
+	const gloves = 3
+	srv, addr := startServer(t, Config{
+		Store:       testStoreCfg(),
+		TraceSample: 1 << 20,
+	})
+	h := srv.AdminHandler()
+
+	clients := make([]*wire.Client, 0, gloves)
+	for i := 0; i < gloves; i++ {
+		clients = append(clients, fleetClient(t, addr, fmt.Sprintf("glove-%d", i), "cyberglove", i, 512, 2))
+	}
+
+	tid := wire.NewTraceID()
+	fr, err := clients[0].FleetQuery(wire.FleetQuery{
+		Query: wire.Query{
+			Kind: wire.QueryCount, Channel: 1, T0: 0.5, T1: 4.0,
+			TraceID: tid, TraceSampled: true,
+		},
+		Scope: wire.FleetScope{Class: "cyberglove"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.OK || fr.Sessions != gloves {
+		t.Fatalf("fleet result: %+v", fr)
+	}
+
+	snap := getTraceByID(t, h, tid)
+	if snap.Kind != "fleet-query" {
+		t.Errorf("trace kind = %q, want fleet-query", snap.Kind)
+	}
+
+	byID := map[obs.SpanID]obs.Span{}
+	children := map[obs.SpanID][]obs.Span{}
+	names := map[string]int{}
+	for _, sp := range snap.Spans {
+		byID[sp.ID] = sp
+		children[sp.Parent] = append(children[sp.Parent], sp)
+		names[sp.Name]++
+	}
+
+	for _, want := range []string{"decode", "evaluate", "scope-match", "merge", "respond"} {
+		if names[want] == 0 {
+			t.Errorf("tree missing %q span: have %v", want, names)
+		}
+	}
+
+	// One session-<id> subtree per scoped session, each a child of the
+	// evaluate span and each holding its own queue-wait plus the session's
+	// evaluation spans (QueryCount is exact, so a scan span).
+	var evalID obs.SpanID
+	for _, sp := range snap.Spans {
+		if sp.Name == "evaluate" {
+			evalID = sp.ID
+		}
+	}
+	sessionSpans := 0
+	for _, sp := range snap.Spans {
+		if !strings.HasPrefix(sp.Name, "session-") {
+			continue
+		}
+		sessionSpans++
+		if sp.Parent != evalID {
+			t.Errorf("span %q parent = %d, want evaluate (%d)", sp.Name, sp.Parent, evalID)
+		}
+		kidNames := map[string]int{}
+		for _, kid := range children[sp.ID] {
+			kidNames[kid.Name]++
+		}
+		if kidNames["queue-wait"] == 0 {
+			t.Errorf("subtree %q missing queue-wait: %v", sp.Name, kidNames)
+		}
+		if kidNames["scan"] == 0 {
+			t.Errorf("subtree %q missing scan: %v", sp.Name, kidNames)
+		}
+	}
+	if sessionSpans != gloves {
+		t.Errorf("tree has %d session subtrees, want %d\n%v", sessionSpans, gloves, names)
+	}
+	if got := snap.Attrs["sessions"]; got != fmt.Sprint(gloves) {
+		t.Errorf("attrs[sessions] = %q, want %d (attrs %v)", got, gloves, snap.Attrs)
+	}
+
+	// An approximate fleet query over the same scope must surface the plan
+	// spans (seal on first touch, plan-compile or plan-hit, dot) inside
+	// each session subtree.
+	tid2 := wire.NewTraceID()
+	fa, err := clients[0].FleetQuery(wire.FleetQuery{
+		Query: wire.Query{
+			Kind: wire.QueryApproxCount, Channel: 1, T0: 0.5, T1: 4.0, Arg: 16,
+			TraceID: tid2, TraceSampled: true,
+		},
+		Scope: wire.FleetScope{Class: "cyberglove"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fa.OK {
+		t.Fatalf("approx fleet result: %+v", fa)
+	}
+	snap2 := getTraceByID(t, h, tid2)
+	planSpans := map[string]int{}
+	for _, sp := range snap2.Spans {
+		switch sp.Name {
+		case "plan-compile", "plan-hit", "dot", "seal":
+			planSpans[sp.Name]++
+		}
+	}
+	if planSpans["dot"] != gloves {
+		t.Errorf("approx tree has %d dot spans, want %d (%v)", planSpans["dot"], gloves, planSpans)
+	}
+	if planSpans["plan-compile"]+planSpans["plan-hit"] != gloves {
+		t.Errorf("approx tree plan spans = %v, want compile+hit == %d", planSpans, gloves)
+	}
+}
+
+// TestSlowQueryLogAlwaysOn pins the always-on promise: with a 1ns
+// threshold and the sampler effectively off, an ordinary untraced query
+// still lands in /slowlog with its structured fields, bumps
+// aims_slow_queries_total{kind="query"}, and stamps a trace-ID exemplar
+// onto the latency histogram.
+func TestSlowQueryLogAlwaysOn(t *testing.T) {
+	srv, addr := startServer(t, Config{
+		Store:       testStoreCfg(),
+		TraceSample: 1 << 20,
+		SlowQuery:   time.Nanosecond,
+	})
+	h := srv.AdminHandler()
+
+	c := fleetClient(t, addr, "slowpoke", "cyberglove", 0, 256, 2)
+	// A deliberately plain query: no trace context on the wire at all.
+	if _, err := c.Query(wire.Query{Kind: wire.QueryApproxCount, Channel: 0, T0: 0, T1: 2, Arg: 16}); err != nil {
+		t.Fatal(err)
+	}
+
+	var slog struct {
+		ThresholdNS int64            `json:"threshold_ns"`
+		Count       int              `json:"count"`
+		Records     []obs.SlowRecord `json:"records"`
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/slowlog", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("/slowlog = %d", rec.Code)
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &slog); err != nil {
+			t.Fatalf("/slowlog JSON: %v", err)
+		}
+		found := false
+		for _, r := range slog.Records {
+			if r.Kind == "query" {
+				found = true
+			}
+		}
+		if found || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if slog.ThresholdNS != 1 {
+		t.Errorf("threshold_ns = %d, want 1", slog.ThresholdNS)
+	}
+	var qrec *obs.SlowRecord
+	for i := range slog.Records {
+		if slog.Records[i].Kind == "query" {
+			qrec = &slog.Records[i]
+			break
+		}
+	}
+	if qrec == nil {
+		t.Fatalf("/slowlog has no query record: %+v", slog.Records)
+	}
+	if qrec.TraceID == "" || qrec.TotalNS <= 0 {
+		t.Errorf("slow record incomplete: %+v", qrec)
+	}
+	if qrec.Attrs["session"] == "" || qrec.Attrs["box_volume"] == "" {
+		t.Errorf("slow record attrs = %v, want session and box_volume", qrec.Attrs)
+	}
+	if qrec.StageNS["evaluate"] == 0 {
+		t.Errorf("slow record stages = %v, want evaluate", qrec.StageNS)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, `aims_slow_queries_total{kind="query"} 1`) {
+		t.Errorf("metrics missing slow-query counter:\n%s", grepLines(body, "slow"))
+	}
+	// The latency histogram carries the slow query's trace ID as an
+	// OpenMetrics exemplar even though the client never asked for tracing.
+	if !strings.Contains(body, `# {trace_id="`+qrec.TraceID+`"}`) {
+		t.Errorf("metrics missing exemplar for trace %s:\n%s", qrec.TraceID, grepLines(body, "bucket"))
+	}
+
+	// Ingest traces cross the 1ns bar too: the batch the fixture streamed
+	// must already have landed in the slow ring under kind=ingest.
+	hasIngest := false
+	for _, r := range slog.Records {
+		if r.Kind == "ingest" {
+			hasIngest = true
+		}
+	}
+	if !hasIngest {
+		t.Errorf("/slowlog has no ingest record: %+v", slog.Records)
+	}
+}
+
+// grepLines returns the lines of s containing substr, for compact failure
+// output.
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

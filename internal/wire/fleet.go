@@ -85,6 +85,9 @@ func (q FleetQuery) Encode() ([]byte, error) {
 	for _, id := range q.Scope.IDs {
 		e.u64(id)
 	}
+	// v3 trace context rides as a strict suffix after the v2 fields, and
+	// only when set — an untraced v3 fleet query is byte-identical to v2.
+	appendTraceContext(&e, q.TraceID, q.TraceSampled)
 	return e.b, nil
 }
 
@@ -109,6 +112,7 @@ func DecodeFleetQuery(p []byte) (FleetQuery, error) {
 			q.Scope.IDs[i] = d.rdU64()
 		}
 	}
+	q.TraceID, q.TraceSampled = readTraceContext(&d)
 	if err := d.done(); err != nil {
 		return FleetQuery{}, err
 	}

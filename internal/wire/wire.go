@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 
 	"aims/internal/stream"
 )
@@ -31,7 +32,11 @@ const Magic uint32 = 0x41494D57
 // Version is the protocol version this package speaks. Version 2 added the
 // device-class tag to Hello (appended after the channel ranges, so a v1
 // payload is a strict prefix of v2) and the fleet query/result messages.
-const Version uint8 = 2
+// Version 3 adds wire-propagated trace context to Query and FleetQuery:
+// a (traceID, sampled) suffix appended after the v2 fields, emitted only
+// when a trace ID is set — so a v3 client not tracing stays byte-identical
+// to v2, and a v2 payload decodes unchanged with no context.
+const Version uint8 = 3
 
 // MinVersion is the oldest protocol version DecodeHello still accepts; a
 // v1 client registers with an empty device class and never sees a fleet
@@ -503,11 +508,57 @@ func checkRange(t0, t1 float64) error {
 // Query is one range-aggregate request over the live session: aggregate
 // Kind over Channel for session time [T0, T1] seconds. Arg carries the
 // coefficient budget (approximate) or max step count (progressive).
+//
+// TraceID/TraceSampled (v3) carry distributed trace context: a non-zero
+// TraceID names the request's trace end-to-end, and TraceSampled forces
+// the server to retain the trace regardless of its 1/N sampler (the
+// client's -trace flag). The pair rides as a strict suffix after the v2
+// fields and is emitted only when TraceID is non-zero, so an untraced v3
+// query is byte-identical to v2 — a v2 server (whose decoder rejects
+// trailing bytes) tolerates v3 clients that do not trace.
 type Query struct {
 	Kind    QueryKind
 	Channel uint16
 	T0, T1  float64
 	Arg     uint32
+
+	TraceID      uint64
+	TraceSampled bool
+}
+
+// NewTraceID returns a random non-zero trace ID for a client that wants to
+// trace a request end-to-end (zero means "no trace context" on the wire).
+func NewTraceID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// appendTraceContext appends the v3 trace-context suffix when set.
+func appendTraceContext(e *buf, traceID uint64, sampled bool) {
+	if traceID == 0 {
+		return
+	}
+	e.u64(traceID)
+	var flags uint8
+	if sampled {
+		flags |= 1
+	}
+	e.u8(flags)
+}
+
+// readTraceContext consumes the optional v3 trace-context suffix: present
+// when payload bytes remain past the v2 fields, absent (zero context) on a
+// v2 payload.
+func readTraceContext(d *buf) (traceID uint64, sampled bool) {
+	if d.err != nil || d.pos >= len(d.b) {
+		return 0, false
+	}
+	traceID = d.rdU64()
+	flags := d.rdU8()
+	return traceID, flags&1 != 0
 }
 
 // Encode serialises the Query payload.
@@ -518,11 +569,13 @@ func (q Query) Encode() []byte {
 	e.f64(q.T0)
 	e.f64(q.T1)
 	e.u32(q.Arg)
+	appendTraceContext(&e, q.TraceID, q.TraceSampled)
 	return e.b
 }
 
 // DecodeQuery parses a Query payload, rejecting malformed time ranges
-// (NaN/Inf endpoints, T1 < T0) with a *RangeError.
+// (NaN/Inf endpoints, T1 < T0) with a *RangeError. A v2 payload decodes
+// with zero trace context.
 func DecodeQuery(p []byte) (Query, error) {
 	d := buf{b: p}
 	q := Query{
@@ -532,6 +585,7 @@ func DecodeQuery(p []byte) (Query, error) {
 		T1:      d.rdF64(),
 		Arg:     d.rdU32(),
 	}
+	q.TraceID, q.TraceSampled = readTraceContext(&d)
 	if err := d.done(); err != nil {
 		return Query{}, err
 	}
