@@ -30,13 +30,15 @@ import (
 )
 
 type sessionResult struct {
-	stored    uint64
-	shedB     uint64
-	shedF     uint64
-	bytesIn   uint64
-	bytesOut  uint64
-	latencies []time.Duration
-	err       error
+	stored     uint64
+	shedB      uint64
+	shedF      uint64
+	bytesIn    uint64
+	bytesOut   uint64
+	reconnects uint64
+	replayed   uint64
+	latencies  []time.Duration
+	err        error
 }
 
 func main() {
@@ -58,6 +60,9 @@ func main() {
 		pace       = flag.Duration("pace", 0, "sleep between batches (stretches the run, e.g. for crash tests)")
 		verify     = flag.Bool("verify", false, "reconnect to each session by name and report recovered frames instead of loading")
 		verifyMin  = flag.Uint64("verify-min", 1, "minimum recovered frames per session for -verify to pass")
+		verifyEq   = flag.Bool("verify-exact", false, "with -verify: require recovered frames == -frames exactly (exactly-once check)")
+		retry      = flag.Int("retry", 0, "reconnect attempts per outage: 0 = plain client (fail on first error), -1 = unlimited")
+		maxBackoff = flag.Duration("max-backoff", 2*time.Second, "reconnect backoff cap for -retry (full-jitter exponential)")
 	)
 	flag.Parse()
 
@@ -144,7 +149,7 @@ func main() {
 	}
 
 	if *verify {
-		os.Exit(runVerify(target, *sessPrefix, *sessions, *rate, *frames, *verifyMin, mins, maxs))
+		os.Exit(runVerify(target, *sessPrefix, *sessions, *rate, *frames, *verifyMin, *verifyEq, mins, maxs))
 	}
 
 	fmt.Printf("driving %d sessions × %d frames (%d channels, batch=%d, window=%d)\n",
@@ -157,7 +162,7 @@ func main() {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			results[s] = runSession(s, target, *sessPrefix, *class, *rate, *frames, *batch, *window, *queryEvery, *pace, pregen, mins, maxs)
+			results[s] = runSession(s, target, *sessPrefix, *class, *rate, *frames, *batch, *window, *queryEvery, *pace, *retry, *maxBackoff, pregen, mins, maxs)
 		}(s)
 	}
 	wg.Wait()
@@ -166,7 +171,7 @@ func main() {
 		stopScrape()
 	}
 
-	var stored, shedB, shedF, bytesIn, bytesOut uint64
+	var stored, shedB, shedF, bytesIn, bytesOut, reconnects, replayed uint64
 	var lats []time.Duration
 	failed := 0
 	for s, r := range results {
@@ -180,6 +185,8 @@ func main() {
 		shedF += r.shedF
 		bytesIn += r.bytesIn
 		bytesOut += r.bytesOut
+		reconnects += r.reconnects
+		replayed += r.replayed
 		lats = append(lats, r.latencies...)
 		if *verbose {
 			fmt.Printf("  session %2d: stored=%d shed=%d/%d queries=%d\n", s, r.stored, r.shedB, r.shedF, len(r.latencies))
@@ -193,6 +200,9 @@ func main() {
 		float64(sent)/wall.Seconds(), float64(sent)/wall.Seconds()/float64(*sessions))
 	fmt.Printf("wire: %.1f MiB sent, %.1f MiB received (client side)\n",
 		float64(bytesOut)/(1<<20), float64(bytesIn)/(1<<20))
+	if *retry != 0 {
+		fmt.Printf("resilience: reconnects=%d replayed-batches=%d\n", reconnects, replayed)
+	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		pct := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
@@ -222,26 +232,58 @@ func main() {
 	}
 }
 
-func runSession(id int, target, prefix, class string, rate float64, frames, batchSize, window, queryEvery int, pace time.Duration, pregen [][]float64, mins, maxs []float64) sessionResult {
+// loadClient is the slice of the client API the load loop needs; both the
+// plain and the resilient client satisfy it.
+type loadClient interface {
+	SendBatch(frames []stream.Frame) error
+	Query(q wire.Query) (wire.Result, error)
+	Close() (wire.CloseAck, error)
+}
+
+func runSession(id int, target, prefix, class string, rate float64, frames, batchSize, window, queryEvery int, pace time.Duration, retry int, maxBackoff time.Duration, pregen [][]float64, mins, maxs []float64) sessionResult {
 	var res sessionResult
-	c, err := wire.Dial(target)
-	if err != nil {
-		res.err = err
-		return res
-	}
-	c.Window = window
-	_, err = c.Hello(wire.Hello{
+	h := wire.Hello{
 		Rate:         rate,
 		HorizonTicks: uint32(frames),
 		Name:         fmt.Sprintf("%s-%d", prefix, id),
 		Class:        class,
 		Mins:         mins,
 		Maxs:         maxs,
-	})
-	if err != nil {
-		res.err = err
-		c.Abort()
-		return res
+	}
+	var (
+		c     loadClient
+		abort func()
+		plain *wire.Client
+		rc    *wire.ResilientClient
+	)
+	if retry == 0 {
+		var err error
+		plain, err = wire.Dial(target)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		plain.Window = window
+		if _, err = plain.Hello(h); err != nil {
+			res.err = err
+			plain.Abort()
+			return res
+		}
+		c, abort = plain, func() { plain.Abort() }
+	} else {
+		var err error
+		rc, _, err = wire.DialResilient(wire.ResilientConfig{
+			Addr:        target,
+			Window:      window,
+			Heartbeat:   time.Second,
+			MaxBackoff:  maxBackoff,
+			MaxAttempts: retry,
+		}, h)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		c, abort = rc, rc.Abort
 	}
 
 	rng := rand.New(rand.NewSource(int64(id) + 1))
@@ -258,7 +300,7 @@ func runSession(id int, target, prefix, class string, rate float64, frames, batc
 		}
 		if err := c.SendBatch(buf); err != nil {
 			res.err = err
-			c.Abort()
+			abort()
 			return res
 		}
 		batches++
@@ -275,7 +317,7 @@ func runSession(id int, target, prefix, class string, rate float64, frames, batc
 			t0 := time.Now()
 			if _, err := c.Query(q); err != nil {
 				res.err = err
-				c.Abort()
+				abort()
 				return res
 			}
 			res.latencies = append(res.latencies, time.Since(t0))
@@ -287,18 +329,26 @@ func runSession(id int, target, prefix, class string, rate float64, frames, batc
 		return res
 	}
 	res.stored = ack.Stored
-	res.shedB = c.ShedBatches()
 	res.shedF = ack.Shed
-	res.bytesIn = c.BytesIn()
-	res.bytesOut = c.BytesOut()
+	if plain != nil {
+		res.shedB = plain.ShedBatches()
+		res.bytesIn = plain.BytesIn()
+		res.bytesOut = plain.BytesOut()
+	}
+	if rc != nil {
+		res.reconnects = rc.Reconnects()
+		res.replayed = rc.ReplayedBatches()
+	}
 	return res
 }
 
 // runVerify reconnects to every session by name after a server restart:
 // each Hello must come back wire.CodeResumed (the server adopted the
 // recovered state) and a count query over the full horizon must find at
-// least minStored frames. Returns the process exit code.
-func runVerify(target, prefix string, sessions int, rate float64, frames int, minStored uint64, mins, maxs []float64) int {
+// least minStored frames — or, with exact set, exactly the advertised
+// frame count (the exactly-once acceptance check after a faulted run).
+// Returns the process exit code.
+func runVerify(target, prefix string, sessions int, rate float64, frames int, minStored uint64, exact bool, mins, maxs []float64) int {
 	failed := 0
 	for s := 0; s < sessions; s++ {
 		name := fmt.Sprintf("%s-%d", prefix, s)
@@ -327,8 +377,12 @@ func runVerify(target, prefix string, sessions int, rate float64, frames int, mi
 		recovered := uint64(r.Value + 0.5)
 		resumed := w.Code == wire.CodeResumed
 		fmt.Printf("%s: resumed=%v recovered=%d frames\n", name, resumed, recovered)
-		if !resumed || recovered < minStored {
+		switch {
+		case !resumed || recovered < minStored:
 			fmt.Fprintf(os.Stderr, "%s: verify failed (resumed=%v recovered=%d < %d)\n", name, resumed, recovered, minStored)
+			failed++
+		case exact && recovered != uint64(frames):
+			fmt.Fprintf(os.Stderr, "%s: verify failed (recovered=%d != %d frames: lost or duplicated)\n", name, recovered, frames)
 			failed++
 		}
 		c.Close()

@@ -77,6 +77,12 @@ func runFleet(addr, scopeArg, agg string, approx int, channel int, from, to floa
 		return 1
 	}
 	defer c.Abort()
+	// Socket deadline: a half-open server must fail the console, not hang
+	// it — the fleet deadline (plus slack for the merge) bounds every read.
+	c.Timeout = 30 * time.Second
+	if timeout > 0 {
+		c.Timeout = timeout + 10*time.Second
+	}
 	if _, err := c.Hello(wire.Hello{
 		Rate: 1, HorizonTicks: 1, Name: "aims-query-console", Class: "console",
 		Mins: []float64{-1}, Maxs: []float64{1},

@@ -38,6 +38,9 @@ func main() {
 		queue   = flag.Int("queue", 8192, "per-session ingest queue depth (frames)")
 		acqBuf  = flag.Int("acquire-buffer", 256, "double-buffering batch size (frames)")
 		idle    = flag.Duration("idle", 30*time.Second, "idle-session eviction timeout")
+		hbeat   = flag.Duration("heartbeat", 0, "expected device heartbeat interval; pinging sessions are evicted after ~2.5 missed beats (0 = default 5s, negative disables)")
+		wtmo    = flag.Duration("write-timeout", 0, "per-message socket write deadline (0 = default 10s, negative disables)")
+		retain  = flag.Duration("retain", 0, "how long an ungracefully disconnected session is parked awaiting reconnect (0 = default 60s, negative disables)")
 		policy  = flag.String("policy", "block", "backpressure policy: block|shed")
 		buckets = flag.Int("buckets", 256, "live-store time buckets (power of two)")
 		bins    = flag.Int("bins", 64, "live-store value bins (power of two)")
@@ -84,6 +87,9 @@ func main() {
 		QueueFrames:   *queue,
 		AcquireBuffer: *acqBuf,
 		IdleTimeout:   *idle,
+		Heartbeat:     *hbeat,
+		WriteTimeout:  *wtmo,
+		RetainTimeout: *retain,
 		Policy:        pol,
 		TraceSample:   *tsample,
 		SlowQuery:     *slowQ,

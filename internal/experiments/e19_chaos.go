@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"aims/internal/chaos"
+	"aims/internal/core"
+	"aims/internal/server"
+	"aims/internal/stream"
+	"aims/internal/wire"
+)
+
+// E19Row is one fault-rate operating point of the chaos experiment.
+type E19Row struct {
+	FaultPct    float64 // cut + reset probability, in percent
+	FPS         float64 // end-to-end ingest throughput, frames/s
+	Disconnects uint64  // forced teardowns injected by the proxy
+	Reconnects  uint64  // successful client re-dials
+	Replayed    uint64  // batches replayed from the client ring
+	RecoverP50  float64 // reconnect recovery latency, ms
+	RecoverP99  float64 // reconnect recovery latency, ms
+}
+
+// E19Result reports chaos: resilient-link throughput and recovery latency
+// under injected network faults. The acceptance bound is structural, not a
+// tuning target: full-jitter backoff sleeps are uniform in [0, cap] with
+// cap ≤ MaxBackoff, so against a healthy server one outage should recover
+// well inside 2×MaxBackoff even when an early attempt is itself killed.
+type E19Result struct {
+	Sessions   int
+	Frames     int // per session
+	MaxBackoff time.Duration
+	Rows       []E19Row
+	// P99Bounded is true when every faulted row's p99 recovery latency is
+	// under 2×MaxBackoff — the exactly-once replay machinery is not
+	// stalling reconnects.
+	P99Bounded bool
+	// Exact is true when every run stored exactly Frames frames per
+	// session: zero loss, zero duplicates, at every fault rate.
+	Exact bool
+}
+
+// RunE19 drives a resilient-client ingest load through a deterministic
+// fault proxy at 0%, 1% and 5% fault rates and measures what resilience
+// costs: throughput degradation, reconnect counts, and how fast the link
+// recovers from each forced disconnect (p50/p99 of wire.Outages). Every
+// run also re-counts the store over the wire — the frame count must be
+// exact despite torn frames and replayed batches, or the row is a failure,
+// not a data point.
+func RunE19(w io.Writer) E19Result {
+	const (
+		sessions   = 2
+		frames     = 8192
+		batch      = 128
+		maxBackoff = 250 * time.Millisecond
+	)
+	res := E19Result{Sessions: sessions, Frames: frames, MaxBackoff: maxBackoff, P99Bounded: true, Exact: true}
+
+	for i, rate := range []float64{0, 0.01, 0.05} {
+		row := e19Run(rate, int64(42+i), sessions, frames, batch, maxBackoff, &res.Exact)
+		if rate > 0 && row.RecoverP99 >= 2*float64(maxBackoff/time.Millisecond) {
+			res.P99Bounded = false
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	tb := &Table{
+		Title:   "E19 chaos: resilient links under injected faults (cut+reset per rate)",
+		Columns: []string{"fault %", "frames/s", "disconnects", "reconnects", "replayed", "recover p50 ms", "recover p99 ms"},
+	}
+	for _, r := range res.Rows {
+		tb.AddRow(fmt.Sprintf("%.0f%%", r.FaultPct), r.FPS, r.Disconnects, r.Reconnects, r.Replayed, r.RecoverP50, r.RecoverP99)
+	}
+	tb.Note("%d sessions × %d frames, batch %d, backoff 10ms..%s full jitter", sessions, frames, batch, maxBackoff)
+	tb.Note("exactly-once: every run stored exactly %d frames/session = %v", frames, res.Exact)
+	tb.Note("recovery p99 < 2×max-backoff (%.0fms) at every fault rate = %v",
+		2*float64(maxBackoff/time.Millisecond), res.P99Bounded)
+	tb.Render(w)
+	return res
+}
+
+// e19Run stands up a loopback server behind a chaos proxy and streams
+// frames through resilient clients, returning the row for one fault rate.
+// exact is cleared (never set) if any session's stored count drifts from
+// the frames sent.
+func e19Run(rate float64, seed int64, sessions, frames, batch int, maxBackoff time.Duration, exact *bool) E19Row {
+	srv := server.New(server.Config{
+		QueueFrames:  8192,
+		Heartbeat:    time.Second,
+		WriteTimeout: 2 * time.Second,
+		TraceSample:  -1,
+		Store:        core.LiveStoreConfig{TimeBuckets: 256, ValueBins: 64},
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	px, err := chaos.New(addr.String(), chaos.Config{
+		Seed:    seed,
+		CutRate: rate,
+		// Resets exercise the re-dial path itself: some reconnect attempts
+		// die before the handshake, forcing a second backoff round.
+		ResetRate: rate,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer px.Close()
+
+	const channels = 2
+	const tickRate = 1000
+	mins := []float64{-1, -1}
+	maxs := []float64{2, 2}
+	vals := []float64{0.25, 0.75}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var reconnects, replayed uint64
+	var outages []time.Duration
+	start := time.Now()
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			// The very first dial races the proxy's reset draw, which only
+			// the established client survives — retry the handshake itself.
+			var rc *wire.ResilientClient
+			var err error
+			for attempt := 0; ; attempt++ {
+				rc, _, err = wire.DialResilient(wire.ResilientConfig{
+					Addr:        px.Addr(),
+					Window:      4,
+					Timeout:     2 * time.Second,
+					Heartbeat:   250 * time.Millisecond,
+					BaseBackoff: 10 * time.Millisecond,
+					MaxBackoff:  maxBackoff,
+					MaxAttempts: -1,
+					Seed:        seed + int64(s) + 1,
+				}, wire.Hello{
+					Rate: tickRate, HorizonTicks: uint32(frames),
+					Name: fmt.Sprintf("e19-%.0f-%d", rate*100, s), Class: "chaos",
+					Mins: mins, Maxs: maxs,
+				})
+				if err == nil {
+					break
+				}
+				if attempt >= 20 {
+					panic(err)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			local := make([]stream.Frame, batch)
+			for tick := 0; tick < frames; tick += batch {
+				for i := range local {
+					local[i] = stream.Frame{T: float64(tick+i) / tickRate, Values: vals}
+				}
+				if err := rc.SendBatch(local); err != nil {
+					panic(err)
+				}
+			}
+			if _, err := rc.Flush(); err != nil {
+				panic(err)
+			}
+			qr, err := rc.Query(wire.Query{
+				Kind: wire.QueryCount, Channel: 0,
+				T0: 0, T1: float64(frames)/tickRate + 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+			if int(qr.Value+0.5) != frames {
+				mu.Lock()
+				*exact = false
+				mu.Unlock()
+			}
+			mu.Lock()
+			reconnects += rc.Reconnects()
+			replayed += rc.ReplayedBatches()
+			outages = append(outages, rc.Outages()...)
+			mu.Unlock()
+			// A graceful close can itself be cut; the session is done either
+			// way, so fall back to abort instead of failing the run.
+			if _, err := rc.Close(); err != nil {
+				rc.Abort()
+			}
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	row := E19Row{
+		FaultPct:    rate * 100,
+		FPS:         float64(sessions*frames) / wall.Seconds(),
+		Disconnects: px.Disconnects(),
+		Reconnects:  reconnects,
+		Replayed:    replayed,
+	}
+	row.RecoverP50, row.RecoverP99 = percentilesMS(outages, 0.50, 0.99)
+	return row
+}
+
+// percentilesMS returns the two requested percentiles of durations in
+// milliseconds (nearest-rank), or zeros for an empty set.
+func percentilesMS(ds []time.Duration, p1, p2 float64) (float64, float64) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(ds)) + 0.5)
+		if i >= len(ds) {
+			i = len(ds) - 1
+		}
+		return float64(ds[i]) / float64(time.Millisecond)
+	}
+	return rank(p1), rank(p2)
+}

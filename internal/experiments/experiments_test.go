@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTableRender(t *testing.T) {
@@ -278,9 +279,34 @@ func TestRunE18TraceOverheadBounded(t *testing.T) {
 	// The recorded BENCH_trace.json run shows the always-on path within
 	// noise of disabled; allow generous CI-box slack while still catching a
 	// real regression (per-query allocation storm, lock on the hot path).
+	// One measured blip on a contended box gets a single fresh re-run — a
+	// real regression fails both.
+	if res.OverheadPct > 10 {
+		t.Logf("overhead %.1f%% over bound, re-measuring once", res.OverheadPct)
+		res = RunE18(io.Discard)
+	}
 	if res.OverheadPct > 10 {
 		t.Fatalf("always-on tracing costs %.1f%% query throughput (traced %.0f q/s, base %.0f q/s)",
 			res.OverheadPct, res.TracedQPS, res.BaseQPS)
+	}
+}
+
+func TestRunE19ChaosExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy")
+	}
+	res := RunE19(io.Discard)
+	// Exactness is the hard invariant: torn frames and replayed batches
+	// must never change what the store counts.
+	if !res.Exact {
+		t.Fatal("chaos run lost or duplicated frames")
+	}
+	// The recorded BENCH_chaos.json run recovers well under 2×max-backoff;
+	// allow loaded-CI slack (4×) while still catching a reconnect stall.
+	for _, row := range res.Rows {
+		if row.FaultPct > 0 && row.RecoverP99 >= 4*float64(res.MaxBackoff/time.Millisecond) {
+			t.Fatalf("fault %.0f%%: recovery p99 %.1fms ≥ 4×max-backoff", row.FaultPct, row.RecoverP99)
+		}
 	}
 }
 
@@ -296,7 +322,7 @@ func TestAllRunnersRegistered(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"T1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
-		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "A1", "A2", "A3", "A4", "A5"} {
+		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "A1", "A2", "A3", "A4", "A5"} {
 		if !ids[want] {
 			t.Fatalf("missing runner %s", want)
 		}

@@ -30,6 +30,7 @@ func All() []Runner {
 		{"E16", "fleet_scale: cross-session fleet queries grow sub-linearly in session count", func(w io.Writer) { RunE16(w) }},
 		{"E17", "query_plan: cached compiled plans answer repeated queries ≥5× faster than cold compiles", func(w io.Writer) { RunE17(w) }},
 		{"E18", "trace_overhead: always-on slow-query log costs <2% query throughput", func(w io.Writer) { RunE18(w) }},
+		{"E19", "chaos: exactly-once ingest under injected faults; recovery p99 < 2× max backoff", func(w io.Writer) { RunE19(w) }},
 		{"A1", "ablation: GROUP BY shares I/O across buckets; fetch-ordering objective trade", func(w io.Writer) { RunA1(w) }},
 		{"A2", "ablation: random-projection SVD similarity accuracy/cost trade", func(w io.Writer) { RunA2(w) }},
 		{"A3", "ablation: tiling locality becomes LRU buffer-pool hit rate", func(w io.Writer) { RunA3(w) }},

@@ -41,6 +41,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -49,6 +50,12 @@ import (
 	"aims/internal/obs"
 	"aims/internal/wire"
 )
+
+// errDeadlineSlot marks a scatter slot whose scan never started because
+// the fleet deadline had already fired when a worker picked it up. The
+// slot is returned immediately so one slow (or unregistered) session
+// cannot starve the pool of workers that later queries share.
+var errDeadlineSlot = errors.New("fleet: scan not started before the fleet deadline")
 
 // Session is one live session as the fleet layer sees it: identity, the
 // device class it registered under, and its store.
@@ -322,6 +329,16 @@ func Evaluate(ctx context.Context, sessions []Session, req Request, cfg Config) 
 	for w := 0; w < workers; w++ {
 		go func() {
 			for j := range jobs {
+				// Expired already? Return the slot without scanning: the
+				// gather marks it CodeDeadline, and the worker is free for
+				// the next job instead of burning its budget on an answer
+				// nobody will read.
+				select {
+				case <-ctx.Done():
+					results <- gathered{idx: j.idx, err: errDeadlineSlot}
+					continue
+				default:
+				}
 				t0 := time.Now()
 				var sid obs.SpanID
 				if req.Trace != nil {
@@ -388,6 +405,10 @@ gather:
 		switch {
 		case parts[i] != nil:
 			merged = append(merged, *parts[i])
+		case errors.Is(errs[i], errDeadlineSlot):
+			res.Failures = append(res.Failures, wire.FleetFailure{
+				ID: s.ID, Code: wire.CodeDeadline, Text: errs[i].Error(),
+			})
 		case errs[i] != nil:
 			res.Failures = append(res.Failures, wire.FleetFailure{
 				ID: s.ID, Code: wire.CodeBadQuery, Text: errs[i].Error(),

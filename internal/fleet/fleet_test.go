@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -257,5 +258,39 @@ func TestProgressiveMergesFinalSteps(t *testing.T) {
 	}
 	if math.Abs(res.Value-truth) > res.Bound+1e-6 {
 		t.Fatalf("progressive merge %v vs truth %v outside bound %v", res.Value, truth, res.Bound)
+	}
+}
+
+// TestExpiredDeadlineReturnsSlotsWithoutScanning: once the fleet deadline
+// has fired, a worker picking up a job must hand its slot straight back as
+// a CodeDeadline failure instead of scanning a store nobody will read —
+// the starvation fix for pools shared across queries. With the context
+// cancelled before the scatter starts, not a single scan may run.
+func TestExpiredDeadlineReturnsSlotsWithoutScanning(t *testing.T) {
+	sessions := buildFleet(t, 8, "glove", 31)
+	var scans atomic.Int64
+	cfg := Config{Workers: 4, Observer: Observer{
+		ScanSeconds: func(float64) { scans.Add(1) },
+	}}
+	req := Request{
+		Kind: wire.QueryCount, Channel: 0, T0: 0, T1: 30,
+		Scope: wire.FleetScope{Class: "glove"}, Partial: true,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before the scatter begins
+	res := Evaluate(ctx, sessions, req, cfg)
+	if got := scans.Load(); got != 0 {
+		t.Fatalf("%d scans ran after the deadline expired, want 0", got)
+	}
+	if len(res.Failures) != 8 || res.Merged != 0 {
+		t.Fatalf("merged %d + failed %d, want 0 + 8", res.Merged, len(res.Failures))
+	}
+	for _, f := range res.Failures {
+		if f.Code != wire.CodeDeadline {
+			t.Fatalf("failure %+v, want CodeDeadline", f)
+		}
+	}
+	if res.Code != wire.CodePartial {
+		t.Fatalf("code %s, want partial", res.Code)
 	}
 }

@@ -32,6 +32,7 @@ type Recovered struct {
 	Store     *core.LiveStore
 	Processed uint64 // frames in Store after snapshot + WAL replay
 	Watermark uint64 // frames covered by the snapshot alone
+	AckSeq    uint64 // acknowledged client-stream watermark (≥ Processed when frames were shed)
 	Truncated bool   // a torn/corrupt WAL tail was cut during replay
 }
 
@@ -114,12 +115,17 @@ func (m *Manager) recoverSession(key string, storeCfg core.LiveStoreConfig) (*Re
 	if res.truncated {
 		m.cfg.Logf("journal: session %s: WAL tail truncated at last valid record", key)
 	}
+	ack := res.processed
+	if res.ackSeq > ack {
+		ack = res.ackSeq
+	}
 	return &Recovered{
 		Key:       key,
 		Meta:      meta,
 		Store:     ls,
 		Processed: res.processed,
 		Watermark: watermark,
+		AckSeq:    ack,
 		Truncated: res.truncated,
 	}, nil
 }
@@ -199,6 +205,7 @@ func (m *Manager) attachDisk(key string, meta Meta, orphan *Recovered) (*Session
 		}
 		s.processed.Store(orphan.Processed)
 		s.snapFrames.Store(orphan.Watermark)
+		s.clientSeq.Store(orphan.AckSeq)
 		return s, orphan.Store, nil
 	}
 	// A leftover directory here belongs to an unrecoverable or

@@ -23,6 +23,7 @@ type Session struct {
 
 	processed  atomic.Uint64 // frames seen in consumer order (journaled or shed)
 	snapFrames atomic.Uint64 // watermark of the newest snapshot
+	clientSeq  atomic.Uint64 // highest acked client-stream offset (≥ processed when shedding)
 	degraded   atomic.Bool
 	resumed    bool
 	mgr        *Manager
@@ -72,6 +73,36 @@ func (s *Session) AppendFrames(frames []stream.Frame, keepTrying func() bool) {
 			s.cfg.Observer.Degraded()
 		}
 		return
+	}
+}
+
+// ClientSeq returns the session's acknowledged client-stream watermark:
+// the offset below which every frame the device sent has been either
+// journaled or knowingly shed. It equals Processed unless load shedding
+// dropped acknowledged frames, and it is the resume point a reconnecting
+// v4 device is told about (Welcome.AckSeq).
+func (s *Session) ClientSeq() uint64 {
+	if c := s.clientSeq.Load(); c > s.processed.Load() {
+		return c
+	}
+	return s.processed.Load()
+}
+
+// RecordAck persists a client-stream watermark that ran ahead of the
+// journaled frame count — the server acknowledged frames (as shed) that
+// will never reach the log. Best-effort: losing the record merely lets a
+// resuming device re-offer those frames, and the second offer may even
+// store them.
+func (s *Session) RecordAck(clientSeq uint64) {
+	if clientSeq <= s.clientSeq.Load() {
+		return
+	}
+	s.clientSeq.Store(clientSeq)
+	if s.degraded.Load() {
+		return
+	}
+	if err := s.wal.appendAck(clientSeq, s.processed.Load()); err != nil {
+		s.cfg.Logf("journal: session %s ack record failed: %v", s.key, err)
 	}
 }
 

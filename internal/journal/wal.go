@@ -38,6 +38,7 @@ const (
 	walHeaderSize  = 16
 	recHeaderSize  = 9
 	recFrames      = byte(1)
+	recAck         = byte(2) // body = u64 client-stream watermark
 	maxRecordBytes = wire.MaxPayload + 1 // type byte + a maximal wire batch
 )
 
@@ -203,6 +204,52 @@ func (w *wal) append(startFrame uint64, frames []stream.Frame, width int) error 
 	return nil
 }
 
+// appendAck records the session's client-stream watermark. It is written
+// when the server acknowledges frames it will never journal (a shed), so
+// recovery can restore the exactly-once dedup point even though those
+// frames are absent from the log. nextFrame is the absolute index the next
+// frames record would carry — it seeds the segment header on rotation.
+// Replayers predating this record type skip it by its CRC-verified length.
+func (w *wal) appendAck(ack, nextFrame uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var rec [recHeaderSize + 8]byte
+	binary.LittleEndian.PutUint32(rec[0:4], 9) // type byte + u64 body
+	rec[8] = recAck
+	binary.LittleEndian.PutUint64(rec[9:], ack)
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(rec[8:], crcTable))
+
+	if err := w.asyncErr; err != nil {
+		w.asyncErr = nil
+		w.needRotate = true
+		return err
+	}
+	if w.needRotate || w.size >= w.cfg.SegmentBytes {
+		if err := w.rotateLocked(nextFrame); err != nil {
+			return err
+		}
+	}
+	if _, err := w.f.Write(rec[:]); err != nil {
+		w.needRotate = true
+		return err
+	}
+	w.size += int64(len(rec))
+	w.dirty = true
+	if w.cfg.Observer.AppendBytes != nil {
+		w.cfg.Observer.AppendBytes(len(rec))
+	}
+	switch w.cfg.Fsync {
+	case FsyncBatch:
+		return w.syncLocked()
+	case FsyncInterval:
+		if !w.timerArmed {
+			w.timerArmed = true
+			time.AfterFunc(w.cfg.FsyncInterval, w.timedSync)
+		}
+	}
+	return nil
+}
+
 // timedSync runs the deferred fsync outside the append lock so a slow
 // device flush never stalls ingest. The dirty flag is surrendered before
 // syncing: a write landing mid-sync re-marks it (and re-arms the timer on
@@ -332,6 +379,9 @@ type replayResult struct {
 	// truncated reports that a torn tail / corrupt record was found and
 	// the log was cut back to the last valid record.
 	truncated bool
+	// ackSeq is the highest client-stream watermark found in ack records
+	// (0 when none): frames the server acknowledged but shed.
+	ackSeq uint64
 }
 
 // replayWAL streams every intact frames record at or above the watermark
@@ -413,6 +463,16 @@ func replaySegment(path string, watermark uint64, width int, expect *uint64, res
 		}
 		if crc32.Update(crc, crcTable, body) != want {
 			return good, br.n, true, nil
+		}
+		if rh[8] == recAck {
+			if len(body) != 8 {
+				return good, br.n, true, nil
+			}
+			if a := binary.LittleEndian.Uint64(body); a > res.ackSeq {
+				res.ackSeq = a
+			}
+			good = br.n
+			continue
 		}
 		if rh[8] != recFrames {
 			// Unknown record type from a future format revision: skip it

@@ -81,6 +81,13 @@ type metrics struct {
 	batchesShed     *obs.Counter
 	appendErrors    *obs.Counter
 	evictions       *obs.Counter
+	// Link-resilience instruments: deduped replay batches, heartbeat pings
+	// answered, sessions parked for reconnection, and successful resumes
+	// (live park adoption or journal orphan adoption).
+	dupBatches       *obs.Counter
+	heartbeats       *obs.Counter
+	sessionsDetached *obs.Gauge
+	resumesTotal     *obs.Counter
 	// queueDepth is the frames-waiting gauge across all sessions,
 	// incremented at enqueue and decremented at dequeue so Metrics never
 	// has to walk the session map.
@@ -148,6 +155,13 @@ func newMetrics() *metrics {
 		batchesShed:     reg.Counter("aims_shed_batches_total", "Batches dropped by the shed backpressure policy."),
 		appendErrors:    reg.Counter("aims_append_errors_total", "Frames rejected by live-store validation."),
 		evictions:       reg.Counter("aims_evictions_total", "Sessions evicted for idling."),
+		dupBatches: reg.Counter("aims_dup_batches_total",
+			"Replayed batches dropped or trimmed at the session's acknowledged watermark."),
+		heartbeats: reg.Counter("aims_heartbeats_total", "Heartbeat pings answered."),
+		sessionsDetached: reg.Gauge("aims_sessions_detached",
+			"Disconnected sessions parked in memory awaiting reconnection."),
+		resumesTotal: reg.Counter("aims_session_resumes_total",
+			"Sessions resumed by a reconnecting device (parked or journal-recovered)."),
 		queueDepth:      reg.Gauge("aims_queue_depth", "Frames waiting in session ingest queues."),
 		queryLatency: reg.Histogram("aims_query_seconds",
 			"Query evaluation latency.", secondsBounds(latencyBounds)),
@@ -205,12 +219,12 @@ func newMetrics() *metrics {
 		func() float64 { return float64(propolyne.SharedCache.Stats().Cost) })
 	const bytesHelp = "Wire bytes by direction and message type, headers included."
 	for _, typ := range []byte{wire.MsgHello, wire.MsgBatch, wire.MsgQuery, wire.MsgFlush,
-		wire.MsgClose, wire.MsgFleetQuery} {
+		wire.MsgClose, wire.MsgFleetQuery, wire.MsgPing} {
 		m.bytesIn[typ] = reg.CounterWith("aims_wire_bytes_total",
 			fmt.Sprintf(`dir="in",type=%q`, wire.TypeName(typ)), bytesHelp)
 	}
 	for _, typ := range []byte{wire.MsgWelcome, wire.MsgBatchAck, wire.MsgResult,
-		wire.MsgCloseAck, wire.MsgError, wire.MsgFlushAck, wire.MsgFleetResult} {
+		wire.MsgCloseAck, wire.MsgError, wire.MsgFlushAck, wire.MsgFleetResult, wire.MsgPong} {
 		m.bytesOut[typ] = reg.CounterWith("aims_wire_bytes_total",
 			fmt.Sprintf(`dir="out",type=%q`, wire.TypeName(typ)), bytesHelp)
 	}

@@ -62,6 +62,25 @@ type Config struct {
 	AcquireBuffer int
 	// IdleTimeout evicts sessions with no traffic (default 30 s).
 	IdleTimeout time.Duration
+	// Heartbeat is the liveness window unit for sessions that send wire v4
+	// pings: once a session has pinged, its read deadline tightens to
+	// 2.5×Heartbeat (if shorter than IdleTimeout), so a dead link is
+	// detected in seconds instead of the idle eviction horizon. Default
+	// 5 s; negative disables heartbeat-driven liveness.
+	Heartbeat time.Duration
+	// WriteTimeout bounds every socket write (default 10 s; negative
+	// disables). Without it a device that stops reading wedges the
+	// session's responder in the kernel send buffer forever.
+	WriteTimeout time.Duration
+	// RetainTimeout parks the state of a named session whose link dropped
+	// ungracefully, so the device can reconnect and resume exactly where
+	// it left off — store, journal handle and acknowledged watermark all
+	// survive in memory. Default 60 s; negative disables parking (a
+	// reconnect then starts a fresh session, as before wire v4).
+	RetainTimeout time.Duration
+	// RetainSessions caps how many disconnected sessions may sit parked at
+	// once (default 1024); beyond it the longest-parked one is finalized.
+	RetainSessions int
 	// FlushLatency bounds how long a partially filled acquisition buffer
 	// may hide tail frames from queries (default 2 ms).
 	FlushLatency time.Duration
@@ -117,6 +136,18 @@ func (c Config) withDefaults() Config {
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = 30 * time.Second
 	}
+	if c.Heartbeat == 0 {
+		c.Heartbeat = 5 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.RetainTimeout == 0 {
+		c.RetainTimeout = time.Minute
+	}
+	if c.RetainSessions <= 0 {
+		c.RetainSessions = 1024
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...interface{}) {}
 	}
@@ -136,6 +167,11 @@ type Server struct {
 
 	journal   *journal.Manager // nil when durability is disabled
 	recovered atomic.Int64     // sessions rebuilt from disk at startup
+
+	// detached holds parked sessions by name: state kept warm for a device
+	// whose link dropped ungracefully, finalized at RetainTimeout.
+	detMu    sync.Mutex
+	detached map[string]*detached
 
 	fleetCfg fleet.Config // scatter pool width, deadline, metric hooks
 
@@ -171,7 +207,8 @@ func New(cfg Config) *Server {
 		propolyne.SharedCache.SetCapacity(cfg.PlanCacheCost)
 	}
 	propolyne.SharedCache.SetObserver(m.planObserver())
-	s := &Server{cfg: cfg, sessions: newRegistry(), metrics: m, tracer: tracer}
+	s := &Server{cfg: cfg, sessions: newRegistry(), metrics: m, tracer: tracer,
+		detached: map[string]*detached{}}
 	s.fleetCfg = fleet.Config{
 		Workers:  cfg.FleetWorkers,
 		Timeout:  cfg.FleetTimeout,
@@ -299,6 +336,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() {
 		s.wg.Wait()
 		s.serveWg.Wait()
+		// Every handler has exited, so no more sessions can park; make the
+		// parked ones durable before declaring the shutdown complete.
+		s.finalizeAllDetached()
 		close(done)
 	}()
 	select {
@@ -399,4 +439,132 @@ func (s *Server) isClosed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.closed
+}
+
+// detached is a parked session: the live state of a named device whose
+// connection dropped without a Close handshake, kept warm so a reconnect
+// under the same name resumes in place — no journal round trip, no frame
+// loss, and the acknowledged watermark tells the device what to replay.
+type detached struct {
+	name     string
+	class    string
+	rate     float64
+	channels int
+	store    *core.LiveStore
+	jsess    *journal.Session // nil on a memory-only server
+	ackSeq   uint64           // acknowledged client-stream watermark at disconnect
+	at       time.Time
+	timer    *time.Timer
+}
+
+// park retains a disconnected session's state for RetainTimeout. It
+// reports whether the state was parked; when it declines (anonymous
+// session, parking disabled), the caller finalizes as before.
+func (s *Server) park(sess *session) bool {
+	if sess.name == "" || s.cfg.RetainTimeout <= 0 {
+		return false
+	}
+	d := &detached{
+		name:     sess.name,
+		class:    sess.class,
+		rate:     sess.rate,
+		channels: sess.store.Channels(),
+		store:    sess.store,
+		jsess:    sess.jsess,
+		ackSeq:   sess.ackSeq,
+		at:       time.Now(),
+	}
+	var finalize []*detached
+	s.detMu.Lock()
+	if old := s.detached[d.name]; old != nil {
+		// A newer incarnation displaces the parked one (stale state under
+		// the same name would otherwise shadow it forever).
+		old.timer.Stop()
+		delete(s.detached, d.name)
+		finalize = append(finalize, old)
+	}
+	for len(s.detached) >= s.cfg.RetainSessions {
+		var oldest *detached
+		for _, cand := range s.detached {
+			if oldest == nil || cand.at.Before(oldest.at) {
+				oldest = cand
+			}
+		}
+		oldest.timer.Stop()
+		delete(s.detached, oldest.name)
+		finalize = append(finalize, oldest)
+	}
+	s.detached[d.name] = d
+	d.timer = time.AfterFunc(s.cfg.RetainTimeout, func() { s.expireDetached(d) })
+	s.metrics.sessionsDetached.Add(1 - int64(len(finalize)))
+	s.detMu.Unlock()
+	for _, old := range finalize {
+		s.finalizeDetached(old)
+	}
+	return true
+}
+
+// adoptDetached hands a reconnecting device its parked state back, if a
+// shape-compatible parked session exists under the Hello's name.
+func (s *Server) adoptDetached(h wire.Hello) *detached {
+	s.detMu.Lock()
+	d := s.detached[h.Name]
+	if d == nil || d.channels != len(h.Mins) || d.rate != h.Rate {
+		s.detMu.Unlock()
+		return nil
+	}
+	delete(s.detached, h.Name)
+	d.timer.Stop()
+	s.metrics.sessionsDetached.Add(-1)
+	s.detMu.Unlock()
+	return d
+}
+
+// expireDetached is a parked session's retention timer: the device never
+// came back, so the state is made durable and released.
+func (s *Server) expireDetached(d *detached) {
+	s.detMu.Lock()
+	if s.detached[d.name] != d {
+		// Adopted (or displaced) between the timer firing and this lock.
+		s.detMu.Unlock()
+		return
+	}
+	delete(s.detached, d.name)
+	s.metrics.sessionsDetached.Add(-1)
+	s.detMu.Unlock()
+	s.cfg.Logf("parked session %q expired unclaimed (ack=%d)", d.name, d.ackSeq)
+	s.finalizeDetached(d)
+}
+
+// finalizeDetached releases a parked session that will not be resumed: a
+// final snapshot covers its frames and its journal key is freed.
+func (s *Server) finalizeDetached(d *detached) {
+	if d.jsess != nil {
+		if err := d.jsess.Close(d.store); err != nil {
+			s.cfg.Logf("parked session %q: durable close: %v", d.name, err)
+		}
+	}
+}
+
+// finalizeAllDetached drains the parked-session map (shutdown path).
+func (s *Server) finalizeAllDetached() {
+	s.detMu.Lock()
+	all := make([]*detached, 0, len(s.detached))
+	for _, d := range s.detached {
+		d.timer.Stop()
+		all = append(all, d)
+	}
+	s.detached = map[string]*detached{}
+	s.metrics.sessionsDetached.Add(-int64(len(all)))
+	s.detMu.Unlock()
+	for _, d := range all {
+		s.finalizeDetached(d)
+	}
+}
+
+// DetachedCount reports sessions parked awaiting reconnection.
+func (s *Server) DetachedCount() int {
+	s.detMu.Lock()
+	defer s.detMu.Unlock()
+	return len(s.detached)
 }

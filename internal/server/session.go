@@ -32,6 +32,14 @@ type session struct {
 	rate  float64
 	name  string // registration name from the Hello
 	class string // device class from the Hello (v2); "" for v1 clients
+	proto uint8  // protocol version the Hello was encoded at
+
+	// ackSeq is the acknowledged client-stream watermark: the device-side
+	// frame offset below which every frame has been accepted (enqueued or
+	// knowingly shed). Only meaningful for v4 sessions, whose Batch.Seq
+	// carries absolute frame offsets; owned by the reader goroutine.
+	ackSeq  uint64
+	sawPing bool // device heartbeats → liveness window replaces IdleTimeout
 
 	// jsess is the session's durability handle (nil when the server runs
 	// memory-only or journaling failed at registration). resumed is true
@@ -122,15 +130,23 @@ func (s *Server) handleConn(conn net.Conn) {
 	w := wire.Welcome{SessionID: sess.id, Code: wire.CodeOK}
 	if sess.resumed {
 		w.Code = wire.CodeResumed
+		s.metrics.resumesTotal.Inc()
 	}
-	if sess.write(wire.MsgWelcome, w.Encode()) != nil || sess.bw.Flush() != nil {
-		if sess.jsess != nil {
+	if sess.proto >= 4 {
+		// The high-watermark tells a resuming device exactly what the
+		// server holds: replay starts there, everything below is deduped.
+		w.AckSeq = sess.ackSeq
+	}
+	if sess.write(wire.MsgWelcome, w.Encode()) != nil || sess.flush() != nil {
+		// The link died under the Welcome itself; park so the device's
+		// retry still finds its state (else release the journal key).
+		if !s.park(sess) && sess.jsess != nil {
 			sess.jsess.Close(nil)
 		}
 		return
 	}
-	s.cfg.Logf("session %d: registered %d channels at %.1f Hz (resumed=%v)",
-		sess.id, sess.store.Channels(), sess.rate, sess.resumed)
+	s.cfg.Logf("session %d: registered %d channels at %.1f Hz (resumed=%v ack=%d)",
+		sess.id, sess.store.Channels(), sess.rate, sess.resumed, sess.ackSeq)
 
 	// The acquisition consumer: double-buffered batches out of the queue
 	// into the live store.
@@ -149,6 +165,15 @@ func (s *Server) handleConn(conn net.Conn) {
 	<-ingestDone
 	sess.abandonMarkers()
 
+	if !sess.closeRequested && !s.isClosed() && s.park(sess) {
+		// Ungraceful disconnect of a named session: its state is parked
+		// (store, journal handle, acknowledged watermark) so a reconnect
+		// resumes in place instead of starting over.
+		s.cfg.Logf("session %d: link lost, parked %q for resume (stored=%d ack=%d)",
+			sess.id, sess.name, sess.stored.Load(), sess.ackSeq)
+		return
+	}
+
 	if sess.jsess != nil {
 		// Durable drain: a final snapshot (or at least a WAL sync) covers
 		// every stored frame before the session's files are released for a
@@ -161,20 +186,34 @@ func (s *Server) handleConn(conn net.Conn) {
 	if sess.closeRequested {
 		ack := wire.CloseAck{Stored: sess.stored.Load() - sess.badAppend.Load(), Shed: sess.shedF.Load()}
 		if sess.write(wire.MsgCloseAck, ack.Encode()) == nil {
-			sess.bw.Flush()
+			sess.flush()
 		}
 	}
 	s.cfg.Logf("session %d: closed (stored=%d shed=%d)", sess.id, sess.stored.Load(), sess.shedF.Load())
 }
 
 // write frames one message onto the session's buffered writer and
-// accounts its bytes to the per-type wire counters.
+// accounts its bytes to the per-type wire counters. The write deadline is
+// re-armed per message (not just per flush): a buffered-writer overflow
+// hits the socket here, and a deadline armed minutes ago would fail it.
 func (sess *session) write(typ byte, payload []byte) error {
+	if wt := sess.srv.cfg.WriteTimeout; wt > 0 {
+		sess.conn.SetWriteDeadline(time.Now().Add(wt))
+	}
 	if err := wire.WriteMessage(sess.bw, typ, payload); err != nil {
 		return err
 	}
 	sess.srv.metrics.countOut(typ, len(payload))
 	return nil
+}
+
+// flush pushes the response buffer to the socket under the write deadline,
+// so a device that stopped reading can never wedge this goroutine.
+func (sess *session) flush() error {
+	if wt := sess.srv.cfg.WriteTimeout; wt > 0 {
+		sess.conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+	return sess.bw.Flush()
 }
 
 // handshake reads and validates the Hello and builds the live store. It
@@ -197,6 +236,24 @@ func (sess *session) handshake() bool {
 		sess.sendError(wire.CodeBadVersion, err.Error())
 		return false
 	}
+	sess.rate = h.Rate
+	sess.name = h.Name
+	sess.class = h.Class
+	sess.proto = h.Proto
+
+	if d := srv.adoptDetached(h); d != nil {
+		// The device reconnected while its previous incarnation's state was
+		// parked: resume in place. The journal handle (if any) is still
+		// open at the right offset, and ackSeq tells the device what to
+		// replay. Adoption must run before journal.Attach — the parked
+		// session still owns its journal key.
+		sess.store = d.store
+		sess.jsess = d.jsess
+		sess.resumed = true
+		sess.ackSeq = d.ackSeq
+		return true
+	}
+
 	cfg := srv.cfg.Store
 	cfg.Rate = h.Rate
 	cfg.HorizonTicks = int(h.HorizonTicks)
@@ -206,9 +263,6 @@ func (sess *session) handshake() bool {
 		return false
 	}
 	sess.store = store
-	sess.rate = h.Rate
-	sess.name = h.Name
-	sess.class = h.Class
 
 	if srv.journal != nil {
 		eff := store.Config()
@@ -234,6 +288,10 @@ func (sess *session) handshake() bool {
 				// journaling where the old incarnation stopped.
 				sess.store = recovered
 				sess.resumed = true
+				// The durable watermark (journaled frames, plus any higher
+				// acknowledged-but-shed offset the WAL recorded) is the v4
+				// resume point.
+				sess.ackSeq = jsess.ClientSeq()
 			}
 		}
 	}
@@ -243,7 +301,7 @@ func (sess *session) handshake() bool {
 func (sess *session) sendError(code wire.Code, text string) {
 	msg := wire.ErrMsg{Code: code, Text: text}
 	if sess.write(wire.MsgError, msg.Encode()) == nil {
-		sess.bw.Flush()
+		sess.flush()
 	}
 }
 
@@ -336,13 +394,24 @@ func (sess *session) pushMarker(target uint64, enqueueDone time.Time, tr *obs.Tr
 func (sess *session) readLoop() {
 	srv := sess.srv
 	for {
-		sess.conn.SetReadDeadline(time.Now().Add(srv.cfg.IdleTimeout))
+		// A heartbeating device tightens its own liveness window: missing
+		// ~2.5 ping intervals means the link is gone, and waiting out the
+		// full idle horizon would only delay the park-for-resume.
+		window := srv.cfg.IdleTimeout
+		if sess.sawPing && srv.cfg.Heartbeat > 0 {
+			if hb := srv.cfg.Heartbeat * 5 / 2; hb < window {
+				window = hb
+			}
+		}
+		sess.conn.SetReadDeadline(time.Now().Add(window))
 		typ, payload, err := wire.ReadMessage(sess.br)
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
 				if srv.isClosed() {
 					sess.sendError(wire.CodeShuttingDown, "server shutting down")
+				} else if sess.sawPing && window < srv.cfg.IdleTimeout {
+					srv.cfg.Logf("session %d: heartbeat lost", sess.id)
 				} else {
 					srv.metrics.evictions.Inc()
 					sess.sendError(wire.CodeIdleEvicted, "session idle")
@@ -368,6 +437,17 @@ func (sess *session) readLoop() {
 			if !sess.handleFleetQuery(payload) {
 				return
 			}
+		case wire.MsgPing:
+			p, perr := wire.DecodePing(payload)
+			if perr != nil {
+				sess.sendError(wire.CodeBadMessage, perr.Error())
+				return
+			}
+			sess.sawPing = true
+			srv.metrics.heartbeats.Inc()
+			if sess.write(wire.MsgPong, wire.Pong{Nonce: p.Nonce}.Encode()) != nil || !sess.flushIfIdle() {
+				return
+			}
 		case wire.MsgClose:
 			sess.closeRequested = true
 			return
@@ -383,7 +463,7 @@ func (sess *session) readLoop() {
 // client block on a response we are sitting on.
 func (sess *session) flushIfIdle() bool {
 	if sess.br.Buffered() == 0 {
-		return sess.bw.Flush() == nil
+		return sess.flush() == nil
 	}
 	return true
 }
@@ -413,6 +493,38 @@ func (sess *session) handleBatch(payload []byte) bool {
 		tr.SetAttr("frames", strconv.Itoa(len(b.Frames)))
 	}
 	ack := wire.BatchAck{Seq: b.Seq, Code: wire.CodeOK, Stored: uint32(len(b.Frames))}
+	if sess.proto >= 4 {
+		// Idempotent append: v4 batches carry absolute stream offsets, so a
+		// replay after a reconnect is recognised against the acknowledged
+		// watermark. Batches entirely at or below it are acknowledged and
+		// dropped (at-least-once replay becomes exactly-once append); a
+		// batch straddling it has its already-held prefix trimmed.
+		end := b.Seq + uint64(len(b.Frames))
+		if end <= sess.ackSeq {
+			ack.Code = wire.CodeDuplicate
+			srv.metrics.dupBatches.Inc()
+			tr.Annotate("duplicate")
+			tr.Finish()
+			if sess.write(wire.MsgBatchAck, ack.Encode()) != nil {
+				return false
+			}
+			return sess.flushIfIdle()
+		}
+		if b.Seq < sess.ackSeq {
+			b.Frames = b.Frames[sess.ackSeq-b.Seq:]
+			b.Seq = sess.ackSeq
+			srv.metrics.dupBatches.Inc()
+			tr.Annotate("trimmed")
+		} else if b.Seq > sess.ackSeq {
+			// A gap means frames went missing between device and server — a
+			// correct client streams contiguously from the watermark, so
+			// this is corruption or a broken sender. Failing fast tears the
+			// link down; the reconnect resumes from the intact watermark.
+			tr.Finish()
+			sess.sendError(wire.CodeBadMessage, "batch offset ahead of session watermark")
+			return false
+		}
+	}
 	shed := false
 	if srv.cfg.Policy == PolicyShed && len(sess.in)+len(b.Frames) > cap(sess.in) {
 		shed = true
@@ -425,6 +537,17 @@ func (sess *session) handleBatch(payload []byte) bool {
 		srv.metrics.framesShed.Add(uint64(len(b.Frames)))
 		tr.Annotate("shed")
 		tr.Finish()
+		if sess.proto >= 4 {
+			// Shed frames are acknowledged as lost and the watermark still
+			// advances — the device must not replay them (by contract shed
+			// is lossy). The journal records the divergence between client
+			// offsets and journaled frames so a post-crash resume reports
+			// the same watermark.
+			sess.ackSeq = b.Seq + uint64(len(b.Frames))
+			if sess.jsess != nil {
+				sess.jsess.RecordAck(sess.ackSeq)
+			}
+		}
 	} else {
 		// Under PolicyBlock a full queue blocks here: the reader stops
 		// draining the socket and the device feels the backpressure. The
@@ -441,6 +564,12 @@ func (sess *session) handleBatch(payload []byte) bool {
 			// The acquisition consumer closes the trace once the batch's
 			// last frame lands in the store (queue-wait + append spans).
 			sess.pushMarker(target, t2, tr)
+		}
+		if sess.proto >= 4 {
+			// Enqueued means acknowledged: the watermark covers the batch
+			// even before the consumer journals it (the client's replay
+			// buffer retains acked batches precisely because of this gap).
+			sess.ackSeq = b.Seq + uint64(len(b.Frames))
 		}
 	}
 	if sess.write(wire.MsgBatchAck, ack.Encode()) != nil {
@@ -465,7 +594,7 @@ func (sess *session) handleFlush() bool {
 	if sess.write(wire.MsgFlushAck, ack.Encode()) != nil {
 		return false
 	}
-	return sess.bw.Flush() == nil
+	return sess.flush() == nil
 }
 
 func (sess *session) handleQuery(payload []byte) bool {
@@ -522,7 +651,7 @@ func (sess *session) handleQuery(payload []byte) bool {
 			return false
 		}
 	}
-	ok := sess.bw.Flush() == nil
+	ok := sess.flush() == nil
 	tr.Span("respond", t2, time.Now())
 	tr.Finish()
 	return ok
@@ -572,7 +701,7 @@ func (sess *session) handleFleetQuery(payload []byte) bool {
 		tr.Finish()
 		return false
 	}
-	ok := sess.bw.Flush() == nil
+	ok := sess.flush() == nil
 	tr.Span("respond", t2, time.Now())
 	tr.Finish()
 	return ok

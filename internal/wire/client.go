@@ -3,7 +3,9 @@ package wire
 import (
 	"bufio"
 	"fmt"
+	"math/rand"
 	"net"
+	"time"
 
 	"aims/internal/stream"
 )
@@ -20,12 +22,19 @@ type Client struct {
 	// Window is the max number of in-flight (unacked) batches; <= 0 means 1.
 	Window int
 
+	// Timeout bounds every socket read and write (a deadline is re-armed
+	// per operation). Zero keeps the historical behaviour — no deadlines —
+	// in which case Hello or a query can block forever on a half-open
+	// connection; any caller crossing a real network should set it.
+	Timeout time.Duration
+
 	session     uint64
 	width       int
-	seq         uint64
+	nextSeq     uint64 // absolute frame offset the next SendBatch stamps (v4)
 	outstanding int
 	shedBatches uint64
 	shedFrames  uint64
+	dupBatches  uint64
 	bytesOut    uint64
 	bytesIn     uint64
 }
@@ -57,6 +66,20 @@ func (c *Client) ShedBatches() uint64 { return c.shedBatches }
 // ShedFrames returns how many frames those shed batches carried.
 func (c *Client) ShedFrames() uint64 { return c.shedFrames }
 
+// DupBatches returns how many of this client's batches the server dropped
+// as already-held duplicates (replay after a resume).
+func (c *Client) DupBatches() uint64 { return c.dupBatches }
+
+// NextSeq returns the absolute frame offset the next SendBatch will stamp.
+func (c *Client) NextSeq() uint64 { return c.nextSeq }
+
+// SetNextSeq overrides the next batch's frame offset; a resuming client
+// sets it to the stream position it is replaying or continuing from.
+func (c *Client) SetNextSeq(seq uint64) { c.nextSeq = seq }
+
+// Outstanding returns the number of sent-but-unacknowledged batches.
+func (c *Client) Outstanding() int { return c.outstanding }
+
 // BytesOut returns how many protocol bytes this client has sent, framing
 // headers included.
 func (c *Client) BytesOut() uint64 { return c.bytesOut }
@@ -65,13 +88,25 @@ func (c *Client) BytesOut() uint64 { return c.bytesOut }
 // framing headers included.
 func (c *Client) BytesIn() uint64 { return c.bytesIn }
 
-// send frames one message and accounts its bytes.
+// send frames one message and accounts its bytes. The write deadline
+// covers buffered-writer overflow onto the socket mid-message.
 func (c *Client) send(typ byte, payload []byte) error {
+	if c.Timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.Timeout))
+	}
 	if err := WriteMessage(c.bw, typ, payload); err != nil {
 		return err
 	}
 	c.bytesOut += uint64(MessageSize(len(payload)))
 	return nil
+}
+
+// flush pushes buffered writes onto the socket under the write deadline.
+func (c *Client) flush() error {
+	if c.Timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.Timeout))
+	}
+	return c.bw.Flush()
 }
 
 // Hello registers the session and blocks for the server's Welcome.
@@ -83,7 +118,7 @@ func (c *Client) Hello(h Hello) (Welcome, error) {
 	if err := c.send(MsgHello, p); err != nil {
 		return Welcome{}, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return Welcome{}, err
 	}
 	typ, payload, err := c.read()
@@ -102,11 +137,20 @@ func (c *Client) Hello(h Hello) (Welcome, error) {
 	}
 	c.session = w.SessionID
 	c.width = h.Channels()
+	if w.AckSeq > c.nextSeq {
+		// The server already holds frames up to AckSeq (a resumed session);
+		// continue the stream from there so v4 watermark dedup never
+		// misreads fresh frames as replay.
+		c.nextSeq = w.AckSeq
+	}
 	return w, nil
 }
 
 // read returns the next message, converting MsgError into a Go error.
 func (c *Client) read() (byte, []byte, error) {
+	if c.Timeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.Timeout))
+	}
 	typ, payload, err := ReadMessage(c.br)
 	if err != nil {
 		return 0, nil, err
@@ -135,18 +179,26 @@ func (c *Client) readAck() error {
 		return err
 	}
 	c.outstanding--
-	if a.Code == CodeShed {
+	c.noteAck(a)
+	return nil
+}
+
+// noteAck folds one BatchAck into the client's shed/duplicate accounting.
+func (c *Client) noteAck(a BatchAck) {
+	switch a.Code {
+	case CodeShed:
 		c.shedBatches++
 		c.shedFrames += uint64(a.Stored)
+	case CodeDuplicate:
+		c.dupBatches++
 	}
-	return nil
 }
 
 // drainAcks blocks until at most n batches remain unacknowledged.
 func (c *Client) drainAcks(n int) error {
 	if c.outstanding > n {
 		// Acks are behind buffered writes: push them out first.
-		if err := c.bw.Flush(); err != nil {
+		if err := c.flush(); err != nil {
 			return err
 		}
 	}
@@ -158,9 +210,21 @@ func (c *Client) drainAcks(n int) error {
 	return nil
 }
 
-// SendBatch streams one batch, blocking on acknowledgements when the
-// pipeline window is full.
+// SendBatch streams one batch at the client's current stream position,
+// blocking on acknowledgements when the pipeline window is full.
 func (c *Client) SendBatch(frames []stream.Frame) error {
+	if err := c.SendBatchAt(c.nextSeq, frames); err != nil {
+		return err
+	}
+	c.nextSeq += uint64(len(frames))
+	return nil
+}
+
+// SendBatchAt streams one batch stamped with an explicit frame offset
+// without advancing the stream position — the replay path of a resuming
+// client, which re-sends buffered batches at their original offsets so
+// the server's watermark dedup can drop whatever it already holds.
+func (c *Client) SendBatchAt(seq uint64, frames []stream.Frame) error {
 	if c.session == 0 {
 		return fmt.Errorf("wire: SendBatch before Hello")
 	}
@@ -171,8 +235,7 @@ func (c *Client) SendBatch(frames []stream.Frame) error {
 	if err := c.drainAcks(win - 1); err != nil {
 		return err
 	}
-	c.seq++
-	p, err := EncodeBatch(c.seq, frames, c.width)
+	p, err := EncodeBatch(seq, frames, c.width)
 	if err != nil {
 		return err
 	}
@@ -181,6 +244,48 @@ func (c *Client) SendBatch(frames []stream.Frame) error {
 	}
 	c.outstanding++
 	return nil
+}
+
+// Ping round-trips a liveness probe. Batch acks arriving ahead of the pong
+// are folded into the normal ack accounting, so a ping can interleave with
+// a pipelined stream.
+func (c *Client) Ping() error {
+	if c.session == 0 {
+		return fmt.Errorf("wire: Ping before Hello")
+	}
+	nonce := rand.Uint64()
+	if err := c.send(MsgPing, Ping{Nonce: nonce}.Encode()); err != nil {
+		return err
+	}
+	if err := c.flush(); err != nil {
+		return err
+	}
+	for {
+		typ, payload, err := c.read()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case MsgBatchAck:
+			a, err := DecodeBatchAck(payload)
+			if err != nil {
+				return err
+			}
+			c.outstanding--
+			c.noteAck(a)
+		case MsgPong:
+			p, err := DecodePong(payload)
+			if err != nil {
+				return err
+			}
+			if p.Nonce != nonce {
+				return fmt.Errorf("wire: pong nonce %#x != ping %#x", p.Nonce, nonce)
+			}
+			return nil
+		default:
+			return fmt.Errorf("wire: expected pong, got type %d", typ)
+		}
+	}
 }
 
 // Flush is a drain barrier: it blocks until every frame this client has
@@ -193,7 +298,7 @@ func (c *Client) Flush() (uint64, error) {
 	if err := c.send(MsgFlush, nil); err != nil {
 		return 0, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return 0, err
 	}
 	typ, payload, err := c.read()
@@ -241,7 +346,7 @@ func (c *Client) runQuery(q Query) ([]Result, error) {
 	if err := c.send(MsgQuery, q.Encode()); err != nil {
 		return nil, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return nil, err
 	}
 	var steps []Result
@@ -285,7 +390,7 @@ func (c *Client) FleetQuery(q FleetQuery) (FleetResult, error) {
 	if err := c.send(MsgFleetQuery, p); err != nil {
 		return FleetResult{}, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return FleetResult{}, err
 	}
 	typ, payload, err := c.read()
@@ -311,7 +416,7 @@ func (c *Client) Close() (CloseAck, error) {
 	if err := c.send(MsgClose, nil); err != nil {
 		return CloseAck{}, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return CloseAck{}, err
 	}
 	typ, payload, err := c.read()

@@ -32,6 +32,7 @@ func TestHelloV1Compat(t *testing.T) {
 	if err != nil {
 		t.Fatalf("v1 hello rejected: %v", err)
 	}
+	h.Proto = 1 // DecodeHello stamps the version it negotiated
 	if !reflect.DeepEqual(got, h) {
 		t.Fatalf("v1 round trip: %+v != %+v", got, h)
 	}

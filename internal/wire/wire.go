@@ -36,7 +36,14 @@ const Magic uint32 = 0x41494D57
 // a (traceID, sampled) suffix appended after the v2 fields, emitted only
 // when a trace ID is set — so a v3 client not tracing stays byte-identical
 // to v2, and a v2 payload decodes unchanged with no context.
-const Version uint8 = 3
+// Version 4 adds link resilience: Ping/Pong heartbeats, an AckSeq
+// high-watermark suffix on Welcome (emitted only when non-zero, and only
+// to v4 clients, so v3 decoders never see trailing bytes), and a new
+// contract for Batch.Seq — a v4 client stamps each batch with the
+// absolute index of its first frame in the session's stream, which lets
+// the server drop replayed batches at or below its watermark
+// (exactly-once append under at-least-once replay).
+const Version uint8 = 4
 
 // MinVersion is the oldest protocol version DecodeHello still accepts; a
 // v1 client registers with an empty device class and never sees a fleet
@@ -69,6 +76,13 @@ const (
 	// merged server-side.
 	MsgFleetQuery  byte = 12 // client → server: cross-session aggregate
 	MsgFleetResult byte = 13 // server → client: merged answer + per-session detail
+
+	// Heartbeats (protocol v4): a client pings to prove liveness across an
+	// otherwise-idle link; the server echoes the nonce. Once a session has
+	// pinged, the server holds it to the heartbeat window instead of the
+	// (much longer) idle timeout, so a dead link is detected in seconds.
+	MsgPing byte = 14 // client → server: liveness probe
+	MsgPong byte = 15 // server → client: nonce echo
 )
 
 // TypeName returns the wire-format name of a message type, for metric
@@ -101,6 +115,10 @@ func TypeName(typ byte) string {
 		return "fleet_query"
 	case MsgFleetResult:
 		return "fleet_result"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
 	}
 	return fmt.Sprintf("type_%d", typ)
 }
@@ -139,6 +157,11 @@ const (
 	// CodeDeadline marks a per-session fleet failure: the session's scan
 	// had not finished when the fleet deadline expired.
 	CodeDeadline Code = 12
+	// CodeDuplicate acknowledges a batch the server already holds (its
+	// frames sit at or below the session's append watermark): the batch is
+	// dropped without re-appending, which is what makes at-least-once
+	// replay after a reconnect an exactly-once append (v4).
+	CodeDuplicate Code = 13
 )
 
 // String names a code for logs and error text.
@@ -170,6 +193,8 @@ func (c Code) String() string {
 		return "partial"
 	case CodeDeadline:
 		return "deadline"
+	case CodeDuplicate:
+		return "duplicate"
 	}
 	return fmt.Sprintf("code(%d)", uint16(c))
 }
@@ -310,6 +335,13 @@ type Hello struct {
 	Name         string
 	Class        string
 	Mins, Maxs   []float64 // len == channel count
+
+	// Proto is the protocol version the peer spoke, filled in by
+	// DecodeHello (Encode always writes this package's Version). The server
+	// gates v4-only behaviour — the Welcome AckSeq suffix, watermark-based
+	// batch dedup — on Proto, because a v3 client's batch Seqs are opaque
+	// ordinals, not frame offsets.
+	Proto uint8
 }
 
 // Channels returns the registered channel count.
@@ -369,16 +401,23 @@ func DecodeHello(p []byte) (Hello, error) {
 	if v >= 2 {
 		h.Class = d.rdStr()
 	}
+	h.Proto = v
 	if h.Rate <= 0 && d.err == nil {
 		return Hello{}, fmt.Errorf("wire: hello rate %v must be positive", h.Rate)
 	}
 	return h, d.done()
 }
 
-// Welcome acknowledges a Hello.
+// Welcome acknowledges a Hello. AckSeq (v4) is the server's append
+// high-watermark for the session in absolute frame offsets: everything
+// below it is already held (journaled or live), so a resuming client
+// replays only from AckSeq. It rides as a strict suffix emitted only when
+// non-zero, and the server additionally gates emission on the client's
+// hello version — a v3 decoder rejects trailing bytes.
 type Welcome struct {
 	SessionID uint64
 	Code      Code
+	AckSeq    uint64
 }
 
 // Encode serialises the Welcome payload.
@@ -386,14 +425,59 @@ func (w Welcome) Encode() []byte {
 	var e buf
 	e.u64(w.SessionID)
 	e.u16(uint16(w.Code))
+	if w.AckSeq != 0 {
+		e.u64(w.AckSeq)
+	}
 	return e.b
 }
 
-// DecodeWelcome parses a Welcome payload.
+// DecodeWelcome parses a Welcome payload. A v3 payload (no suffix) decodes
+// with AckSeq zero.
 func DecodeWelcome(p []byte) (Welcome, error) {
 	d := buf{b: p}
 	w := Welcome{SessionID: d.rdU64(), Code: Code(d.rdU16())}
+	if d.err == nil && d.pos < len(d.b) {
+		w.AckSeq = d.rdU64()
+	}
 	return w, d.done()
+}
+
+// Ping is a liveness probe (v4); the server echoes the nonce in a Pong.
+type Ping struct {
+	Nonce uint64
+}
+
+// Encode serialises the Ping payload.
+func (p Ping) Encode() []byte {
+	var e buf
+	e.u64(p.Nonce)
+	return e.b
+}
+
+// DecodePing parses a Ping payload.
+func DecodePing(b []byte) (Ping, error) {
+	d := buf{b: b}
+	p := Ping{Nonce: d.rdU64()}
+	return p, d.done()
+}
+
+// Pong answers a Ping, echoing its nonce.
+type Pong struct {
+	Nonce uint64
+}
+
+// Encode serialises the Pong payload.
+func (p Pong) Encode() []byte {
+	var e buf
+	e.u64(p.Nonce)
+	return e.b
+}
+
+// DecodePong parses a Pong payload.
+func DecodePong(b []byte) (Pong, error) {
+	d := buf{b: b}
+	p := Pong{Nonce: d.rdU64()}
+	return p, d.done()
 }
 
 // Batch carries consecutive frames of a session. Width must match the
