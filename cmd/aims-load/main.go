@@ -63,6 +63,7 @@ func main() {
 		verifyEq   = flag.Bool("verify-exact", false, "with -verify: require recovered frames == -frames exactly (exactly-once check)")
 		retry      = flag.Int("retry", 0, "reconnect attempts per outage: 0 = plain client (fail on first error), -1 = unlimited")
 		maxBackoff = flag.Duration("max-backoff", 2*time.Second, "reconnect backoff cap for -retry (full-jitter exponential)")
+		transportF = flag.String("transport", "tcp", "dial transport for -addr and the in-process server: tcp|ws (a URL scheme in -addr wins)")
 	)
 	flag.Parse()
 
@@ -75,8 +76,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-verify checks a restarted server: it needs -addr")
 		os.Exit(2)
 	}
+	if *transportF != "tcp" && *transportF != "ws" {
+		fmt.Fprintln(os.Stderr, "-transport must be tcp or ws")
+		os.Exit(2)
+	}
 
-	// In-process loopback server unless pointed at a real one.
+	// In-process loopback server unless pointed at a real one. The target
+	// endpoint carries the transport scheme, so every dial below — plain,
+	// resilient or verify — rides the chosen transport.
 	var srv *server.Server
 	target := *addr
 	if target == "" {
@@ -85,13 +92,15 @@ func main() {
 			Policy:      pol,
 			Store:       core.LiveStoreConfig{},
 		})
-		bound, err := srv.Start("127.0.0.1:0")
+		bound, err := srv.Start(*transportF + "://127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		target = bound.String()
 		fmt.Printf("in-process server on %s (policy=%s queue=%d)\n", target, *policy, *queue)
+	} else if !strings.Contains(target, "://") && *transportF != "tcp" {
+		target = *transportF + "://" + target
 	}
 
 	// Client-side observability: poll the admin /metrics endpoint while the

@@ -30,6 +30,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"aims/internal/core"
@@ -56,6 +57,7 @@ func main() {
 	fleetTimeout := flag.Duration("timeout", 0, "fleet mode: per-query deadline (0 = server default)")
 	trace := flag.Bool("trace", false, "fleet mode: force-sample this query and print its trace ID")
 	traceAdmin := flag.String("trace-admin", "", "fleet mode: admin plane base URL; with -trace, fetch and print the span tree")
+	transportF := flag.String("transport", "tcp", "fleet mode: dial transport for -addr: tcp|ws (a URL scheme in -addr wins)")
 	flag.Parse()
 
 	if *to < 0 {
@@ -66,7 +68,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fleet mode needs both -addr and -fleet")
 			os.Exit(2)
 		}
-		os.Exit(runFleet(*addr, *fleetScope, *agg, *approx, *channel, *from, *to, *partial, *fleetTimeout, *trace, *traceAdmin))
+		if *transportF != "tcp" && *transportF != "ws" {
+			fmt.Fprintln(os.Stderr, "-transport must be tcp or ws")
+			os.Exit(2)
+		}
+		target := *addr
+		if !strings.Contains(target, "://") && *transportF != "tcp" {
+			target = *transportF + "://" + target
+		}
+		os.Exit(runFleet(target, *fleetScope, *agg, *approx, *channel, *from, *to, *partial, *fleetTimeout, *trace, *traceAdmin))
 	}
 	var st *core.Store
 	if *loadFrom != "" {

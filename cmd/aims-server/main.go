@@ -1,9 +1,12 @@
-// Command aims-server runs the AIMS middle tier: a concurrent TCP server
+// Command aims-server runs the AIMS middle tier: a concurrent server
 // immersive client devices register with, stream frame batches to, and
 // query while their session is live (the paper's Fig. 2 three-tier
-// architecture, tier two).
+// architecture, tier two). It speaks the wire protocol over plain TCP
+// and/or WebSocket (browser-resident devices) — list endpoints with
+// -listen.
 //
 //	aims-server -addr :7009 -policy block -metrics 10s -admin :6060
+//	aims-server -listen tcp://:7009,ws://:7010
 //
 // The -admin listener serves the observability plane: /metrics
 // (Prometheus text), /healthz (readiness, reports draining), /sessions
@@ -24,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,7 +38,8 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7009", "listen address")
+		addr    = flag.String("addr", ":7009", "listen address (TCP; ignored when -listen is set)")
+		listen  = flag.String("listen", "", "comma-separated listen endpoints, e.g. tcp://:7009,ws://:7010 — serve TCP and WebSocket devices side by side (empty: -addr over TCP)")
 		queue   = flag.Int("queue", 8192, "per-session ingest queue depth (frames)")
 		acqBuf  = flag.Int("acquire-buffer", 256, "double-buffering batch size (frames)")
 		idle    = flag.Duration("idle", 30*time.Second, "idle-session eviction timeout")
@@ -120,12 +125,28 @@ func main() {
 		log.Printf("durability on: data-dir=%s fsync=%s recovered=%d sessions", *dataDir, fpol, n)
 	}
 
-	bound, err := srv.Start(*addr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	endpoints := []string{*addr}
+	if *listen != "" {
+		endpoints = strings.Split(*listen, ",")
+	}
+	var bounds []string
+	for _, ep := range endpoints {
+		ep = strings.TrimSpace(ep)
+		if ep == "" {
+			continue
+		}
+		bound, err := srv.Start(ep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		bounds = append(bounds, bound.String())
+	}
+	if len(bounds) == 0 {
+		fmt.Fprintln(os.Stderr, "no listen endpoints")
 		os.Exit(1)
 	}
-	log.Printf("aims-server listening on %s (policy=%s queue=%d idle=%s)", bound, *policy, *queue, *idle)
+	log.Printf("aims-server listening on %s (policy=%s queue=%d idle=%s)", strings.Join(bounds, " "), *policy, *queue, *idle)
 
 	// The admin plane lives on its own listener so scrapes and profiles
 	// never contend with the wire protocol, and stays up through the drain

@@ -46,7 +46,7 @@ func deviceFrames(n int) []stream.Frame {
 	return out
 }
 
-func startServer(t *testing.T, dataDir string) (*server.Server, string) {
+func startServer(t *testing.T, scheme, dataDir string) (*server.Server, string) {
 	t.Helper()
 	cfg := server.Config{
 		QueueFrames:   2048,
@@ -63,7 +63,7 @@ func startServer(t *testing.T, dataDir string) (*server.Server, string) {
 		cfg.Journal.SnapshotFrames = -1 // snapshot only at close: identical final files
 	}
 	srv := server.New(cfg)
-	addr, err := srv.Start("127.0.0.1:0")
+	addr, err := srv.Start(scheme + "://127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,46 +133,19 @@ func driveResilient(t *testing.T, addr string, p *chaos.Proxy, name string, fram
 // streams through a 5% cut / 5% reset fault proxy with at least three
 // forced disconnects, and the journaled store must come out bit-identical
 // to a fault-free control run — every frame appended exactly once, no
-// losses, no duplicates. Corruption stays off: the wire carries no
-// payload checksum, so flipped value bytes would be stored silently (see
-// TestCorruptionSurvival).
+// losses, no duplicates. The faulted run repeats over every transport
+// (the proxy listens and dials the scheme under test, so over ws the
+// faults land between WebSocket framing and wire framing); all runs are
+// held against one fault-free TCP control snapshot, which doubles as a
+// cross-transport equivalence check on the stored bytes. Corruption
+// stays off: the wire carries no payload checksum, so flipped value
+// bytes would be stored silently (see TestCorruptionSurvival).
 func TestExactlyOnceUnderFaults(t *testing.T) {
 	frames := deviceFrames(6000)
 
-	// Faulted run, through the proxy.
-	faultDir := t.TempDir()
-	_, addr := startServer(t, faultDir)
-	p, err := chaos.New(addr, chaos.Config{Seed: 42, CutRate: 0.05, ResetRate: 0.05, Logf: t.Logf})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer p.Close()
-	rc := driveResilient(t, p.Addr(), p, "glove", frames, 3)
-	if got := p.Disconnects(); got < 3 {
-		t.Fatalf("disconnects = %d, want >= 3", got)
-	}
-	if rc.Reconnects() == 0 {
-		t.Fatal("client never reconnected despite forced disconnects")
-	}
-	t.Logf("faults: disconnects=%d cuts=%d resets=%d reconnects=%d replayed=%d dups=%d",
-		p.Disconnects(), p.Cuts(), p.Resets(), rc.Reconnects(), rc.ReplayedBatches(), rc.DupBatches())
-
-	// Zero loss, zero duplication, visible at the query layer before the
-	// byte layer: the count must be exact.
-	r, err := rc.Query(wire.Query{Kind: wire.QueryCount, Channel: 0, T0: 0, T1: 30})
-	if err != nil {
-		t.Fatalf("count query: %v", err)
-	}
-	if r.Value != float64(len(frames)) {
-		t.Fatalf("count after faults = %v, want %d (lost or duplicated frames)", r.Value, len(frames))
-	}
-	if _, err := rc.Close(); err != nil {
-		t.Fatalf("close: %v", err)
-	}
-
-	// Control run, no proxy, plain client.
+	// Control run, no proxy, plain client over TCP.
 	ctrlDir := t.TempDir()
-	_, ctrlAddr := startServer(t, ctrlDir)
+	_, ctrlAddr := startServer(t, "tcp", ctrlDir)
 	c, err := wire.Dial(ctrlAddr)
 	if err != nil {
 		t.Fatal(err)
@@ -196,17 +169,59 @@ func TestExactlyOnceUnderFaults(t *testing.T) {
 	if _, err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
-
-	// Bit-identity: the graceful close snapshots each store; the snapshot
-	// bytes (sealed-store serialisation, deterministic since PR2) must
-	// match exactly, as must the watermark+CRC in the file names.
 	want := readSnapshot(t, ctrlDir, "glove")
-	got := readSnapshot(t, faultDir, "glove")
-	if got.name != want.name {
-		t.Fatalf("snapshot names diverge: faulted %s vs control %s", got.name, want.name)
-	}
-	if !bytes.Equal(got.data, want.data) {
-		t.Fatalf("stores not bit-identical: %d vs %d bytes", len(got.data), len(want.data))
+
+	for _, scheme := range []string{"tcp", "ws"} {
+		t.Run(scheme, func(t *testing.T) {
+			// Faulted run: device → proxy → server all speak this scheme.
+			faultDir := t.TempDir()
+			_, addr := startServer(t, scheme, faultDir)
+			p, err := chaos.New(addr, chaos.Config{
+				Listen:    scheme + "://127.0.0.1:0",
+				Seed:      42,
+				CutRate:   0.05,
+				ResetRate: 0.05,
+				Logf:      t.Logf,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			rc := driveResilient(t, p.Addr(), p, "glove", frames, 3)
+			if got := p.Disconnects(); got < 3 {
+				t.Fatalf("disconnects = %d, want >= 3", got)
+			}
+			if rc.Reconnects() == 0 {
+				t.Fatal("client never reconnected despite forced disconnects")
+			}
+			t.Logf("faults: disconnects=%d cuts=%d resets=%d reconnects=%d replayed=%d dups=%d",
+				p.Disconnects(), p.Cuts(), p.Resets(), rc.Reconnects(), rc.ReplayedBatches(), rc.DupBatches())
+
+			// Zero loss, zero duplication, visible at the query layer before
+			// the byte layer: the count must be exact.
+			r, err := rc.Query(wire.Query{Kind: wire.QueryCount, Channel: 0, T0: 0, T1: 30})
+			if err != nil {
+				t.Fatalf("count query: %v", err)
+			}
+			if r.Value != float64(len(frames)) {
+				t.Fatalf("count after faults = %v, want %d (lost or duplicated frames)", r.Value, len(frames))
+			}
+			if _, err := rc.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			// Bit-identity: the graceful close snapshots each store; the
+			// snapshot bytes (sealed-store serialisation, deterministic since
+			// PR2) must match exactly, as must the watermark+CRC in the file
+			// names.
+			got := readSnapshot(t, faultDir, "glove")
+			if got.name != want.name {
+				t.Fatalf("snapshot names diverge: faulted %s vs control %s", got.name, want.name)
+			}
+			if !bytes.Equal(got.data, want.data) {
+				t.Fatalf("stores not bit-identical: %d vs %d bytes", len(got.data), len(want.data))
+			}
+		})
 	}
 }
 
@@ -243,7 +258,7 @@ func readSnapshot(t *testing.T, dataDir, session string) snapshot {
 // lossless, proving resilience is not a durability side effect.
 func TestMemoryOnlyParkResume(t *testing.T) {
 	frames := deviceFrames(4000)
-	_, addr := startServer(t, "")
+	_, addr := startServer(t, "tcp", "")
 	p, err := chaos.New(addr, chaos.Config{Seed: 99, CutRate: 0.03, Logf: t.Logf})
 	if err != nil {
 		t.Fatal(err)
@@ -270,7 +285,7 @@ func TestMemoryOnlyParkResume(t *testing.T) {
 // and the stream must complete exactly once after the partition heals.
 func TestBlackholePartition(t *testing.T) {
 	frames := deviceFrames(2000)
-	_, addr := startServer(t, "")
+	_, addr := startServer(t, "tcp", "")
 	p, err := chaos.New(addr, chaos.Config{Seed: 5, Logf: t.Logf})
 	if err != nil {
 		t.Fatal(err)
@@ -332,7 +347,7 @@ func TestBlackholePartition(t *testing.T) {
 // frame-count drift are reported, not failed.
 func TestCorruptionSurvival(t *testing.T) {
 	frames := deviceFrames(2000)
-	_, addr := startServer(t, "")
+	_, addr := startServer(t, "tcp", "")
 	p, err := chaos.New(addr, chaos.Config{Seed: 3, CorruptRate: 0.02, CutRate: 0.01, Logf: t.Logf})
 	if err != nil {
 		t.Fatal(err)
@@ -389,7 +404,7 @@ func TestCorruptionSurvival(t *testing.T) {
 // schedule alone: same seed, same dial sequence, same reset pattern.
 func TestProxyDeterminism(t *testing.T) {
 	schedule := func(seed int64) string {
-		_, addr := startServer(t, "")
+		_, addr := startServer(t, "tcp", "")
 		p, err := chaos.New(addr, chaos.Config{Seed: seed, ResetRate: 0.3})
 		if err != nil {
 			t.Fatal(err)

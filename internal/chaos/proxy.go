@@ -1,9 +1,17 @@
 // Package chaos is a deterministic in-process network-fault harness: a
-// TCP proxy that forwards device↔server traffic while injecting the
-// failure modes flaky immersive links actually exhibit — added latency,
-// connections cut mid-frame, bytes flipped in flight, connections reset
-// the moment they are accepted, and full blackhole partitions where the
-// link stays up but nothing arrives.
+// transport-level proxy that forwards device↔server traffic while
+// injecting the failure modes flaky immersive links actually exhibit —
+// added latency, connections cut mid-frame, bytes flipped in flight,
+// connections reset the moment they are accepted, and full blackhole
+// partitions where the link stays up but nothing arrives.
+//
+// The proxy is transport middleware: it listens on any
+// internal/transport endpoint and dials the target through any other, so
+// the same fault schedule runs over TCP, WebSocket, or a mix. Because
+// each transport's conn decodes its own framing (a ws listener conn
+// yields the raw wire byte stream), faults always land on wire-protocol
+// bytes — a cut tears a wire frame mid-message over every transport
+// alike.
 //
 // All randomness flows from one seeded PRNG: each accepted connection
 // draws two sub-seeds (one per copy direction) at accept time, so the
@@ -13,12 +21,15 @@
 package chaos
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"aims/internal/transport"
 )
 
 // Config shapes a Proxy's fault injection. All rates are probabilities in
@@ -45,6 +56,14 @@ type Config struct {
 	// ChunkBytes bounds each forward read (default 1024). Smaller chunks
 	// mean more fault draws per message and finer-grained cut points.
 	ChunkBytes int
+	// Listen is the endpoint the proxy accepts device connections on
+	// (default "tcp://127.0.0.1:0"). A ws:// endpoint makes the proxy
+	// terminate WebSocket framing itself, so faults still hit the raw
+	// wire byte stream.
+	Listen string
+	// Dialer reaches the target (nil: the endpoint-scheme default); the
+	// target endpoint's scheme picks the server-side transport.
+	Dialer transport.Dialer
 	// Logf receives fault lifecycle logs (nil discards them).
 	Logf func(format string, args ...interface{})
 }
@@ -81,10 +100,19 @@ func (l *link) kill() {
 	})
 }
 
-// New starts a proxy on a loopback port forwarding to target.
+// New starts a proxy forwarding to a target endpoint. The listen side
+// defaults to a loopback TCP port; set cfg.Listen to front the target
+// with a different transport (and dial clients via Addr(), which carries
+// the scheme).
 func New(target string, cfg Config) (*Proxy, error) {
 	if cfg.ChunkBytes <= 0 {
 		cfg.ChunkBytes = 1024
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "tcp://127.0.0.1:0"
+	}
+	if cfg.Dialer == nil {
+		cfg.Dialer = transport.Net
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...interface{}) {}
@@ -93,7 +121,7 @@ func New(target string, cfg Config) (*Proxy, error) {
 	if seed == 0 {
 		seed = rand.Int63()
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := transport.Listen(cfg.Listen)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +137,9 @@ func New(target string, cfg Config) (*Proxy, error) {
 	return p, nil
 }
 
-// Addr returns the proxy's listening address — what clients dial.
+// Addr returns the proxy's listening endpoint — what clients dial. For a
+// non-TCP listen transport the string carries the scheme (ws://…), so it
+// feeds straight back into transport.Dial / wire.Dial.
 func (p *Proxy) Addr() string { return p.ln.Addr().String() }
 
 // Cuts reports connections cut mid-chunk by the fault schedule.
@@ -199,17 +229,19 @@ func (p *Proxy) acceptLoop() {
 		}
 		if reset {
 			// Accept-then-reset: SO_LINGER 0 turns the close into an RST,
-			// the failure a crashed NAT or midbox produces.
-			if tc, ok := c.(*net.TCPConn); ok {
-				tc.SetLinger(0)
-			}
+			// the failure a crashed NAT or midbox produces. On a transport
+			// without the linger capability the close degrades to a FIN —
+			// still a teardown, just politer than intended.
+			transport.SetLinger(c, 0)
 			c.Close()
 			p.resets.Add(1)
 			p.disconnects.Add(1)
 			p.cfg.Logf("chaos: reset connection on accept")
 			continue
 		}
-		s, err := net.Dial("tcp", p.target)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		s, err := p.cfg.Dialer.DialContext(ctx, p.target)
+		cancel()
 		if err != nil {
 			c.Close()
 			continue
@@ -275,9 +307,11 @@ func (p *Proxy) copy(l *link, src, dst net.Conn, seed int64) {
 				return
 			}
 			// Propagate a clean close as a half-close so in-flight
-			// responses still drain.
-			if tc, ok := dst.(*net.TCPConn); ok {
-				tc.CloseWrite()
+			// responses still drain; a conn without the capability falls
+			// back to a full close instead of silently leaving the peer
+			// waiting for an EOF that never comes.
+			if !transport.CloseWrite(dst) {
+				dst.Close()
 			}
 			return
 		}

@@ -310,6 +310,26 @@ func TestRunE19ChaosExactlyOnce(t *testing.T) {
 	}
 }
 
+func TestRunE20TransportOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy")
+	}
+	res := RunE20(io.Discard)
+	// The store must not know what carried the bytes.
+	if !res.Exact {
+		t.Fatal("a transport changed the stored frame count")
+	}
+	// Byte counts are deterministic (counted on the raw socket), so the
+	// bound holds exactly, not statistically: one 4-byte header + 4-byte
+	// mask per kilobyte-scale wire message plus the one-time handshake.
+	if !res.Bounded {
+		t.Fatalf("ws byte overhead %.2f%% ≥ 10%%", res.OverheadPct)
+	}
+	if res.OverheadPct <= 0 {
+		t.Fatalf("ws byte overhead %.2f%% ≤ 0: the counting conn is not seeing the framing", res.OverheadPct)
+	}
+}
+
 func TestAllRunnersRegistered(t *testing.T) {
 	ids := map[string]bool{}
 	for _, r := range All() {
@@ -322,7 +342,7 @@ func TestAllRunnersRegistered(t *testing.T) {
 		}
 	}
 	for _, want := range []string{"T1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
-		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "A1", "A2", "A3", "A4", "A5"} {
+		"E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "A1", "A2", "A3", "A4", "A5"} {
 		if !ids[want] {
 			t.Fatalf("missing runner %s", want)
 		}

@@ -31,6 +31,7 @@ func All() []Runner {
 		{"E17", "query_plan: cached compiled plans answer repeated queries ≥5× faster than cold compiles", func(w io.Writer) { RunE17(w) }},
 		{"E18", "trace_overhead: always-on slow-query log costs <2% query throughput", func(w io.Writer) { RunE18(w) }},
 		{"E19", "chaos: exactly-once ingest under injected faults; recovery p99 < 2× max backoff", func(w io.Writer) { RunE19(w) }},
+		{"E20", "transport: WebSocket framing adds <10% bytes over raw TCP; stored result transport-invariant", func(w io.Writer) { RunE20(w) }},
 		{"A1", "ablation: GROUP BY shares I/O across buckets; fetch-ordering objective trade", func(w io.Writer) { RunA1(w) }},
 		{"A2", "ablation: random-projection SVD similarity accuracy/cost trade", func(w io.Writer) { RunA2(w) }},
 		{"A3", "ablation: tiling locality becomes LRU buffer-pool hit rate", func(w io.Writer) { RunA3(w) }},

@@ -24,10 +24,16 @@ func waitDetached(t *testing.T, srv *Server, n int) {
 // client: a fully duplicate batch is acknowledged and dropped, a batch
 // straddling the watermark is trimmed to its fresh suffix, and a batch
 // starting ahead of the watermark (a gap — frames went missing) tears the
-// link down instead of silently recording a hole.
+// link down instead of silently recording a hole. Parameterized over
+// every transport: the dedup contract is a wire-protocol property and
+// must not depend on what carries the bytes.
 func TestExactlyOnceDedup(t *testing.T) {
+	forEachTransport(t, testExactlyOnceDedup)
+}
+
+func testExactlyOnceDedup(t *testing.T, scheme string) {
 	const channels = 2
-	srv, addr := startServer(t, Config{Store: testStoreCfg()})
+	srv, addr := startServerOn(t, scheme, Config{Store: testStoreCfg()})
 	_ = srv
 	frames := clientFrames(0, 200, channels)
 	mins, maxs := ranges(channels)
@@ -94,8 +100,12 @@ func TestExactlyOnceDedup(t *testing.T) {
 // watermark on reconnect, and dedup the client's replay so the stream
 // lands exactly once — with no journal configured at all.
 func TestParkResumeAfterAbort(t *testing.T) {
+	forEachTransport(t, testParkResumeAfterAbort)
+}
+
+func testParkResumeAfterAbort(t *testing.T, scheme string) {
 	const channels = 2
-	srv, addr := startServer(t, Config{Store: testStoreCfg(), RetainTimeout: 5 * time.Second})
+	srv, addr := startServerOn(t, scheme, Config{Store: testStoreCfg(), RetainTimeout: 5 * time.Second})
 	frames := clientFrames(1, 400, channels)
 	mins, maxs := ranges(channels)
 	h := wire.Hello{Rate: 100, HorizonTicks: 1 << 14, Name: "glove-7", Mins: mins, Maxs: maxs}
@@ -166,8 +176,12 @@ func TestParkResumeAfterAbort(t *testing.T) {
 // whose device never returns is finalized after RetainTimeout, and a
 // later reconnect under the same name starts a fresh session.
 func TestParkExpiry(t *testing.T) {
+	forEachTransport(t, testParkExpiry)
+}
+
+func testParkExpiry(t *testing.T, scheme string) {
 	const channels = 2
-	srv, addr := startServer(t, Config{Store: testStoreCfg(), RetainTimeout: 50 * time.Millisecond})
+	srv, addr := startServerOn(t, scheme, Config{Store: testStoreCfg(), RetainTimeout: 50 * time.Millisecond})
 	frames := clientFrames(2, 100, channels)
 	mins, maxs := ranges(channels)
 	h := wire.Hello{Rate: 100, HorizonTicks: 1 << 14, Name: "hmd-1", Mins: mins, Maxs: maxs}
@@ -186,7 +200,10 @@ func TestParkExpiry(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Abort()
-	waitDetached(t, srv, 0) // parked, then expired and finalized
+	// Two-stage wait: observe the park first (a bare wait-for-zero is
+	// trivially true before the park lands), then the expiry sweep.
+	waitDetached(t, srv, 1)
+	waitDetached(t, srv, 0)
 
 	c2, err := wire.Dial(addr)
 	if err != nil {
@@ -215,11 +232,15 @@ func TestParkExpiry(t *testing.T) {
 // the watermark the device gets back covers everything acknowledged, so a
 // full from-zero replay is absorbed without a single duplicate append.
 func TestJournalResumeCarriesWatermark(t *testing.T) {
+	forEachTransport(t, testJournalResumeCarriesWatermark)
+}
+
+func testJournalResumeCarriesWatermark(t *testing.T, scheme string) {
 	const channels = 2
 	cfg := Config{Store: testStoreCfg(), RetainTimeout: 5 * time.Second}
 	cfg.Journal.Dir = t.TempDir()
 	cfg.Journal.Fsync = journal.FsyncOff
-	srv, addr := startServer(t, cfg)
+	srv, addr := startServerOn(t, scheme, cfg)
 	frames := clientFrames(3, 300, channels)
 	mins, maxs := ranges(channels)
 	h := wire.Hello{Rate: 100, HorizonTicks: 1 << 14, Name: "suit-2", Mins: mins, Maxs: maxs}

@@ -26,6 +26,7 @@ import (
 	"aims/internal/journal"
 	"aims/internal/obs"
 	"aims/internal/propolyne"
+	"aims/internal/transport"
 	"aims/internal/wire"
 )
 
@@ -158,8 +159,8 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 
-	mu     sync.Mutex // guards ln and closed only
-	ln     net.Listener
+	mu     sync.Mutex // guards lns and closed only
+	lns    []net.Listener
 	closed bool
 
 	nextID   atomic.Uint64
@@ -270,10 +271,14 @@ func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 // Tracer exposes the pipeline tracer; nil when tracing is disabled.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
-// Start listens on addr (e.g. "127.0.0.1:0") and serves in the
-// background. It returns the bound address.
+// Start listens on a transport endpoint — bare "host:port" (TCP),
+// "tcp://host:port" or "ws://host:port[/path]" — and serves in the
+// background. It returns the bound address, whose String() is directly
+// dialable (scheme included for non-TCP transports). Start may be called
+// once per endpoint: one server instance can serve TCP and WebSocket
+// devices side by side.
 func (s *Server) Start(addr string) (net.Addr, error) {
-	ln, err := net.Listen("tcp", addr)
+	ln, err := transport.Listen(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +298,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		ln.Close()
 		return errors.New("server: already shut down")
 	}
-	s.ln = ln
+	s.lns = append(s.lns, ln)
 	s.mu.Unlock()
 
 	for {
@@ -321,14 +326,15 @@ func (s *Server) Serve(ln net.Listener) error {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
-	ln := s.ln
+	lns := s.lns
+	s.lns = nil
 	s.mu.Unlock()
 	s.sessions.forEach(func(sess *session) {
 		// An expired read deadline unblocks the session reader; it then
 		// drains its queue and closes.
 		sess.conn.SetReadDeadline(time.Now())
 	})
-	if ln != nil {
+	for _, ln := range lns {
 		ln.Close()
 	}
 

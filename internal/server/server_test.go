@@ -20,9 +20,27 @@ func testStoreCfg() core.LiveStoreConfig {
 }
 
 func startServer(t *testing.T, cfg Config) (*Server, string) {
+	return startServerOn(t, "tcp", cfg)
+}
+
+// transports lists the endpoint schemes transport-parameterized tests run
+// over; the wire protocol must behave identically on each.
+var transports = []string{"tcp", "ws"}
+
+// forEachTransport runs fn as one subtest per transport scheme.
+func forEachTransport(t *testing.T, fn func(t *testing.T, scheme string)) {
+	for _, tr := range transports {
+		t.Run(tr, func(t *testing.T) { fn(t, tr) })
+	}
+}
+
+// startServerOn starts a loopback server on the given transport scheme
+// and returns it plus a directly dialable endpoint (scheme included for
+// non-TCP transports).
+func startServerOn(t *testing.T, scheme string, cfg Config) (*Server, string) {
 	t.Helper()
 	srv := New(cfg)
-	addr, err := srv.Start("127.0.0.1:0")
+	addr, err := srv.Start(scheme + "://127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,173 @@
+// Package transport decouples the AIMS middle tier from any single byte
+// transport. Endpoints are strings — "tcp://host:port", "ws://host:port
+// [/path]", or a bare "host:port" (TCP, the historical form) — and every
+// layer above (wire clients, the server accept loop, the chaos fault
+// proxy, the cmd tools) listens and dials through this package, so adding
+// a transport (QUIC next) means adding a scheme here, not surgery there.
+//
+// Conns are plain net.Conn byte streams regardless of transport; framing
+// concerns (WebSocket messages, and later QUIC streams) live inside the
+// transport's conn. Optional conn capabilities — half-close and linger —
+// are expressed as interfaces with best-effort helpers instead of
+// *net.TCPConn type assertions, so fault injection and graceful-drain
+// logic compose with any transport that can honour them.
+package transport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+
+	"aims/internal/transport/ws"
+)
+
+// Endpoint is one parsed transport endpoint.
+type Endpoint struct {
+	Scheme string // "tcp" or "ws"
+	Host   string // host:port
+	Path   string // ws only: upgrade path ("" = any on listen, "/" on dial)
+}
+
+// String renders the endpoint in its dialable form; plain TCP endpoints
+// stay bare host:port for compatibility with pre-transport callers.
+func (e Endpoint) String() string {
+	if e.Scheme == "" || e.Scheme == "tcp" {
+		return e.Host
+	}
+	return e.Scheme + "://" + e.Host + e.Path
+}
+
+// ParseEndpoint parses "tcp://host:port", "ws://host:port[/path]" or a
+// bare "host:port" (TCP).
+func ParseEndpoint(s string) (Endpoint, error) {
+	if s == "" {
+		return Endpoint{}, fmt.Errorf("transport: empty endpoint")
+	}
+	scheme, rest, found := strings.Cut(s, "://")
+	if !found {
+		return Endpoint{Scheme: "tcp", Host: s}, nil
+	}
+	switch scheme {
+	case "tcp":
+		if strings.Contains(rest, "/") {
+			return Endpoint{}, fmt.Errorf("transport: tcp endpoint %q must not carry a path", s)
+		}
+		return Endpoint{Scheme: "tcp", Host: rest}, nil
+	case "ws":
+		host, path, hasPath := strings.Cut(rest, "/")
+		ep := Endpoint{Scheme: "ws", Host: host}
+		if hasPath {
+			ep.Path = "/" + path
+		}
+		if ep.Host == "" {
+			return Endpoint{}, fmt.Errorf("transport: ws endpoint %q has no host", s)
+		}
+		return ep, nil
+	default:
+		return Endpoint{}, fmt.Errorf("transport: unknown scheme %q in %q (want tcp or ws)", scheme, s)
+	}
+}
+
+// Addr decorates a non-TCP listener's bound address with its scheme, so
+// Addr().String() is directly dialable through Dial.
+type Addr struct {
+	Scheme string
+	Inner  net.Addr
+}
+
+func (a Addr) Network() string { return a.Scheme }
+func (a Addr) String() string  { return a.Scheme + "://" + a.Inner.String() }
+
+// schemeListener stamps the transport scheme onto the bound address.
+type schemeListener struct {
+	net.Listener
+	scheme string
+}
+
+func (l schemeListener) Addr() net.Addr { return Addr{Scheme: l.scheme, Inner: l.Listener.Addr()} }
+
+// Listen opens a server listener on an endpoint. The returned listener's
+// Addr().String() is directly dialable (scheme included for non-TCP
+// transports), which is how tests and the chaos proxy advertise
+// ephemeral-port endpoints.
+func Listen(endpoint string) (net.Listener, error) {
+	ep, err := ParseEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", ep.Host)
+	if err != nil {
+		return nil, err
+	}
+	if ep.Scheme == "ws" {
+		return schemeListener{Listener: ws.NewListener(ln, ep.Path), scheme: "ws"}, nil
+	}
+	return ln, nil
+}
+
+// Dialer opens client connections to AIMS endpoints. Inject one into
+// wire.ResilientClient to re-dial over any transport, or to fault-inject
+// and instrument dialing in tests.
+type Dialer interface {
+	DialContext(ctx context.Context, endpoint string) (net.Conn, error)
+}
+
+// Net is the default dialer: it dispatches on the endpoint's scheme.
+var Net Dialer = netDialer{}
+
+type netDialer struct{}
+
+func (netDialer) DialContext(ctx context.Context, endpoint string) (net.Conn, error) {
+	ep, err := ParseEndpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	if ep.Scheme == "ws" {
+		return ws.Dial(ctx, ep.Host, ep.Path)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", ep.Host)
+}
+
+// Dial connects to an endpoint with no connect bound.
+func Dial(endpoint string) (net.Conn, error) {
+	return Net.DialContext(context.Background(), endpoint)
+}
+
+// DialContext connects to an endpoint; the context bounds the connect and
+// any transport handshake.
+func DialContext(ctx context.Context, endpoint string) (net.Conn, error) {
+	return Net.DialContext(ctx, endpoint)
+}
+
+// CloseWriter is the half-close-writes capability. *net.TCPConn and
+// *ws.Conn both implement it.
+type CloseWriter interface{ CloseWrite() error }
+
+// CloseReader is the half-close-reads capability.
+type CloseReader interface{ CloseRead() error }
+
+// Lingerer is the SO_LINGER capability (SetLinger(0) turns close into an
+// RST — the chaos proxy's reset lever).
+type Lingerer interface{ SetLinger(sec int) error }
+
+// CloseWrite half-closes the write side when the conn supports it and
+// reports whether the half-close happened; callers choose their own
+// fallback (the chaos proxy falls back to a full close).
+func CloseWrite(c net.Conn) bool {
+	cw, ok := c.(CloseWriter)
+	return ok && cw.CloseWrite() == nil
+}
+
+// CloseRead half-closes the read side when the conn supports it.
+func CloseRead(c net.Conn) bool {
+	cr, ok := c.(CloseReader)
+	return ok && cr.CloseRead() == nil
+}
+
+// SetLinger applies SO_LINGER when the conn supports it.
+func SetLinger(c net.Conn, sec int) bool {
+	lg, ok := c.(Lingerer)
+	return ok && lg.SetLinger(sec) == nil
+}

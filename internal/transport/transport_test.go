@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestParseEndpoint(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Endpoint
+		err  bool
+	}{
+		{in: "127.0.0.1:7009", want: Endpoint{Scheme: "tcp", Host: "127.0.0.1:7009"}},
+		{in: "tcp://127.0.0.1:7009", want: Endpoint{Scheme: "tcp", Host: "127.0.0.1:7009"}},
+		{in: "ws://127.0.0.1:7010", want: Endpoint{Scheme: "ws", Host: "127.0.0.1:7010"}},
+		{in: "ws://127.0.0.1:7010/aims", want: Endpoint{Scheme: "ws", Host: "127.0.0.1:7010", Path: "/aims"}},
+		{in: ":7009", want: Endpoint{Scheme: "tcp", Host: ":7009"}},
+		{in: "", err: true},
+		{in: "quic://127.0.0.1:7011", err: true},
+		{in: "tcp://127.0.0.1:7009/path", err: true},
+		{in: "ws:///aims", err: true},
+	}
+	for _, c := range cases {
+		got, err := ParseEndpoint(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseEndpoint(%q): expected error, got %+v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseEndpoint(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseEndpoint(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestListenDialRoundTrip exercises the scheme dispatch end-to-end: the
+// listener's advertised Addr().String() must be directly dialable, and
+// the conn must carry bytes both ways, over both transports.
+func TestListenDialRoundTrip(t *testing.T) {
+	for _, scheme := range []string{"tcp", "ws"} {
+		t.Run(scheme, func(t *testing.T) {
+			ln, err := Listen(scheme + "://127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			if scheme == "ws" {
+				if got := ln.Addr().String(); len(got) < 5 || got[:5] != "ws://" {
+					t.Fatalf("ws listener advertises %q, want ws:// prefix", got)
+				}
+			}
+			accepted := make(chan net.Conn, 1)
+			go func() {
+				c, err := ln.Accept()
+				if err != nil {
+					t.Error(err)
+					accepted <- nil
+					return
+				}
+				accepted <- c
+			}()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			c, err := DialContext(ctx, ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			s := <-accepted
+			if s == nil {
+				t.FailNow()
+			}
+			defer s.Close()
+
+			// A wire-framed message survives the round trip verbatim.
+			msg := append([]byte{5, 0, 0, 0, 9}, []byte("hello")...)
+			if _, err := c.Write(msg); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, len(msg))
+			if _, err := io.ReadFull(s, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("round trip corrupted: % x", got)
+			}
+
+			// Both transports must offer the capability set the middle
+			// tier depends on.
+			for name, ok := range map[string]bool{
+				"CloseWriter": func() bool { _, ok := c.(CloseWriter); return ok }(),
+				"CloseReader": func() bool { _, ok := c.(CloseReader); return ok }(),
+				"Lingerer":    func() bool { _, ok := c.(Lingerer); return ok }(),
+			} {
+				if !ok {
+					t.Errorf("%s conn lacks %s", scheme, name)
+				}
+			}
+
+			// Half-close drains: after CloseWrite the server sees EOF but
+			// its reply still reaches the client.
+			if !CloseWrite(c) {
+				t.Fatal("CloseWrite failed")
+			}
+			if _, err := s.Read(make([]byte, 1)); err != io.EOF {
+				t.Fatalf("server read after half-close = %v, want EOF", err)
+			}
+			reply := append([]byte{2, 0, 0, 0, 7}, []byte("ok")...)
+			if _, err := s.Write(reply); err != nil {
+				t.Fatalf("reply after half-close: %v", err)
+			}
+			back := make([]byte, len(reply))
+			if _, err := io.ReadFull(c, back); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, reply) {
+				t.Fatal("reply corrupted across half-close")
+			}
+		})
+	}
+}
+
+func TestDialContextHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// TEST-NET-1 address: unroutable, so only the context can end the dial
+	// quickly. The point is that cancellation is respected at all.
+	start := time.Now()
+	if _, err := DialContext(ctx, "tcp://192.0.2.1:9"); err == nil {
+		t.Fatal("dial to unroutable address with cancelled context succeeded")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancelled dial did not return promptly")
+	}
+}

@@ -1,0 +1,561 @@
+// Package ws is a dependency-free RFC 6455 WebSocket transport for the
+// AIMS middle tier, built so browser-resident immersive clients can speak
+// the existing wire protocol end-to-end. A ws.Conn is a net.Conn over a
+// WebSocket link: callers keep writing and reading the raw wire byte
+// stream while the conn re-frames it into binary WebSocket messages.
+//
+// Framing contract: the write side parses the AIMS wire framing (uint32
+// little-endian payload length + type byte + payload) out of the byte
+// stream and ships every complete wire message as exactly one WebSocket
+// binary message, so a browser client receives one protocol message per
+// WebSocket event regardless of how the sender's bufio flush boundaries
+// fell. WebSocket ping/pong frames are a link-level keepalive answered
+// inside Read and invisible to the application; the wire protocol's v4
+// MsgPing/MsgPong heartbeats ride above as ordinary data, because they
+// probe the AIMS session (server-side liveness windows, parked-session
+// sweeps), not the socket.
+package ws
+
+import (
+	"bufio"
+	"context"
+	crand "crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// guid is the fixed handshake UUID of RFC 6455 §1.3.
+const guid = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// Frame opcodes (RFC 6455 §5.2).
+const (
+	opContinuation byte = 0x0
+	opText         byte = 0x1
+	opBinary       byte = 0x2
+	opClose        byte = 0x8
+	opPing         byte = 0x9
+	opPong         byte = 0xA
+)
+
+const (
+	finBit  = 0x80
+	maskBit = 0x80
+)
+
+// MaxMessage bounds a single inbound WebSocket message payload: the wire
+// protocol's MaxPayload (1<<24) plus framing slack. Anything larger is a
+// broken or hostile peer, not AIMS traffic.
+const MaxMessage = 1<<24 + 64
+
+// maxWirePayload mirrors wire.MaxPayload; a length prefix beyond it means
+// the outbound byte stream is not AIMS wire framing (see Conn.Write).
+const maxWirePayload = 1 << 24
+
+var errWriteClosed = errors.New("ws: write after close handshake")
+
+// Conn is a net.Conn over one WebSocket link. Reads and writes may run
+// concurrently (one reader, any writers — writes serialize on an internal
+// mutex, matching net.Conn semantics), and the conn implements the
+// transport capability methods CloseWrite/CloseRead/SetLinger so
+// half-close-based protocols and the chaos proxy's RST lever keep working
+// over WebSocket.
+type Conn struct {
+	raw    net.Conn
+	br     *bufio.Reader
+	client bool // mask outgoing frames (RFC 6455 §5.3)
+
+	wmu       sync.Mutex
+	out       []byte // assembled outbound frames; one raw.Write per call
+	pend      []byte // outbound bytes awaiting a complete wire message
+	aligned   bool   // pend still parses as wire framing
+	closeSent bool
+	rng       *rand.Rand // mask keys (client side only)
+
+	rdbuf      []byte // unconsumed payload of the current inbound message
+	frame      []byte // inbound frame scratch
+	peerClosed bool   // peer sent Close; reads are EOF from here on
+}
+
+func newConn(raw net.Conn, br *bufio.Reader, client bool) *Conn {
+	if br == nil {
+		br = bufio.NewReaderSize(raw, 4<<10)
+	}
+	c := &Conn{raw: raw, br: br, client: client, aligned: true}
+	if client {
+		c.rng = rand.New(rand.NewSource(rand.Int63()))
+	}
+	return c
+}
+
+// wireMessageLen inspects the head of b for a complete AIMS wire message
+// (uint32 LE payload length + 1 type byte + payload) and returns its total
+// size, 0 if the head is still incomplete, or -1 if the prefix cannot be
+// wire framing (claimed payload beyond the protocol bound).
+func wireMessageLen(b []byte) int {
+	if len(b) < 5 {
+		return 0
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > maxWirePayload {
+		return -1
+	}
+	total := 5 + int(n)
+	if len(b) < total {
+		return 0
+	}
+	return total
+}
+
+// Write appends p to the outbound byte stream. The stream is re-framed on
+// AIMS wire-message boundaries: every complete wire message ships as one
+// WebSocket binary message, with any incomplete tail held back until later
+// writes complete it (the wire client and server always flush on message
+// boundaries, so nothing is held back across a request/response turn). If
+// the stream ever stops parsing as wire framing the conn degrades
+// permanently to shipping each Write as one message — still a correct byte
+// stream, just without the one-message-per-frame guarantee.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closeSent {
+		return 0, errWriteClosed
+	}
+	c.pend = append(c.pend, p...)
+	c.out = c.out[:0]
+	at := 0
+	for c.aligned {
+		n := wireMessageLen(c.pend[at:])
+		if n == 0 {
+			break
+		}
+		if n < 0 {
+			c.aligned = false
+			break
+		}
+		c.appendFrame(opBinary, c.pend[at:at+n])
+		at += n
+	}
+	if !c.aligned && at < len(c.pend) {
+		c.appendFrame(opBinary, c.pend[at:])
+		at = len(c.pend)
+	}
+	c.pend = append(c.pend[:0], c.pend[at:]...)
+	if len(c.out) > 0 {
+		if _, err := c.raw.Write(c.out); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// appendFrame appends one FIN frame carrying payload to the outbound
+// buffer, masking client→server frames as the RFC requires.
+func (c *Conn) appendFrame(op byte, payload []byte) {
+	c.out = append(c.out, finBit|op)
+	mask := byte(0)
+	if c.client {
+		mask = maskBit
+	}
+	n := len(payload)
+	switch {
+	case n < 126:
+		c.out = append(c.out, mask|byte(n))
+	case n < 1<<16:
+		c.out = append(c.out, mask|126)
+		c.out = binary.BigEndian.AppendUint16(c.out, uint16(n))
+	default:
+		c.out = append(c.out, mask|127)
+		c.out = binary.BigEndian.AppendUint64(c.out, uint64(n))
+	}
+	if !c.client {
+		c.out = append(c.out, payload...)
+		return
+	}
+	var key [4]byte
+	binary.BigEndian.PutUint32(key[:], c.rng.Uint32())
+	c.out = append(c.out, key[:]...)
+	off := len(c.out)
+	c.out = append(c.out, payload...)
+	body := c.out[off:]
+	for i := range body {
+		body[i] ^= key[i&3]
+	}
+}
+
+// writeControl sends one control frame. A Close frame is sent at most
+// once; after it the write side is down (reads stay open — see CloseWrite).
+func (c *Conn) writeControl(op byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closeSent {
+		return nil
+	}
+	if op == opClose {
+		c.closeSent = true
+	}
+	c.out = c.out[:0]
+	c.appendFrame(op, payload)
+	_, err := c.raw.Write(c.out)
+	return err
+}
+
+// Read delivers the inbound byte stream: data message payloads in arrival
+// order, with WebSocket control frames consumed transparently (pings are
+// answered with pongs here; a peer Close surfaces as io.EOF while our
+// write side stays usable so in-flight responses drain — the
+// TCP-half-close analogue; the answering Close frame goes out when this
+// side ends its own write half via Close or CloseWrite, mirroring a FIN).
+func (c *Conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	for {
+		if c.peerClosed && len(c.rdbuf) == 0 {
+			return 0, io.EOF
+		}
+		if len(c.rdbuf) > 0 {
+			n := copy(p, c.rdbuf)
+			c.rdbuf = c.rdbuf[n:]
+			return n, nil
+		}
+		op, payload, err := c.readFrame()
+		if err != nil {
+			return 0, err
+		}
+		switch op {
+		case opBinary, opText, opContinuation:
+			if len(payload) == 0 {
+				continue
+			}
+			n := copy(p, payload)
+			c.rdbuf = append(c.rdbuf[:0], payload[n:]...)
+			return n, nil
+		case opPing:
+			if err := c.writeControl(opPong, payload); err != nil {
+				return 0, err
+			}
+		case opPong:
+			// Unsolicited pong: legal, ignored.
+		case opClose:
+			c.peerClosed = true
+			return 0, io.EOF
+		default:
+			return 0, fmt.Errorf("ws: unknown opcode %#x", op)
+		}
+	}
+}
+
+// readFrame reads one frame, unmasking if needed. The payload aliases an
+// internal scratch buffer valid until the next readFrame.
+func (c *Conn) readFrame() (op byte, payload []byte, err error) {
+	var h [2]byte
+	if _, err := io.ReadFull(c.br, h[:]); err != nil {
+		return 0, nil, err
+	}
+	op = h[0] & 0x0F
+	fin := h[0]&finBit != 0
+	masked := h[1]&maskBit != 0
+	n := uint64(h[1] & 0x7F)
+	switch n {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		n = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		n = binary.BigEndian.Uint64(ext[:])
+	}
+	if op >= opClose && (n > 125 || !fin) {
+		return 0, nil, fmt.Errorf("ws: malformed control frame (op %#x, len %d, fin %v)", op, n, fin)
+	}
+	if n > MaxMessage {
+		return 0, nil, fmt.Errorf("ws: frame of %d bytes exceeds the %d-byte bound", n, MaxMessage)
+	}
+	var key [4]byte
+	if masked {
+		if _, err := io.ReadFull(c.br, key[:]); err != nil {
+			return 0, nil, err
+		}
+	}
+	if uint64(cap(c.frame)) < n {
+		c.frame = make([]byte, n)
+	}
+	payload = c.frame[:n]
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= key[i&3]
+		}
+	}
+	return op, payload, nil
+}
+
+var closeNormal = []byte{0x03, 0xE8} // status 1000, normal closure
+
+// Close sends a best-effort Close frame and closes the underlying conn.
+func (c *Conn) Close() error {
+	c.raw.SetWriteDeadline(time.Now().Add(time.Second))
+	c.writeControl(opClose, closeNormal)
+	return c.raw.Close()
+}
+
+// CloseWrite ends the write side only: the WebSocket Close frame goes out
+// (and the underlying transport half-closes when it can) while reads stay
+// open — the transport.CloseWriter capability the chaos proxy uses to
+// drain in-flight responses after a clean client close.
+func (c *Conn) CloseWrite() error {
+	if err := c.writeControl(opClose, closeNormal); err != nil {
+		return err
+	}
+	if cw, ok := c.raw.(interface{ CloseWrite() error }); ok {
+		return cw.CloseWrite()
+	}
+	return nil
+}
+
+// CloseRead half-closes the read side of the underlying transport when it
+// supports it (best-effort otherwise).
+func (c *Conn) CloseRead() error {
+	if cr, ok := c.raw.(interface{ CloseRead() error }); ok {
+		return cr.CloseRead()
+	}
+	return nil
+}
+
+// SetLinger forwards to the underlying TCP conn when present — the chaos
+// proxy's RST-on-accept lever (best-effort otherwise).
+func (c *Conn) SetLinger(sec int) error {
+	if l, ok := c.raw.(interface{ SetLinger(int) error }); ok {
+		return l.SetLinger(sec)
+	}
+	return nil
+}
+
+func (c *Conn) LocalAddr() net.Addr                { return c.raw.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr               { return c.raw.RemoteAddr() }
+func (c *Conn) SetDeadline(t time.Time) error      { return c.raw.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return c.raw.SetReadDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
+
+// acceptKey computes the Sec-WebSocket-Accept value for a client key
+// (RFC 6455 §4.2.2 step 5.4: SHA-1 over key+GUID, base64).
+func acceptKey(key string) string {
+	h := sha1.New()
+	io.WriteString(h, key)
+	io.WriteString(h, guid)
+	return base64.StdEncoding.EncodeToString(h.Sum(nil))
+}
+
+// tokenEq reports a case-insensitive header token match.
+func tokenEq(h, want string) bool { return strings.EqualFold(strings.TrimSpace(h), want) }
+
+// headerHasToken reports whether a comma-separated header value contains
+// the token (Connection: keep-alive, Upgrade).
+func headerHasToken(h, want string) bool {
+	for _, part := range strings.Split(h, ",") {
+		if tokenEq(part, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultHandshakeTimeout bounds one server-side upgrade handshake.
+const DefaultHandshakeTimeout = 10 * time.Second
+
+// Listener upgrades connections accepted from an inner listener through
+// the RFC 6455 HTTP/1.1 handshake and yields framed conns. Handshakes run
+// concurrently under a deadline, so a slow or hostile client cannot
+// head-of-line block Accept.
+type Listener struct {
+	inner   net.Listener
+	path    string // "" accepts any request path
+	timeout time.Duration
+
+	conns chan net.Conn
+	done  chan struct{} // closed by Close
+	fail  chan struct{} // closed when the inner Accept loop exits
+	err   error         // set before fail closes
+
+	closeOnce sync.Once
+}
+
+// NewListener wraps an inner stream listener. path, when non-empty,
+// restricts upgrades to that exact request path; anything else is
+// answered 404.
+func NewListener(inner net.Listener, path string) *Listener {
+	l := &Listener{
+		inner:   inner,
+		path:    path,
+		timeout: DefaultHandshakeTimeout,
+		conns:   make(chan net.Conn, 16),
+		done:    make(chan struct{}),
+		fail:    make(chan struct{}),
+	}
+	go l.acceptLoop()
+	return l
+}
+
+func (l *Listener) acceptLoop() {
+	for {
+		raw, err := l.inner.Accept()
+		if err != nil {
+			l.err = err
+			close(l.fail)
+			return
+		}
+		go l.upgrade(raw)
+	}
+}
+
+// upgrade runs one handshake and delivers the framed conn to Accept.
+func (l *Listener) upgrade(raw net.Conn) {
+	raw.SetDeadline(time.Now().Add(l.timeout))
+	br := bufio.NewReaderSize(raw, 4<<10)
+	req, err := http.ReadRequest(br)
+	if err != nil {
+		raw.Close()
+		return
+	}
+	key := req.Header.Get("Sec-WebSocket-Key")
+	switch {
+	case l.path != "" && req.URL.Path != l.path:
+		refuse(raw, "404 Not Found")
+		return
+	case req.Method != http.MethodGet,
+		!tokenEq(req.Header.Get("Upgrade"), "websocket"),
+		!headerHasToken(req.Header.Get("Connection"), "upgrade"),
+		req.Header.Get("Sec-WebSocket-Version") != "13",
+		key == "":
+		refuse(raw, "400 Bad Request")
+		return
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + acceptKey(key) + "\r\n\r\n"
+	if _, err := io.WriteString(raw, resp); err != nil {
+		raw.Close()
+		return
+	}
+	raw.SetDeadline(time.Time{})
+	select {
+	case l.conns <- newConn(raw, br, false):
+	case <-l.done:
+		raw.Close()
+	}
+}
+
+func refuse(raw net.Conn, status string) {
+	io.WriteString(raw, "HTTP/1.1 "+status+"\r\nConnection: close\r\n\r\n")
+	raw.Close()
+}
+
+// Accept returns the next upgraded connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	case <-l.fail:
+		// Drain any handshake that completed in the gap before reporting
+		// the inner listener's failure.
+		select {
+		case c := <-l.conns:
+			return c, nil
+		default:
+		}
+		return nil, l.err
+	}
+}
+
+// Addr returns the inner listener's bound address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Close stops the listener; pending handshakes are abandoned.
+func (l *Listener) Close() error {
+	err := errors.New("ws: listener already closed")
+	l.closeOnce.Do(func() {
+		close(l.done)
+		err = l.inner.Close()
+	})
+	return err
+}
+
+// Dial opens a WebSocket client connection to host:port and completes the
+// upgrade handshake on path (default "/"). The context bounds the TCP
+// connect and the handshake together.
+func Dial(ctx context.Context, addr, path string) (net.Conn, error) {
+	var d net.Dialer
+	raw, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Client(ctx, raw, addr, path)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Client runs the client side of the upgrade handshake over an
+// already-established conn (exposed so tests and benchmarks can interpose
+// byte-counting or fault-injecting conns below the WebSocket framing).
+func Client(ctx context.Context, raw net.Conn, host, path string) (net.Conn, error) {
+	if path == "" {
+		path = "/"
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		raw.SetDeadline(dl)
+		defer raw.SetDeadline(time.Time{})
+	}
+	var nonce [16]byte
+	if _, err := crand.Read(nonce[:]); err != nil {
+		return nil, fmt.Errorf("ws: handshake nonce: %w", err)
+	}
+	key := base64.StdEncoding.EncodeToString(nonce[:])
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := io.WriteString(raw, req); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(raw, 4<<10)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		return nil, fmt.Errorf("ws: reading upgrade response: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		return nil, fmt.Errorf("ws: upgrade refused: %s", resp.Status)
+	}
+	if !tokenEq(resp.Header.Get("Upgrade"), "websocket") {
+		return nil, fmt.Errorf("ws: server did not upgrade (Upgrade: %q)", resp.Header.Get("Upgrade"))
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != acceptKey(key) {
+		return nil, fmt.Errorf("ws: bad Sec-WebSocket-Accept %q", got)
+	}
+	return newConn(raw, br, true), nil
+}

@@ -2,12 +2,14 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
 	"time"
 
 	"aims/internal/stream"
+	"aims/internal/transport"
 )
 
 // Client is the device side of the protocol: one registered session on one
@@ -39,9 +41,17 @@ type Client struct {
 	bytesIn     uint64
 }
 
-// Dial connects to an AIMS server.
+// Dial connects to an AIMS server endpoint — bare host:port (TCP),
+// tcp://host:port, or ws://host:port[/path] — with no connect bound.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to an AIMS server endpoint; the context bounds the
+// connect and any transport handshake (the WebSocket upgrade included),
+// so a blackholed address fails the attempt instead of hanging it.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	conn, err := transport.DialContext(ctx, addr)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 
 	"aims/internal/obs"
 	"aims/internal/stream"
+	"aims/internal/transport"
 )
 
 // ResilientClient wraps Client with everything a device on a flaky link
@@ -69,8 +71,17 @@ func (e replayEntry) end() uint64 { return e.start + uint64(len(e.frames)) }
 
 // ResilientConfig shapes a ResilientClient.
 type ResilientConfig struct {
-	// Addr is the server address, re-dialed on every reconnect.
+	// Addr is the server endpoint (bare host:port, tcp:// or ws://),
+	// re-dialed on every reconnect.
 	Addr string
+	// Dialer opens each (re)connection; nil uses the endpoint-scheme
+	// default (transport.Net). Tests inject fault or counting dialers.
+	Dialer transport.Dialer
+	// DialTimeout bounds each connect attempt, transport handshake
+	// included (default MaxBackoff — the reconnect loop's pacing budget —
+	// so a blackholed address cannot stall an attempt past its backoff
+	// slot).
+	DialTimeout time.Duration
 	// Window is the pipelining window of the underlying Client.
 	Window int
 	// Timeout bounds every socket read/write (default 10s).
@@ -110,6 +121,9 @@ func (c ResilientConfig) withDefaults() ResilientConfig {
 	}
 	if c.MaxBackoff <= 0 {
 		c.MaxBackoff = 2 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = c.MaxBackoff
 	}
 	if c.MaxAttempts == 0 {
 		c.MaxAttempts = 10
@@ -182,10 +196,17 @@ func DialResilient(cfg ResilientConfig, h Hello) (*ResilientClient, Welcome, err
 // dialOnce dials and registers without retry (the initial connect; the
 // reconnect loop wraps it with backoff).
 func (rc *ResilientClient) dialOnce() (*Client, Welcome, error) {
-	c, err := Dial(rc.cfg.Addr)
+	ctx, cancel := context.WithTimeout(context.Background(), rc.cfg.DialTimeout)
+	defer cancel()
+	d := rc.cfg.Dialer
+	if d == nil {
+		d = transport.Net
+	}
+	conn, err := d.DialContext(ctx, rc.cfg.Addr)
 	if err != nil {
 		return nil, Welcome{}, err
 	}
+	c := NewClient(conn)
 	c.Window = rc.cfg.Window
 	c.Timeout = rc.cfg.Timeout
 	w, err := c.Hello(rc.hello)

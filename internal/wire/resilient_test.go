@@ -1,12 +1,15 @@
 package wire
 
 import (
+	"context"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"aims/internal/stream"
+	"aims/internal/transport"
 )
 
 func ringFrames(n int, base float64) []stream.Frame {
@@ -96,6 +99,112 @@ func TestResumeTerminalOnEvictedGap(t *testing.T) {
 	if !strings.Contains(err.Error(), "ReplayFrames") {
 		t.Fatalf("terminal error should point at the buffer knob: %v", err)
 	}
+}
+
+// gatedDialer delegates its first dial to the real transport, then
+// blackholes every later attempt until the dial context expires — a hang
+// that only the DialTimeout deadline can break.
+type gatedDialer struct {
+	mu      sync.Mutex
+	dials   int
+	blocked int
+}
+
+func (d *gatedDialer) DialContext(ctx context.Context, addr string) (net.Conn, error) {
+	d.mu.Lock()
+	d.dials++
+	first := d.dials == 1
+	if !first {
+		d.blocked++
+	}
+	d.mu.Unlock()
+	if first {
+		return transport.DialContext(ctx, addr)
+	}
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (d *gatedDialer) counts() (dials, blocked int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dials, d.blocked
+}
+
+// TestInjectedDialerAndDialTimeout proves the two plumbing contracts the
+// transport refactor added to ResilientConfig: an injected Dialer carries
+// every connection (the initial dial and each reconnect attempt), and
+// DialTimeout bounds each attempt so a blackholed dial cannot wedge the
+// reconnect loop — it burns exactly its slot and moves on to the attempt
+// budget.
+func TestInjectedDialerAndDialTimeout(t *testing.T) {
+	const dialTimeout = 25 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		srv := NewClient(c)
+		if _, payload, err := srv.read(); err == nil {
+			if _, err := DecodeHello(payload); err == nil {
+				srv.send(MsgWelcome, Welcome{SessionID: 1, Code: CodeOK}.Encode())
+				srv.flush()
+			}
+		}
+		c.Close()
+	}()
+
+	d := &gatedDialer{}
+	rc, _, err := DialResilient(ResilientConfig{
+		Addr:        ln.Addr().String(),
+		Dialer:      d,
+		DialTimeout: dialTimeout,
+		Timeout:     time.Second,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		MaxAttempts: 2,
+		Seed:        31,
+		Logf:        t.Logf,
+	}, Hello{Rate: 100, Name: "gated", Mins: []float64{0, 0}, Maxs: []float64{1, 1}})
+	if err != nil {
+		t.Fatalf("initial dial through injected dialer: %v", err)
+	}
+	<-done
+	ln.Close()
+
+	start := time.Now()
+	if err := rc.SendBatch(ringFrames(4, 0)); err != nil && !IsTerminal(err) {
+		t.Fatalf("send into dead server: unexpected error class: %v", err)
+	}
+	_, err = rc.Flush()
+	elapsed := time.Since(start)
+	if !IsTerminal(err) {
+		t.Fatalf("flush with blackholed dialer: err = %v, want terminal", err)
+	}
+	if !strings.Contains(err.Error(), "2 attempts") {
+		t.Fatalf("terminal error should report the attempt budget: %v", err)
+	}
+	dials, blocked := d.counts()
+	if dials != 3 || blocked != 2 {
+		t.Fatalf("dialer saw %d dials (%d blackholed), want 3 (2): injected dialer not used everywhere", dials, blocked)
+	}
+	// Each blackholed attempt is released only by its DialTimeout deadline,
+	// so two attempts cannot finish before 2x the bound — and the bound in
+	// turn keeps the whole ordeal far under the 2s MaxBackoff default that
+	// DialTimeout would have inherited.
+	if elapsed < 2*dialTimeout {
+		t.Fatalf("2 blackholed attempts returned in %s, before 2x DialTimeout: the bound is not plumbed", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("giving up took %s; DialTimeout not honoured", elapsed)
+	}
+	rc.Abort()
 }
 
 // TestReconnectGivesUpAfterMaxAttempts registers against a throwaway
